@@ -1,0 +1,51 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures (see
+DESIGN.md's experiment index), prints the rendered block, and saves it
+under ``results/``.  Suites are session-scoped so the expensive graph
+construction happens once.
+
+Scale: defaults are laptop-sized (see repro.mesh.suite / repro.graph.suite
+docstrings); set ``REPRO_FULL=1`` for paper-scale inputs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.graph.suite import powerlaw_suite
+from repro.mesh.suite import large_mesh_suite, small_mesh_suite
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_and_print(results_dir: Path, name: str, rendered: str, result=None) -> None:
+    print("\n" + rendered)
+    (results_dir / f"{name}.txt").write_text(rendered + "\n")
+    if result is not None:
+        from repro.bench import export_json
+
+        export_json(result, results_dir / f"{name}.json")
+
+
+@pytest.fixture(scope="session")
+def small_meshes():
+    return small_mesh_suite()
+
+
+@pytest.fixture(scope="session")
+def large_meshes():
+    return large_mesh_suite()
+
+
+@pytest.fixture(scope="session")
+def powerlaw_graphs():
+    return powerlaw_suite()

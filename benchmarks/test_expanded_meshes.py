@@ -1,0 +1,35 @@
+"""§5.1.4: the expanded (replicated 10x) twist-hex and toroid-hex meshes.
+
+The paper replicates both meshes 10x to exceed cache capacity and shows
+the speedup trends hold: ECL-SCC stays ahead of GPU-SCC (78.5x on the
+expanded toroid-hex) and iSpan (1.4x on expanded twist-hex, timeout on
+expanded toroid-hex).
+"""
+
+from repro.bench import expanded_meshes
+
+from conftest import save_and_print
+
+
+def test_expanded_meshes(benchmark, results_dir):
+    res = benchmark.pedantic(
+        lambda: expanded_meshes(copies=10, scale=0.25), rounds=1, iterations=1
+    )
+    save_and_print(results_dir, "expanded_meshes", res.rendered)
+    rows = {r["graph"]: r for r in res.rows}
+    twist = rows["twist-hex-x10"]
+    toroid = rows["toroid-hex-x10"]
+    # §5.1.4's conclusion: the speedup trends hold beyond cache capacity —
+    # ECL-SCC stays fastest on both expanded meshes, decisively so on the
+    # many-small-SCCs toroid (paper: GPU-SCC 78.5x slower, iSpan timed
+    # out after 3 hours; our model lands at >100x for both there).
+    for row in (twist, toroid):
+        assert row["ECL-SCC A100"] * 3 < row["GPU-SCC A100"], row["graph"]
+        assert row["ECL-SCC A100"] * 3 < row["iSpan Xeon"], row["graph"]
+    assert toroid["GPU-SCC A100"] > 20 * toroid["ECL-SCC A100"]
+    assert toroid["iSpan Xeon"] > 50 * toroid["ECL-SCC A100"]
+    # the GPU baseline loses more ground on toroid than on twist (the
+    # giant-SCC case is its optimized regime)
+    gpu_ratio_twist = twist["GPU-SCC A100"] / twist["ECL-SCC A100"]
+    gpu_ratio_toroid = toroid["GPU-SCC A100"] / toroid["ECL-SCC A100"]
+    assert gpu_ratio_twist < gpu_ratio_toroid

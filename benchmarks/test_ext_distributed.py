@@ -1,0 +1,64 @@
+"""Extension: distributed-memory scaling (McLendon lineage, ref [15]).
+
+Strong-scaling study of BSP ECL-SCC vs distributed FB-Trim over 1..32
+virtual ranks on a deep-DAG mesh graph.  Reported per rank count:
+supersteps (synchronization points), total messages, and alpha-beta model
+time.  The structural claim: FB's superstep count tracks the DAG depth /
+BFS levels and is insensitive to rank count, while ECL's tracks its
+propagation rounds — an order of magnitude fewer on deep meshes — at the
+price of wider per-round halo exchanges.
+"""
+
+from repro.bench import render_table
+from repro.distributed import block_partition, distributed_ecl_scc, distributed_fbtrim
+from repro.mesh import sweep_graphs
+from repro.mesh.suite import large_mesh_suite
+
+from conftest import save_and_print
+
+RANKS = (1, 4, 16, 32)
+
+
+def test_distributed_scaling(benchmark, results_dir):
+    grp = large_mesh_suite(names=["toroid-hex"], num_ordinates=1, scale=0.12)[0]
+    g = grp.graphs[0]
+    rows = []
+
+    def run():
+        for r in RANKS:
+            p = block_partition(g, r)
+            ecl = distributed_ecl_scc(g, p)
+            fb = distributed_fbtrim(g, p)
+            rows.append(
+                [
+                    r,
+                    round(p.edge_cut_fraction(), 3),
+                    ecl.supersteps,
+                    fb.supersteps,
+                    ecl.cluster.total_messages,
+                    fb.cluster.total_messages,
+                    round(ecl.estimated_seconds * 1e3, 3),
+                    round(fb.estimated_seconds * 1e3, 3),
+                ]
+            )
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    table = render_table(
+        ["ranks", "edge cut", "ECL steps", "FB steps", "ECL msgs",
+         "FB msgs", "ECL ms", "FB ms"],
+        rows,
+        title=(
+            f"Extension: distributed scaling on {g.name}"
+            f" (|V|={g.num_vertices}, |E|={g.num_edges})"
+        ),
+    )
+    save_and_print(results_dir, "ext_distributed", table)
+    by_ranks = {r[0]: r for r in rows}
+    # single rank: no communication at all
+    assert by_ranks[1][4] == 0 and by_ranks[1][5] == 0
+    # the synchronization-count gap on a deep mesh: >= 10x at every width
+    for r in RANKS[1:]:
+        assert by_ranks[r][2] * 10 < by_ranks[r][3], r
+    # messages grow with rank count for ECL (wider halo)
+    assert by_ranks[32][4] > by_ranks[4][4]

@@ -1,0 +1,51 @@
+"""Figure 14: performance impact of disabling each ECL-SCC optimization.
+
+Six configurations (all on; one of async / SCC-edge-removal / path
+compression / persistent threads disabled; all off) over the three input
+classes on the A100 model, exactly like the paper's figure.
+
+Shape assertions (paper §5.2):
+* async helps on all three input classes;
+* removing completed-SCC edges helps mainly on power-law inputs;
+* disabling all four optimizations at least halves throughput.
+
+The persistent-thread effect needs inputs whose worklists exceed the
+device's resident capacity (A100: ~221k edges at one edge per thread);
+the suites here are sized accordingly.
+"""
+
+from repro.bench import ablation_figure
+from repro.graph.suite import powerlaw_suite
+from repro.mesh.suite import large_mesh_suite, small_mesh_suite
+
+from conftest import save_and_print
+
+
+def _classes():
+    small = small_mesh_suite(names=["toroid-hex", "torch-hex"], num_ordinates=2)
+    large = large_mesh_suite(names=["torch-hex", "toroid-wedge"], num_ordinates=2, scale=0.35)
+    power = powerlaw_suite(names=["flickr", "soc-LiveJournal1", "web-Google"], scale=1 / 16)
+    return [
+        ("small meshes", [g for grp in small for g in grp.graphs]),
+        ("large meshes", [g for grp in large for g in grp.graphs]),
+        ("power-law", [g for g, _ in power]),
+    ]
+
+
+def test_fig14_optimization_ablation(benchmark, results_dir):
+    classes = _classes()
+    res = benchmark.pedantic(
+        lambda: ablation_figure(classes), rounds=1, iterations=1
+    )
+    save_and_print(results_dir, "fig14_ablation", res.rendered, res)
+    s = res.series
+    for cls in ("small meshes", "large meshes", "power-law"):
+        base = s["all on"][cls]
+        # async helps everywhere (its removal hurts)
+        assert s["no async"][cls] < base, cls
+        # disabling everything costs at least 2x (paper: >2x on all classes)
+        assert s["all off"][cls] < 0.55 * base, cls
+    # SCC-edge removal matters more on power-law than on meshes
+    drop_pl = s["no SCC-edge removal"]["power-law"] / s["all on"]["power-law"]
+    drop_sm = s["no SCC-edge removal"]["small meshes"] / s["all on"]["small meshes"]
+    assert drop_pl < drop_sm + 0.05

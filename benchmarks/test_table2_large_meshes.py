@@ -1,0 +1,28 @@
+"""Table 2: properties of the large mesh graphs (klein-bottle,
+mobius-strip, torch, toroid, twist-hex) at the active scale."""
+
+from repro.bench import mesh_table_properties
+
+from conftest import save_and_print
+
+
+def test_table2_large_mesh_properties(benchmark, results_dir, large_meshes):
+    res = benchmark.pedantic(
+        lambda: mesh_table_properties("large"), rounds=1, iterations=1
+    )
+    save_and_print(results_dir, "table2_large_meshes", res.rendered)
+    rows = {r["graph"]: r for r in res.rows}
+    # Table 2's class structure:
+    # twist-hex: one SCC spanning the mesh, DAG depth 1, every ordinate
+    assert rows["twist-hex"]["min_sccs"] == rows["twist-hex"]["max_sccs"] == 1
+    assert rows["twist-hex"]["min_largest"] == rows["twist-hex"]["vertices"]
+    assert rows["twist-hex"]["max_depth"] == 1
+    # klein-bottle: giant SCC ~ |V| for all ordinates, shallow DAG
+    assert rows["klein-bottle"]["min_largest"] > 0.9 * rows["klein-bottle"]["vertices"]
+    assert rows["klein-bottle"]["max_depth"] <= 4
+    # mobius-strip: wildly variable across ordinates (1 .. |V| SCCs)
+    assert rows["mobius-strip"]["min_sccs"] < 10
+    assert rows["mobius-strip"]["max_sccs"] == rows["mobius-strip"]["vertices"]
+    # torch/toroid: many trivial SCCs plus small clusters
+    assert rows["torch-tet"]["max_largest"] <= 64
+    assert rows["toroid-hex"]["min_size1"] > 0.9 * rows["toroid-hex"]["vertices"]

@@ -1,0 +1,28 @@
+"""Table 3: properties of the ten power-law graphs (synthetic stand-ins).
+
+The planted structure must reproduce each SuiteSparse graph's published
+class: giant-SCC fraction, trivial-SCC count, size-2 count, DAG depth.
+"""
+
+from repro.bench import powerlaw_table_properties
+
+from conftest import save_and_print
+
+
+def test_table3_powerlaw_properties(benchmark, results_dir):
+    res = benchmark.pedantic(powerlaw_table_properties, rounds=1, iterations=1)
+    save_and_print(results_dir, "table3_powerlaw", res.rendered)
+    rows = {r["graph"]: r for r in res.rows}
+    # class checks against Table 3 (scaled):
+    assert rows["cage14"]["sccs"] == 1                      # one SCC = all
+    assert rows["cage14"]["dag_depth"] == 1
+    assert rows["com-Youtube"]["largest"] == 1              # all trivial
+    assert rows["com-Youtube"]["dag_depth"] > 20            # deep DAG
+    assert rows["Freescale2"]["size2"] > 500                # many 2-SCCs
+    assert rows["Freescale2"]["dag_depth"] == 1
+    assert rows["wiki-Talk"]["largest"] < 0.1 * rows["wiki-Talk"]["vertices"]
+    for name in ("circuit5M", "Freescale1", "soc-LiveJournal1", "wikipedia"):
+        assert rows[name]["largest"] > 0.5 * rows[name]["vertices"], name
+    # hubs exist (power-law signature)
+    assert rows["circuit5M"]["max_din"] > 100
+    assert rows["wiki-Talk"]["max_dout"] > 100

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Distributed-memory SCC detection on the virtual cluster.
+
+Before GPUs, radiative-transfer codes detected sweep cycles with
+distributed FB-Trim on MPI clusters (McLendon et al. 2005 — the paper's
+ref [15]).  This example runs both that method and a BSP formulation of
+ECL-SCC over 1..32 virtual ranks on a deep toroid mesh and prints the
+strong-scaling table: ECL-SCC needs ~40x fewer synchronization
+supersteps, while FB's narrow frontiers ship fewer total bytes — the
+latency-vs-volume trade-off that decides which wins on a given fabric.
+
+Run:  python examples/distributed_cluster.py
+"""
+
+from repro.distributed import (
+    ClusterSpec,
+    block_partition,
+    distributed_ecl_scc,
+    distributed_fbtrim,
+)
+from repro.mesh import sweep_graphs, toroid_hex
+
+
+def main() -> None:
+    mesh = toroid_hex(3)
+    _, graph = sweep_graphs(mesh, 1)[0]
+    print(f"graph: |V|={graph.num_vertices} |E|={graph.num_edges} (toroid sweep)")
+    print(f"{'ranks':>5} {'cut':>6} | {'ECL steps':>9} {'ECL msgs':>9} {'ECL ms':>8}"
+          f" | {'FB steps':>8} {'FB msgs':>8} {'FB ms':>8}")
+    for ranks in (1, 2, 4, 8, 16, 32):
+        part = block_partition(graph, ranks)
+        spec = ClusterSpec(num_ranks=ranks)
+        ecl = distributed_ecl_scc(graph, part, spec)
+        fb = distributed_fbtrim(graph, part, spec)
+        assert ecl.num_sccs == fb.num_sccs
+        print(
+            f"{ranks:>5} {part.edge_cut_fraction():>6.1%}"
+            f" | {ecl.supersteps:>9} {ecl.cluster.total_messages:>9}"
+            f" {ecl.estimated_seconds * 1e3:>8.2f}"
+            f" | {fb.supersteps:>8} {fb.cluster.total_messages:>8}"
+            f" {fb.estimated_seconds * 1e3:>8.2f}"
+        )
+    print(
+        "\nECL-SCC's supersteps stay flat (propagation rounds) while FB pays"
+        "\none per BFS level and residual task; on latency-bound fabrics the"
+        "\nsuperstep count is the budget that matters."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""End-to-end radiative-transfer workflow — the paper's motivating use.
+
+Pipeline (paper §1 and §4.1):
+
+1. build an unstructured mesh of a curved geometry (toroid, order 3);
+2. for each discrete ordinate, derive the directed sweep graph
+   (re-entrant faces of the curved elements create cycles);
+3. detect the SCCs with ECL-SCC — the critical step that prevents
+   livelock during the transport sweep;
+4. contract the SCCs, topologically schedule the condensation DAG, and
+5. run a model upwind transport sweep, iterating inside each cyclic SCC.
+
+Run:  python examples/radiative_transfer.py
+"""
+
+import numpy as np
+
+from repro import ecl_scc
+from repro.mesh import toroid_hex, sweep_graphs
+from repro.sweep import solve_transport_sweep, sweep_schedule
+
+
+def main() -> None:
+    mesh = toroid_hex(5)  # 6000 curved hex elements
+    print(f"mesh: {mesh}")
+
+    for omega, graph in sweep_graphs(mesh, num_ordinates=4):
+        result = ecl_scc(graph)
+        schedule = sweep_schedule(graph, result.labels)
+        assert schedule.validate_against(graph, result.labels)
+        sweep = solve_transport_sweep(graph, schedule, result.labels)
+        print(
+            f"ordinate ({omega[0]:+.2f},{omega[1]:+.2f},{omega[2]:+.2f}): "
+            f"|V|={graph.num_vertices} |E|={graph.num_edges} "
+            f"SCCs={result.num_sccs} (non-trivial {schedule.num_nontrivial}), "
+            f"DAG depth {schedule.depth}, "
+            f"sweep levels {sweep.levels_processed}, "
+            f"in-SCC iterations {sweep.scc_inner_iterations}, "
+            f"residual {sweep.residual:.2e}, "
+            f"mean flux {np.mean(sweep.psi):.4f}"
+        )
+
+    print(
+        "\nWithout SCC detection, the re-entrant faces above would make a"
+        " naive upwind sweep livelock; the schedule iterates each small SCC"
+        " to convergence instead (residuals ~ 1e-12)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Full multi-ordinate transport solve with VTK visualization output.
+
+Extends examples/radiative_transfer.py to the complete application loop:
+isotropic scattering couples the ordinates, so the SCC-scheduled sweeps
+iterate until the scalar flux converges (source iteration).  SCC
+detection runs once per ordinate and its schedules are reused across all
+iterations — amortizing exactly the cost the paper optimizes.
+
+Writes ``results/toroid_transport.vtk`` with the converged scalar flux
+and the SCC labels of the first ordinate as cell data (open in ParaView
+to see the small-SCC clusters sitting on the curved faces).
+
+Run:  python examples/transport_solver.py
+"""
+
+from pathlib import Path
+
+import numpy as np
+
+from repro import ecl_scc
+from repro.mesh import sweep_graphs, toroid_hex, write_vtk
+from repro.sweep import TransportProblem, solve_transport
+
+
+def main() -> None:
+    mesh = toroid_hex(4)
+    problem = TransportProblem(
+        mesh, num_ordinates=8, sigma_t=2.0, sigma_s=0.8, coupling=0.3
+    )
+    print(f"mesh: {mesh}  ({problem.num_ordinates} ordinates)")
+
+    solution = solve_transport(problem, tol=1e-10)
+    print(
+        f"source iteration converged in {solution.source_iterations} iterations"
+        f" (residual {solution.flux_residual:.2e})"
+    )
+    print(
+        f"SCCs per ordinate: min {min(solution.num_sccs_per_ordinate)}"
+        f" max {max(solution.num_sccs_per_ordinate)}"
+        f" of {mesh.num_elements} elements"
+    )
+    print(
+        f"schedule depths:   min {min(solution.schedule_depths)}"
+        f" max {max(solution.schedule_depths)}"
+    )
+    print(
+        f"scalar flux:       mean {np.mean(solution.scalar_flux):.4f}"
+        f"  max {np.max(solution.scalar_flux):.4f}"
+    )
+    print(
+        f"SCC detection cost (A100 model, all ordinates):"
+        f" {solution.scc_detect_model_seconds * 1e3:.3f} ms"
+    )
+
+    out = Path(__file__).resolve().parent.parent / "results"
+    out.mkdir(exist_ok=True)
+    _, g0 = sweep_graphs(mesh, 1)[0]
+    labels = ecl_scc(g0).labels
+    vtk_path = out / "toroid_transport.vtk"
+    write_vtk(
+        vtk_path,
+        mesh,
+        cell_data={"scalar_flux": solution.scalar_flux, "scc": labels},
+    )
+    print(f"wrote {vtk_path} (open in ParaView: color by 'scc' or 'scalar_flux')")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Legacy setup shim.
+
+``pip install -e .`` requires the ``wheel`` package (PEP 660 editable
+builds).  On machines without it (e.g. offline), run::
+
+    python setup.py develop
+
+which installs the same editable package using only setuptools.
+"""
+
+from setuptools import setup
+
+setup()

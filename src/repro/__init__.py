@@ -1,0 +1,45 @@
+"""repro — a from-scratch Python reproduction of ECL-SCC (SC '23).
+
+"A GPU Algorithm for Detecting Strongly Connected Components",
+Alabandi, Sands, Biros & Burtscher, SC '23 (doi 10.1145/3581784.3607071).
+
+Quick start::
+
+    from repro import ecl_scc, CSRGraph
+
+    g = CSRGraph.from_edges([0, 1, 2, 2], [1, 2, 0, 3])
+    result = ecl_scc(g)
+    result.labels          # -> [2, 2, 2, 3]: vertices 0,1,2 form one SCC
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.core` — the ECL-SCC algorithm and its optimizations;
+* :mod:`repro.graph` — CSR graphs, generators, synthetic SuiteSparse suite;
+* :mod:`repro.mesh` — radiative-transfer meshes and sweep-graph builder;
+* :mod:`repro.baselines` — Tarjan/Kosaraju oracles, FB, GPU-SCC, iSpan, Hong;
+* :mod:`repro.device` — virtual GPU/CPU specs, counters, cost model;
+* :mod:`repro.sweep` — the downstream transport-sweep application;
+* :mod:`repro.bench` — the paper's tables/figures as runnable experiments.
+"""
+
+from .core.eclscc import EclResult, ecl_scc
+from .core.options import EclOptions
+from .graph.csr import CSRGraph
+from .graph.edgelist import EdgeList
+from .baselines.tarjan import tarjan_scc
+from .mesh.sweepgraph import build_sweep_graph
+from .analysis.verify import verify_labels
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EclResult",
+    "ecl_scc",
+    "EclOptions",
+    "CSRGraph",
+    "EdgeList",
+    "tarjan_scc",
+    "build_sweep_graph",
+    "verify_labels",
+    "__version__",
+]

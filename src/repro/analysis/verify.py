@@ -1,0 +1,65 @@
+"""Label verification against reference oracles (paper §4).
+
+The paper verifies every ECL-SCC run against Tarjan; :func:`verify_labels`
+is that check.  Two labellings are *equivalent* when they induce the same
+partition of the vertex set; because every algorithm in this library
+normalizes labels to the maximum member ID, equivalence reduces to exact
+array equality — but :func:`partitions_equal` also handles foreign
+labelling conventions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.tarjan import tarjan_scc
+from ..errors import VerificationError
+from ..graph.csr import CSRGraph
+
+__all__ = ["partitions_equal", "verify_labels", "assert_valid_scc_labels"]
+
+
+def partitions_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    """True iff labellings *a* and *b* induce the same vertex partition."""
+    a = np.asarray(a).ravel()
+    b = np.asarray(b).ravel()
+    if a.shape != b.shape:
+        return False
+    if a.size == 0:
+        return True
+    pairs = np.unique(np.stack([a, b], axis=1), axis=0)
+    return (
+        pairs.shape[0] == np.unique(a).size == np.unique(b).size
+    )
+
+
+def verify_labels(graph: CSRGraph, labels: np.ndarray, *, oracle=None) -> None:
+    """Raise :class:`VerificationError` unless *labels* match the oracle.
+
+    The default oracle is Tarjan's algorithm, per the paper's methodology.
+    """
+    labels = np.asarray(labels)
+    if labels.size != graph.num_vertices:
+        raise VerificationError(
+            f"labels has {labels.size} entries for {graph.num_vertices} vertices"
+        )
+    truth = (oracle or tarjan_scc)(graph)
+    if not partitions_equal(labels, truth):
+        bad = int(np.count_nonzero(labels != truth))
+        raise VerificationError(
+            f"SCC labelling disagrees with the oracle on ~{bad} vertices"
+        )
+
+
+def assert_valid_scc_labels(labels: np.ndarray) -> None:
+    """Structural sanity: labels are the max vertex ID of their group."""
+    labels = np.asarray(labels)
+    n = labels.size
+    if n == 0:
+        return
+    if labels.min() < 0 or labels.max() >= n:
+        raise VerificationError("labels must be vertex IDs in [0, n)")
+    # the representative of each group must be labelled by itself
+    reps = np.unique(labels)
+    if not np.array_equal(labels[reps], reps):
+        raise VerificationError("group representatives must label themselves")

@@ -1,0 +1,45 @@
+"""FB-Trim (McLendon et al. 2005): Trim-1 peeling + Forward-Backward.
+
+The classic recipe: repeatedly trim trivial SCCs, then run the FB
+decomposition on whatever survives.  Kept as the direct ancestor of
+GPU-SCC and iSpan and as an additional benchmark point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..device.executor import VirtualDevice
+from ..device.spec import RYZEN_2950X, DeviceSpec
+from ..graph.csr import CSRGraph
+from ..types import NO_VERTEX, VERTEX_DTYPE
+from .reach import colored_fb_rounds
+from .trim import trim1, trim2
+
+__all__ = ["fbtrim_scc"]
+
+
+def fbtrim_scc(
+    graph: CSRGraph,
+    *,
+    device: "VirtualDevice | DeviceSpec | None" = None,
+    use_trim2: bool = True,
+) -> "tuple[np.ndarray, VirtualDevice]":
+    """Trim-1 (+ optional Trim-2), then coloring-FB on the remainder."""
+    if device is None:
+        device = VirtualDevice(RYZEN_2950X)
+    elif isinstance(device, DeviceSpec):
+        device = VirtualDevice(device)
+    n = graph.num_vertices
+    labels = np.full(n, NO_VERTEX, dtype=VERTEX_DTYPE)
+    active = np.ones(n, dtype=bool)
+    if n == 0:
+        return labels, device
+    trim1(graph, active, labels, device)
+    if use_trim2:
+        while trim2(graph, active, labels, device):
+            trim1(graph, active, labels, device)
+    if active.any():
+        colored_fb_rounds(graph, active, labels, device)
+    assert not np.any(labels == NO_VERTEX)
+    return labels, device

@@ -1,0 +1,85 @@
+"""GPU-SCC (Li et al. 2017) — the paper's fastest prior GPU code.
+
+Phase structure per the publication, reproduced on the virtual GPU:
+
+1. iterated Trim-1 (two kernel launches per round);
+2. "large SCC" phase: forward/backward level-synchronous BFS from a
+   single high-degree pivot over the whole remaining graph, with
+   topology-driven load balancing — detects the giant SCC of power-law
+   inputs in one shot;
+3. another trim round (Trim-1 + Trim-2);
+4. "small SCC" phase: coloring-FB over all remaining partitions
+   simultaneously (WCC-style colors, one pivot per color by winning
+   write), iterated to completion.
+
+Cost character (and why the paper beats it on meshes): phases 1 and 4
+launch kernels proportional to the trim depth and the BFS diameters of
+the residual subgraphs, which on mesh inputs scale with the DAG depth —
+thousands of nearly-empty launches — while ECL-SCC needs ~log(depth)
+rounds of full-width work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..device.executor import VirtualDevice
+from ..device.spec import TITAN_V, DeviceSpec
+from ..graph.csr import CSRGraph
+from ..types import NO_VERTEX, VERTEX_DTYPE
+from .reach import colored_fb_rounds, masked_bfs
+from .trim import trim1, trim2
+
+__all__ = ["gpu_scc"]
+
+
+def gpu_scc(
+    graph: CSRGraph,
+    *,
+    device: "VirtualDevice | DeviceSpec | None" = None,
+) -> "tuple[np.ndarray, VirtualDevice]":
+    """Li et al.'s GPU SCC algorithm on the virtual device.
+
+    Returns ``(labels, device)`` with max-member-ID labels.
+    """
+    if device is None:
+        device = VirtualDevice(TITAN_V)
+    elif isinstance(device, DeviceSpec):
+        device = VirtualDevice(device)
+    n = graph.num_vertices
+    labels = np.full(n, NO_VERTEX, dtype=VERTEX_DTYPE)
+    active = np.ones(n, dtype=bool)
+    if n == 0:
+        return labels, device
+
+    # phase 1: iterated Trim-1
+    trim1(graph, active, labels, device)
+
+    # phase 2: giant-SCC detection from a high-degree pivot
+    if active.any():
+        deg = graph.out_degree() + graph.in_degree()
+        deg = np.where(active, deg, -1)
+        pivot = int(np.argmax(deg))
+        device.launch(vertices=n, atomics=int(active.sum()))
+        fwd, _ = masked_bfs(graph, np.asarray([pivot]), active, device)
+        bwd, _ = masked_bfs(graph.transpose(), np.asarray([pivot]), active, device)
+        scc = fwd & bwd & active
+        scc_idx = np.flatnonzero(scc)
+        if scc_idx.size:
+            labels[scc_idx] = scc_idx.max()
+            active[scc_idx] = False
+        device.launch(vertices=n)
+
+    # phase 3: re-trim (Trim-1 then Trim-2 then Trim-1 again)
+    if active.any():
+        trim1(graph, active, labels, device)
+    if active.any():
+        if trim2(graph, active, labels, device):
+            trim1(graph, active, labels, device)
+
+    # phase 4: coloring-FB over everything that remains
+    if active.any():
+        colored_fb_rounds(graph, active, labels, device)
+
+    assert not np.any(labels == NO_VERTEX)
+    return labels, device

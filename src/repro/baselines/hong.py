@@ -1,0 +1,107 @@
+"""Hong, Rodia & Olukotun (SC '13): FB-Trim with a WCC task phase.
+
+The first parallel CPU method to handle real-world power-law graphs
+well.  Phase structure per the publication:
+
+1. Trim-1 (size-1), one pass of Trim-2 (size-2);
+2. the giant SCC via forward/backward reach from a high-degree pivot
+   (data-parallel phase);
+3. weakly-connected-component decomposition of the remainder; each WCC
+   becomes an independent *task* processed by FB recursion (task-parallel
+   phase).
+
+Included for completeness of the lineage (the paper discusses it as the
+basis of the GPU codes) and as an extra benchmark point on the CPU side.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..device.executor import VirtualDevice
+from ..device.spec import XEON_6226R, DeviceSpec
+from ..graph.csr import CSRGraph
+from ..graph.properties import weakly_connected_components
+from ..types import NO_VERTEX, VERTEX_DTYPE
+from .reach import colored_fb_rounds, masked_bfs
+from .trim import trim1, trim2
+
+__all__ = ["hong_scc"]
+
+
+def hong_scc(
+    graph: CSRGraph,
+    *,
+    device: "VirtualDevice | DeviceSpec | None" = None,
+) -> "tuple[np.ndarray, VirtualDevice]":
+    """Hong et al.'s method on the virtual CPU.  Returns (labels, device)."""
+    if device is None:
+        device = VirtualDevice(XEON_6226R)
+    elif isinstance(device, DeviceSpec):
+        device = VirtualDevice(device)
+    n = graph.num_vertices
+    labels = np.full(n, NO_VERTEX, dtype=VERTEX_DTYPE)
+    active = np.ones(n, dtype=bool)
+    if n == 0:
+        return labels, device
+
+    trim1(graph, active, labels, device)
+    if active.any():
+        trim2(graph, active, labels, device)
+        trim1(graph, active, labels, device)
+
+    if active.any():
+        deg = graph.out_degree() + graph.in_degree()
+        deg = np.where(active, deg, -1)
+        pivot = int(np.argmax(deg))
+        device.serial(n)
+        fwd, _ = masked_bfs(graph, np.asarray([pivot]), active, device)
+        bwd, _ = masked_bfs(graph.transpose(), np.asarray([pivot]), active, device)
+        scc = fwd & bwd & active
+        scc_idx = np.flatnonzero(scc)
+        if scc_idx.size:
+            labels[scc_idx] = scc_idx.max()
+            active[scc_idx] = False
+        device.launch(vertices=n)
+
+    if active.any():
+        # WCC decomposition of the remainder (label propagation), then FB
+        # within each WCC.  The colors of colored_fb_rounds start from the
+        # WCC labels, so components are processed as independent tasks.
+        wcc = weakly_connected_components(graph)
+        device.launch(edges=graph.num_edges, vertices=n, bytes_per_edge=24)
+        _fb_with_initial_colors(graph, active, labels, device, wcc)
+
+    assert not np.any(labels == NO_VERTEX)
+    return labels, device
+
+
+def _fb_with_initial_colors(
+    graph: CSRGraph,
+    active: np.ndarray,
+    labels: np.ndarray,
+    dev: VirtualDevice,
+    init_colors: np.ndarray,
+) -> None:
+    """Coloring-FB seeded with an initial partition (WCC labels)."""
+    # compact the initial colors over active vertices, then reuse the
+    # shared engine by pre-splitting: colored_fb_rounds starts from color
+    # zero, so encode the WCC partition by running it per group would be
+    # wasteful; instead we temporarily relabel through a color offset.
+    from .reach import colored_fb_rounds as _engine  # local alias
+
+    # The shared engine initializes its own colors; seeding is equivalent
+    # to one extra split round, which we emulate by running the engine on
+    # each WCC's vertex set via masking.  WCC counts are small for the
+    # paper's workloads, but guard against pathological fragmentation by
+    # falling back to a single run when there are many components.
+    act_idx = np.flatnonzero(active)
+    comps = np.unique(init_colors[act_idx])
+    if comps.size > 64:
+        _engine(graph, active, labels, dev)
+        return
+    for comp in comps:
+        sub_active = active & (init_colors == comp)
+        if sub_active.any():
+            _engine(graph, sub_active, labels, dev)
+            active &= ~(init_colors == comp)

@@ -1,0 +1,75 @@
+"""Machine-readable export of experiment results.
+
+``export_json`` writes an :class:`~repro.bench.experiments.ExperimentResult`
+as JSON next to its rendered text, so downstream analysis (plotting, CI
+regression tracking) can consume the numbers without re-running the
+experiments.  NumPy scalars/arrays are converted to plain Python types;
+non-serializable raw payloads (graph objects, run lists) are summarized
+rather than dumped.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Union
+
+import numpy as np
+
+from .experiments import ExperimentResult
+from .runners import RunResult
+
+__all__ = ["export_json", "to_jsonable"]
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Best-effort conversion of benchmark payloads to JSON-safe values."""
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        if obj.size > 64:
+            return {
+                "__array__": True,
+                "shape": list(obj.shape),
+                "dtype": str(obj.dtype),
+                "head": obj.ravel()[:8].tolist(),
+            }
+        return obj.tolist()
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(v) for v in obj]
+    if isinstance(obj, RunResult):
+        return {
+            "algorithm": obj.algorithm,
+            "device": obj.device,
+            "graph": obj.graph_name,
+            "vertices": obj.num_vertices,
+            "edges": obj.num_edges,
+            "num_sccs": obj.num_sccs,
+            "model_seconds": obj.model_seconds,
+            "wall_median_seconds": obj.wall.median_s if obj.wall else None,
+            "counters": to_jsonable(obj.counters),
+        }
+    # dataclass-like fallbacks (specs, suites, ...): summarize by repr
+    return {"__repr__": repr(obj)}
+
+
+def export_json(result: ExperimentResult, path: Union[str, Path]) -> Path:
+    """Write *result* to *path* as JSON; returns the path."""
+    payload = {
+        "name": result.name,
+        "elapsed_s": result.elapsed_s,
+        "rows": to_jsonable(result.rows),
+        "series": to_jsonable(result.series),
+        "raw": to_jsonable(
+            {str(k): v for k, v in result.raw.items()}
+        ),
+    }
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

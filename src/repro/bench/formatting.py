@@ -1,0 +1,85 @@
+"""ASCII renderers for paper-style tables and figure series."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["render_table", "render_series", "format_seconds"]
+
+
+def format_seconds(s: float) -> str:
+    """Paper-style runtime formatting (seconds with 4 decimals)."""
+    if s != s:  # NaN
+        return "-"
+    if s >= 100:
+        return f"{s:.1f}"
+    return f"{s:.4f}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str = "",
+) -> str:
+    """Monospace table with right-aligned numeric columns."""
+    rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    series: Mapping[str, Mapping[str, float]],
+    *,
+    title: str = "",
+    unit: str = "Mv/s",
+    width: int = 40,
+) -> str:
+    """Figure-style output: one bar chart block per x-axis input.
+
+    ``series`` maps series name -> {input name -> value}; mirrors the
+    paper's grouped bar charts (x: inputs, y: throughput).
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    inputs: "list[str]" = []
+    for vals in series.values():
+        for k in vals:
+            if k not in inputs:
+                inputs.append(k)
+    peak = max(
+        (v for vals in series.values() for v in vals.values() if v == v), default=1.0
+    )
+    name_w = max((len(s) for s in series), default=4)
+    for inp in inputs:
+        lines.append(f"{inp}:")
+        for sname, vals in series.items():
+            v = vals.get(inp, float("nan"))
+            if v != v:
+                bar, label = "", "-"
+            else:
+                bar = "#" * max(1, int(round(width * v / peak))) if v > 0 else ""
+                label = f"{v:.3f} {unit}"
+            lines.append(f"  {sname.ljust(name_w)} |{bar} {label}")
+    return "\n".join(lines)
+
+
+def _fmt(c: object) -> str:
+    if isinstance(c, float):
+        if c != c:
+            return "-"
+        if abs(c) >= 1000 or (abs(c) < 0.01 and c != 0):
+            return f"{c:.3g}"
+        return f"{c:.4f}" if abs(c) < 10 else f"{c:.2f}"
+    return str(c)

@@ -1,0 +1,160 @@
+"""Unified algorithm runner for the benchmark harness.
+
+One entry point, :func:`run_algorithm`, runs any of the SCC codes on any
+virtual device, optionally wall-clock timing it with the paper's
+median-of-9 protocol and verifying the labels against Tarjan.  The
+returned :class:`RunResult` carries both the *model* runtime (virtual
+device cost estimate — the number the paper-style tables use) and the
+Python wall time (reported alongside for transparency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..analysis.verify import verify_labels
+from ..core.eclscc import ecl_scc
+from ..core.minmax import minmax_scc
+from ..core.options import EclOptions
+from ..baselines import (
+    coloring_scc,
+    fb_scc,
+    fbtrim_scc,
+    gpu_scc,
+    hong_scc,
+    ispan_scc,
+    kosaraju_scc,
+    multistep_scc,
+    tarjan_scc,
+)
+from ..device.executor import VirtualDevice
+from ..device.spec import DeviceSpec
+from ..errors import AlgorithmError
+from ..graph.csr import CSRGraph
+from .timing import TimedRun, median_time
+
+__all__ = ["RunResult", "run_algorithm", "ALGORITHM_NAMES"]
+
+ALGORITHM_NAMES = (
+    "ecl-scc",
+    "ecl-scc-minmax",
+    "gpu-scc",
+    "ispan",
+    "hong",
+    "multistep",
+    "coloring",
+    "fb",
+    "fb-trim",
+    "tarjan",
+    "kosaraju",
+)
+
+
+@dataclass
+class RunResult:
+    """Outcome of one (algorithm, device, graph) benchmark cell."""
+
+    algorithm: str
+    device: str
+    graph_name: str
+    num_vertices: int
+    num_edges: int
+    num_sccs: int
+    model_seconds: float
+    wall: Optional[TimedRun]
+    counters: "dict[str, int]"
+    labels: np.ndarray
+
+    @property
+    def model_throughput_mvs(self) -> float:
+        return self.num_vertices / self.model_seconds / 1e6
+
+    @property
+    def wall_throughput_mvs(self) -> float:
+        if self.wall is None:
+            return float("nan")
+        return self.num_vertices / self.wall.median_s / 1e6
+
+
+def _execute(
+    name: str, graph: CSRGraph, spec: DeviceSpec, options: "EclOptions | None"
+) -> "tuple[np.ndarray, VirtualDevice, int]":
+    """One run; returns (labels, device, signature_arrays)."""
+    if name == "ecl-scc":
+        res = ecl_scc(graph, options=options, device=spec)
+        return res.labels, res.device, 2
+    if name == "ecl-scc-minmax":
+        res = minmax_scc(graph, device=spec)
+        return res.labels, res.device, 4
+    if name == "gpu-scc":
+        labels, dev = gpu_scc(graph, device=spec)
+        return labels, dev, 1
+    if name == "ispan":
+        labels, dev = ispan_scc(graph, device=spec)
+        return labels, dev, 1
+    if name == "hong":
+        labels, dev = hong_scc(graph, device=spec)
+        return labels, dev, 1
+    if name == "multistep":
+        labels, dev = multistep_scc(graph, device=spec)
+        return labels, dev, 1
+    if name == "coloring":
+        labels, dev = coloring_scc(graph, device=spec)
+        return labels, dev, 1
+    if name == "fb":
+        labels, dev = fb_scc(graph, device=spec)
+        return labels, dev, 1
+    if name == "fb-trim":
+        labels, dev = fbtrim_scc(graph, device=spec)
+        return labels, dev, 1
+    if name in ("tarjan", "kosaraju"):
+        fn: Callable = tarjan_scc if name == "tarjan" else kosaraju_scc
+        dev = VirtualDevice(spec)
+        labels = fn(graph)
+        # serial oracle: all work on the critical path
+        dev.serial(4 * (graph.num_vertices + graph.num_edges))
+        return labels, dev, 1
+    raise AlgorithmError(f"unknown algorithm {name!r}; known: {ALGORITHM_NAMES}")
+
+
+def run_algorithm(
+    graph: CSRGraph,
+    algorithm: str,
+    device: DeviceSpec,
+    *,
+    options: "EclOptions | None" = None,
+    time_wall: bool = False,
+    repeats: int = 9,
+    verify: bool = False,
+) -> RunResult:
+    """Run *algorithm* on *graph* against the *device* model.
+
+    ``time_wall`` additionally measures Python wall time with the
+    median-of-N protocol (each repeat uses a fresh device so counters
+    stay single-run).  ``verify`` checks labels against Tarjan (paper
+    §4 methodology) — skipped for the oracles themselves.
+    """
+    labels, dev, sigs = _execute(algorithm, graph, device, options)
+    estimate = dev.estimate(graph.num_vertices, graph.num_edges, signatures=sigs)
+    wall = None
+    if time_wall:
+        wall = median_time(
+            lambda: _execute(algorithm, graph, device, options), repeats=repeats
+        )
+    if verify and algorithm not in ("tarjan", "kosaraju"):
+        verify_labels(graph, labels)
+    return RunResult(
+        algorithm=algorithm,
+        device=device.name,
+        graph_name=graph.name or "graph",
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        num_sccs=int(np.unique(labels).size) if labels.size else 0,
+        model_seconds=estimate.total,
+        wall=wall,
+        counters=dev.counters.snapshot(),
+        labels=labels,
+    )

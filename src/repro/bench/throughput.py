@@ -1,0 +1,33 @@
+"""Throughput metric and geometric means (paper §4).
+
+The paper's primary metric: *throughput* = vertices / runtime, reported
+in millions of completed vertices per second (Mv/s), with geometric
+means across inputs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+__all__ = ["throughput_mvs", "geometric_mean"]
+
+
+def throughput_mvs(num_vertices: int, runtime_s: float) -> float:
+    """Millions of completed vertices per second."""
+    if runtime_s <= 0:
+        raise ValueError(f"runtime must be positive, got {runtime_s}")
+    return num_vertices / runtime_s / 1e6
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean; empty input yields 0, non-positive values raise."""
+    vals = list(values)
+    if not vals:
+        return 0.0
+    acc = 0.0
+    for v in vals:
+        if v <= 0:
+            raise ValueError(f"geometric mean needs positive values, got {v}")
+        acc += math.log(v)
+    return math.exp(acc / len(vals))

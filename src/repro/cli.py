@@ -1,0 +1,367 @@
+"""Command-line interface.
+
+Run as ``python -m repro`` (or ``python -m repro.cli``).  Subcommands:
+
+* ``scc``      — detect SCCs in a graph file with any of the nine codes;
+* ``stats``    — print Table-1/2/3-style properties of a graph file;
+* ``gen``      — generate a workload (mesh sweep graph or power-law
+  stand-in) and write it to a graph file;
+* ``bench``    — regenerate one of the paper's tables/figures;
+* ``devices``  — list the virtual device models;
+* ``sweep``    — run the full RTE pipeline (mesh -> SCC -> schedule ->
+  model transport solve) and report per-ordinate results.
+
+Graph file formats are inferred from the extension (.mtx Matrix Market,
+.txt/.edges edge list, .gr DIMACS) or forced with ``--format``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+def _load_graph(path: str, fmt: str):
+    from .graph import read_dimacs, read_edge_list, read_matrix_market, read_npz
+
+    p = Path(path)
+    if fmt == "auto":
+        fmt = {
+            ".mtx": "mtx",
+            ".txt": "edges",
+            ".edges": "edges",
+            ".gr": "dimacs",
+            ".npz": "npz",
+        }.get(p.suffix.lower(), "")
+        if not fmt:
+            raise SystemExit(
+                f"cannot infer format from {p.suffix!r}; pass --format"
+            )
+    if fmt == "mtx":
+        return read_matrix_market(p)
+    if fmt == "edges":
+        return read_edge_list(p)
+    if fmt == "dimacs":
+        return read_dimacs(p)
+    if fmt == "npz":
+        return read_npz(p)
+    raise SystemExit(f"unknown format {fmt!r}")
+
+
+def _save_graph(graph, path: str) -> None:
+    from .graph import write_dimacs, write_edge_list, write_matrix_market, write_npz
+
+    p = Path(path)
+    writer = {
+        ".mtx": write_matrix_market,
+        ".txt": write_edge_list,
+        ".edges": write_edge_list,
+        ".gr": write_dimacs,
+        ".npz": write_npz,
+    }.get(p.suffix.lower())
+    if writer is None:
+        raise SystemExit(f"unsupported output extension {p.suffix!r}")
+    writer(p, graph)
+
+
+def _device(name: str):
+    from .device import device_by_name
+
+    return device_by_name(name)
+
+
+# ---------------------------------------------------------------------------
+# subcommands
+# ---------------------------------------------------------------------------
+
+def _cmd_scc(args: argparse.Namespace) -> int:
+    from .bench import run_algorithm
+
+    graph = _load_graph(args.graph, args.format)
+    if args.randomize_ids:
+        from .graph.ops import permute_random
+
+        graph, _ = permute_random(graph, seed=0)
+    result = run_algorithm(
+        graph,
+        args.algo,
+        _device(args.device),
+        time_wall=args.time,
+        repeats=args.repeats,
+        verify=args.verify,
+    )
+    uniq, counts = np.unique(result.labels, return_counts=True)
+    print(f"graph:            {args.graph}")
+    print(f"vertices/edges:   {graph.num_vertices} / {graph.num_edges}")
+    print(f"algorithm:        {result.algorithm} on {result.device} (model)")
+    print(f"SCCs:             {result.num_sccs}")
+    print(f"largest SCC:      {int(counts.max()) if counts.size else 0}")
+    print(f"trivial SCCs:     {int((counts == 1).sum())}")
+    print(f"model runtime:    {result.model_seconds:.6f} s"
+          f"  ({result.model_throughput_mvs:.3f} Mv/s)")
+    if result.wall is not None:
+        print(f"wall runtime:     {result.wall.median_s:.6f} s"
+              f" (median of {result.wall.repeats})")
+    if args.verify:
+        print("verification:     labels match Tarjan's algorithm")
+    if args.output:
+        np.savetxt(args.output, result.labels, fmt="%d")
+        print(f"labels written to {args.output}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .analysis import scc_statistics
+    from .baselines import tarjan_scc
+
+    graph = _load_graph(args.graph, args.format)
+    stats = scc_statistics(graph, tarjan_scc(graph), with_depth=not args.no_depth)
+    for key, value in stats.as_row().items():
+        print(f"{key:10s} {value}")
+    return 0
+
+
+def _cmd_gen(args: argparse.Namespace) -> int:
+    if args.kind == "mesh":
+        from .mesh.suite import LARGE_MESH_SPECS, SMALL_MESH_SPECS, build_group
+
+        specs = {s.name: s for s in SMALL_MESH_SPECS}
+        specs.update({s.name: s for s in LARGE_MESH_SPECS})
+        if args.name not in specs:
+            raise SystemExit(
+                f"unknown mesh {args.name!r}; known: {sorted(specs)}"
+            )
+        grp = build_group(
+            specs[args.name], scale=args.scale, num_ordinates=args.ordinate + 1
+        )
+        graph = grp.graphs[args.ordinate]
+        print(
+            f"{args.name} ordinate {args.ordinate}: |V|={graph.num_vertices}"
+            f" |E|={graph.num_edges}"
+        )
+    else:
+        from .graph import build_powerlaw
+
+        graph, planted = build_powerlaw(args.name, scale=args.scale, seed=args.seed)
+        print(
+            f"{args.name}: |V|={graph.num_vertices} |E|={graph.num_edges}"
+            f" (planted {planted['num_sccs']} SCCs, largest {planted['largest']})"
+        )
+    _save_graph(graph, args.output)
+    print(f"written to {args.output}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import (
+        ablation_figure,
+        expanded_meshes,
+        mesh_table_properties,
+        powerlaw_table_properties,
+        runtime_table,
+        throughput_figures,
+    )
+
+    name = args.experiment
+    if name == "table1":
+        res = mesh_table_properties("small")
+    elif name == "table2":
+        res = mesh_table_properties("large")
+    elif name == "table3":
+        res = powerlaw_table_properties()
+    elif name in ("table5", "table6"):
+        from .mesh.suite import large_mesh_suite, small_mesh_suite
+
+        suite = small_mesh_suite() if name == "table5" else large_mesh_suite()
+        res = runtime_table(
+            [(g.name, g.graphs) for g in suite], table_name=name
+        )
+        print(res.rendered)
+        res = throughput_figures(res, figure_name=name + "-figures")
+    elif name == "table7":
+        from .graph.suite import powerlaw_suite
+
+        res = runtime_table(
+            [(g.name, [g]) for g, _ in powerlaw_suite()], table_name=name
+        )
+        print(res.rendered)
+        res = throughput_figures(res, figure_name="table7-figures")
+    elif name == "fig14":
+        from .graph.suite import powerlaw_suite
+        from .mesh.suite import small_mesh_suite
+
+        small = small_mesh_suite(names=["toroid-hex", "torch-hex"], num_ordinates=2)
+        power = powerlaw_suite(names=["flickr", "web-Google"], scale=1 / 32)
+        res = ablation_figure(
+            [
+                ("meshes", [g for grp in small for g in grp.graphs]),
+                ("power-law", [g for g, _ in power]),
+            ]
+        )
+    elif name == "expanded":
+        res = expanded_meshes(copies=10, scale=0.2)
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown experiment {name}")
+    print(res.rendered)
+    print(f"[{res.elapsed_s:.1f}s]")
+    return 0
+
+
+def _cmd_distributed(args: argparse.Namespace) -> int:
+    from .distributed import (
+        block_partition,
+        distributed_ecl_scc,
+        distributed_fbtrim,
+        random_partition,
+    )
+
+    graph = _load_graph(args.graph, args.format)
+    part_fn = random_partition if args.random_partition else block_partition
+    partition = part_fn(graph, args.ranks)
+    print(
+        f"partition: {args.ranks} ranks,"
+        f" edge cut {partition.edge_cut_fraction():.1%}"
+    )
+    for name, fn in (("ecl-scc", distributed_ecl_scc), ("fb-trim", distributed_fbtrim)):
+        res = fn(graph, partition)
+        s = res.cluster.summary()
+        print(
+            f"{name:8s} SCCs={res.num_sccs}  supersteps={res.supersteps}"
+            f"  messages={s['total_messages']}"
+            f"  est={res.estimated_seconds * 1e3:.3f} ms"
+        )
+    return 0
+
+
+def _cmd_devices(_args: argparse.Namespace) -> int:
+    from .device import ALL_DEVICES
+
+    for d in ALL_DEVICES:
+        print(
+            f"{d.name:12s} {d.kind:3s}  lanes={d.lanes:5d}  sms={d.sms:4d}"
+            f"  clock={d.clock_ghz:.2f}GHz  bw={d.mem_bw_gbs:7.1f}GB/s"
+            f"  llc={d.l2_mb:5.1f}MB  launch={d.launch_us:.0f}us"
+        )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .core import ecl_scc
+    from .mesh.suite import LARGE_MESH_SPECS, SMALL_MESH_SPECS, build_group
+    from .sweep import solve_transport_sweep, sweep_schedule
+
+    specs = {s.name: s for s in SMALL_MESH_SPECS}
+    specs.update({s.name: s for s in LARGE_MESH_SPECS})
+    if args.mesh not in specs:
+        raise SystemExit(f"unknown mesh {args.mesh!r}; known: {sorted(specs)}")
+    grp = build_group(specs[args.mesh], scale=args.scale, num_ordinates=args.ordinates)
+    print(f"{args.mesh}: {grp.mesh.num_elements} elements, {args.ordinates} ordinates")
+    for i, graph in enumerate(grp.graphs):
+        res = ecl_scc(graph)
+        schedule = sweep_schedule(graph, res.labels)
+        out = solve_transport_sweep(graph, schedule, res.labels)
+        print(
+            f"  ordinate {i}: SCCs={res.num_sccs}"
+            f" (non-trivial {schedule.num_nontrivial}),"
+            f" levels={schedule.depth},"
+            f" inner iters={out.scc_inner_iterations},"
+            f" residual={out.residual:.2e}"
+        )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse parser for all subcommands."""
+    from .bench.runners import ALGORITHM_NAMES
+
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ECL-SCC reproduction toolkit (SC '23)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("scc", help="detect SCCs in a graph file")
+    p.add_argument("graph", help="input graph file (.mtx/.txt/.edges/.gr)")
+    p.add_argument("--algo", default="ecl-scc", choices=ALGORITHM_NAMES)
+    p.add_argument("--device", default="A100",
+                   help="Titan V | A100 | Ryzen 2950X | Xeon 6226R")
+    p.add_argument("--format", default="auto",
+                   choices=["auto", "mtx", "edges", "dimacs", "npz"])
+    p.add_argument("--verify", action="store_true",
+                   help="check labels against Tarjan (paper §4)")
+    p.add_argument("--time", action="store_true",
+                   help="also measure Python wall time (median protocol)")
+    p.add_argument("--repeats", type=int, default=9)
+    p.add_argument("--output", help="write per-vertex labels to this file")
+    p.add_argument("--randomize-ids", action="store_true",
+                   help="random internal relabelling (see docs/algorithm.md §6)")
+    p.set_defaults(func=_cmd_scc)
+
+    p = sub.add_parser("stats", help="print SCC statistics of a graph file")
+    p.add_argument("graph")
+    p.add_argument("--format", default="auto",
+                   choices=["auto", "mtx", "edges", "dimacs", "npz"])
+    p.add_argument("--no-depth", action="store_true",
+                   help="skip the (expensive) condensation DAG depth")
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("gen", help="generate a workload graph")
+    p.add_argument("kind", choices=["mesh", "powerlaw"])
+    p.add_argument("name", help="mesh group or Table-3 graph name")
+    p.add_argument("output", help="output file (.mtx/.txt/.edges/.gr)")
+    p.add_argument("--scale", type=float, default=None)
+    p.add_argument("--ordinate", type=int, default=0,
+                   help="which ordinate's sweep graph (meshes)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_gen)
+
+    p = sub.add_parser("bench", help="regenerate a paper table/figure")
+    p.add_argument(
+        "experiment",
+        choices=["table1", "table2", "table3", "table5", "table6", "table7",
+                 "fig14", "expanded"],
+    )
+    p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser("distributed", help="BSP cluster run: ECL vs FB-Trim")
+    p.add_argument("graph")
+    p.add_argument("--ranks", type=int, default=8)
+    p.add_argument("--random-partition", action="store_true")
+    p.add_argument("--format", default="auto",
+                   choices=["auto", "mtx", "edges", "dimacs", "npz"])
+    p.set_defaults(func=_cmd_distributed)
+
+    p = sub.add_parser("devices", help="list virtual device models")
+    p.set_defaults(func=_cmd_devices)
+
+    p = sub.add_parser("sweep", help="run the full RTE pipeline on a mesh")
+    p.add_argument("mesh", help="mesh group name (e.g. toroid-hex)")
+    p.add_argument("--ordinates", type=int, default=4)
+    p.add_argument("--scale", type=float, default=None)
+    p.set_defaults(func=_cmd_sweep)
+
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,85 @@
+"""The atomic-max formulation of Phase 2 (paper §3.4, first sentence).
+
+"Phase 2 can easily be implemented with two atomic max operations.
+However, as it represents the most performance critical section of our
+code, we opted for a faster atomic-free implementation."
+
+This module implements the variant the authors rejected so the trade-off
+can be measured (``benchmarks/test_ext_atomic.py``).  Semantically the
+fixed point is identical — the difference is purely in the device cost:
+every edge relaxation issues two atomic RMWs (``atomicMax`` on the
+source's out-signature and the destination's in-signature) instead of
+the monotonic race-and-retry writes of the shipped kernel, and those
+atomics serialize per cache line on real hardware.
+
+The simulation uses ``np.maximum.at`` (an exact scatter-max, which is
+what a pair of atomicMax loops guarantees) and reports two atomics per
+edge per round to the device model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..device.executor import VirtualDevice
+from ..errors import ConvergenceError
+from .options import EclOptions
+from .signatures import Signatures
+
+__all__ = ["propagate_atomic"]
+
+
+def propagate_atomic(
+    sigs: Signatures,
+    src: np.ndarray,
+    dst: np.ndarray,
+    dev: VirtualDevice,
+    opts: EclOptions,
+    num_vertices: int,
+) -> int:
+    """Phase 2 with two atomic max operations per edge.  Returns rounds.
+
+    Rounds iterate to the same fixed point as the reduceat engine; path
+    compression (when enabled in *opts*) applies the same pointer-jump
+    and feedback steps so results stay bit-identical across engines.
+    """
+    bound = opts.rounds_bound(num_vertices)
+    rounds = 0
+    m = src.size
+    while True:
+        rounds += 1
+        if rounds > bound:
+            raise ConvergenceError("propagate_atomic failed to converge")
+        sig_in, sig_out = sigs.sig_in, sigs.sig_out
+        changed = False
+        # u_out <- atomicMax(u_out, v_out)
+        cand = sig_out[dst]
+        if opts.path_compression:
+            cand = sig_out[cand]
+        before = sig_out[src]
+        np.maximum.at(sig_out, src, cand)
+        if np.any(sig_out[src] > before):
+            changed = True
+        # v_in <- atomicMax(v_in, u_in)
+        cand = sig_in[src]
+        if opts.path_compression:
+            cand = sig_in[cand]
+        before = sig_in[dst]
+        np.maximum.at(sig_in, dst, cand)
+        if np.any(sig_in[dst] > before):
+            changed = True
+        extra_vertex_work = 0
+        if opts.path_compression:
+            changed |= sigs.pointer_jump()
+            changed |= sigs.feedback()
+            extra_vertex_work = 2 * num_vertices
+        dev.launch(
+            edges=m,
+            vertices=extra_vertex_work,
+            bytes_per_edge=24,
+            streamed_bytes=16 * m,
+            atomics=2 * m,
+        )
+        dev.round()
+        if not changed:
+            return rounds

@@ -1,0 +1,217 @@
+"""The ECL-SCC driver: Algorithm 1 with the paper's optimizations.
+
+``ecl_scc(graph)`` returns an :class:`EclResult` whose ``labels`` array
+maps every vertex to the maximum vertex ID of its strongly connected
+component — the paper's output convention ("the final signature of each
+vertex will be the highest ID among all vertices in the same SCC").
+
+The run is instrumented: pass a :class:`~repro.device.VirtualDevice` (or
+a :class:`~repro.device.DeviceSpec`) to collect kernel-launch / traffic
+counts and an estimated device runtime; omit it to run bare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..device.costmodel import CostBreakdown
+from ..device.executor import VirtualDevice
+from ..device.spec import A100, DeviceSpec
+from ..errors import ConvergenceError
+from ..graph.csr import CSRGraph
+from ..types import NO_VERTEX, VERTEX_DTYPE
+from .options import ALL_ON, EclOptions
+from .propagation import BlockPartition, EdgeGrouping, propagate_async, propagate_sync
+from .signatures import Signatures
+from .worklist import DoubleBufferWorklist, phase3_filter
+
+__all__ = ["EclResult", "ecl_scc"]
+
+
+@dataclass
+class EclResult:
+    """Outcome of one ECL-SCC run.
+
+    Attributes
+    ----------
+    labels:
+        per-vertex SCC label = max vertex ID in the component.
+    num_sccs:
+        number of distinct components.
+    outer_iterations:
+        iterations of Algorithm 1's outer loop.
+    propagation_rounds:
+        total Phase-2 relaxation rounds across all outer iterations.
+    kernel_launches:
+        total kernels launched (the async optimization's target metric).
+    edges_final:
+        worklist size at termination (0 when SCC-edge removal is on and
+        the graph decomposed fully).
+    completed_per_iteration:
+        vertices finishing in each outer iteration (diagnostic; the paper
+        argues >= 1 SCC per cluster completes per iteration).
+    device:
+        the virtual device used, with its counters (None if not requested).
+    estimate:
+        cost-model runtime breakdown on that device (None without device).
+    """
+
+    labels: np.ndarray
+    num_sccs: int
+    outer_iterations: int
+    propagation_rounds: int
+    kernel_launches: int
+    edges_final: int
+    completed_per_iteration: "list[int]" = field(default_factory=list)
+    device: "VirtualDevice | None" = None
+    estimate: "CostBreakdown | None" = None
+
+    @property
+    def estimated_seconds(self) -> float:
+        return self.estimate.total if self.estimate else float("nan")
+
+
+def ecl_scc(
+    graph: CSRGraph,
+    *,
+    options: "EclOptions | None" = None,
+    device: "VirtualDevice | DeviceSpec | None" = None,
+    randomize_ids: bool = False,
+    seed: int = 0,
+) -> EclResult:
+    """Detect all SCCs of *graph* with the ECL-SCC algorithm.
+
+    Parameters
+    ----------
+    graph:
+        any directed graph (duplicate edges and self-loops tolerated).
+    options:
+        optimization toggles; defaults to all optimizations on.
+    device:
+        virtual device to instrument against; a bare
+        :class:`~repro.device.DeviceSpec` is wrapped automatically.
+        Defaults to an A100 model.
+    randomize_ids:
+        run the algorithm under a random internal vertex relabelling and
+        map the labels back.  ECL-SCC's expected O(log) round counts
+        assume randomly distributed IDs (§3); structured numberings (mesh
+        row-major order, sequential cycles) can otherwise degrade
+        propagation to one hop per round — see
+        ``benchmarks/test_ext_id_ordering.py``.  Costs one O(V+E)
+        shuffle; labels returned refer to the *original* IDs (still
+        max-member normalized).
+
+    Notes
+    -----
+    Algorithm 1's loop structure is preserved exactly: Phase 1
+    re-initializes *all* signatures each iteration; Phase 2 propagates
+    maxima to a fixed point; Phase 3 filters the edge worklist; the loop
+    exits once every vertex satisfies ``v_in == v_out``.  Labels are
+    frozen the first time a vertex completes — later iterations
+    re-derive the same value for still-listed vertices but never touch
+    recorded labels.
+    """
+    opts = options or ALL_ON
+    if device is None:
+        device = VirtualDevice(A100)
+    elif isinstance(device, DeviceSpec):
+        device = VirtualDevice(device)
+
+    if randomize_ids and graph.num_vertices > 1:
+        from ..graph.ops import permute_random
+
+        permuted, mapping = permute_random(graph, seed)
+        inner = ecl_scc(permuted, options=opts, device=device)
+        # map back: original vertex v ran as mapping[v]; its component
+        # label is a permuted ID, so normalize over original IDs
+        from ..baselines.tarjan import normalize_labels_to_max
+
+        labels = normalize_labels_to_max(inner.labels[mapping])
+        inner.labels = labels
+        return inner
+
+    n = graph.num_vertices
+    labels = np.full(n, NO_VERTEX, dtype=VERTEX_DTYPE)
+    completed_per_iteration: "list[int]" = []
+    if n == 0:
+        return EclResult(
+            labels=labels,
+            num_sccs=0,
+            outer_iterations=0,
+            propagation_rounds=0,
+            kernel_launches=0,
+            edges_final=0,
+            device=device,
+            estimate=device.estimate(0, 0),
+        )
+
+    src, dst = graph.edges()
+    wl = DoubleBufferWorklist(src.copy(), dst.copy())
+    sigs = Signatures.identity(n)
+    active = np.ones(n, dtype=bool)
+    outer = 0
+    total_rounds = 0
+    outer_bound = opts.outer_bound(n)
+
+    while active.any():
+        outer += 1
+        if outer > outer_bound:
+            raise ConvergenceError(
+                f"ECL-SCC exceeded {outer_bound} outer iterations; each"
+                " iteration must complete at least one SCC per cluster"
+            )
+        # ---- Phase 1: (re)initialize signatures --------------------------
+        sigs.reinit()
+        device.launch(vertices=n, bytes_per_vertex=16)
+
+        # ---- Phase 2: propagate maxima to a fixed point -------------------
+        if wl.num_edges:
+            if opts.atomic_phase2:
+                from .atomic import propagate_atomic
+
+                rounds = propagate_atomic(sigs, wl.src, wl.dst, device, opts, n)
+            elif opts.async_phase2:
+                bounds = device.partition_edges(
+                    wl.num_edges, persistent=opts.persistent_threads
+                )
+                if not opts.persistent_threads:
+                    # one edge per thread: fixed 512-edge blocks
+                    blocks = -(-wl.num_edges // opts.block_edges)
+                    bounds = np.linspace(0, wl.num_edges, blocks + 1).astype(np.int64)
+                partition = BlockPartition.build(wl.src, wl.dst, bounds)
+                _, rounds = propagate_async(sigs, partition, device, opts, n)
+            else:
+                grouping = EdgeGrouping.build(wl.src, wl.dst)
+                rounds = propagate_sync(sigs, grouping, device, opts, n)
+            total_rounds += rounds
+
+        # ---- completion detection -----------------------------------------
+        done = sigs.completed()
+        newly = done & active
+        labels[newly] = sigs.sig_in[newly]
+        completed_per_iteration.append(int(np.count_nonzero(newly)))
+        active &= ~done
+        device.launch(vertices=n, bytes_per_vertex=16)
+
+        # ---- Phase 3: remove edges that span SCCs -------------------------
+        if wl.num_edges:
+            phase3_filter(wl, sigs, device, opts)
+        if not opts.remove_scc_edges and not active.any():
+            # baseline termination: all signatures matched (Alg. 1 line 20)
+            break
+
+    assert not np.any(labels == NO_VERTEX), "every vertex must be labelled"
+    num_sccs = int(np.unique(labels).size)
+    return EclResult(
+        labels=labels,
+        num_sccs=num_sccs,
+        outer_iterations=outer,
+        propagation_rounds=total_rounds,
+        kernel_launches=device.counters.kernel_launches,
+        edges_final=wl.num_edges,
+        completed_per_iteration=completed_per_iteration,
+        device=device,
+        estimate=device.estimate(n, graph.num_edges),
+    )

@@ -1,0 +1,166 @@
+"""The 4-signature (min+max) ECL-SCC variant (paper §3.3, last paragraph).
+
+The paper sketches an alternative that tracks two *minimum* signatures in
+addition to the two maximums; each outer iteration then separates at
+least two SCCs per cluster (the max-SCC and the min-SCC), halving the
+expected iteration count at the price of doubling signature memory.  The
+authors measured but did not ship it; we implement it as an extension and
+benchmark the trade-off (``benchmarks/test_ext_minmax.py``).
+
+Correctness mirrors the max-only argument symmetrically: at a Phase-2
+fixed point ``min_in[v]`` is the smallest ID among ancestors-or-self and
+``min_out[v]`` the smallest among descendants-or-self; their equality
+forces the common value to lie in v's SCC and equal the SCC minimum, so
+completion-by-min identifies components exactly like completion-by-max.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..device.executor import VirtualDevice
+from ..device.spec import A100, DeviceSpec
+from ..errors import ConvergenceError
+from ..graph.csr import CSRGraph
+from ..types import NO_VERTEX, VERTEX_DTYPE
+from .eclscc import EclResult
+
+__all__ = ["minmax_scc"]
+
+
+@dataclass
+class _Quad:
+    max_in: np.ndarray
+    max_out: np.ndarray
+    min_in: np.ndarray
+    min_out: np.ndarray
+
+    @classmethod
+    def identity(cls, n: int) -> "_Quad":
+        ident = np.arange(n, dtype=VERTEX_DTYPE)
+        return cls(ident.copy(), ident.copy(), ident.copy(), ident.copy())
+
+    def reinit(self) -> None:
+        n = self.max_in.size
+        ident = np.arange(n, dtype=VERTEX_DTYPE)
+        for a in (self.max_in, self.max_out, self.min_in, self.min_out):
+            a[:] = ident
+
+
+def _relax(quad: _Quad, src, dst, order_s, starts_s, grp_s, order_d, starts_d, grp_d) -> bool:
+    """One Jacobi round over all four signature arrays."""
+    changed = False
+    # out-signatures: per-source extrema of destination values
+    for sig, ufunc, cmp in (
+        (quad.max_out, np.maximum, np.greater),
+        (quad.min_out, np.minimum, np.less),
+    ):
+        best = ufunc.reduceat(sig[dst][order_s], starts_s)
+        cur = sig[grp_s]
+        upd = cmp(best, cur)
+        if upd.any():
+            sig[grp_s[upd]] = best[upd]
+            changed = True
+    # in-signatures: per-destination extrema of source values
+    for sig, ufunc, cmp in (
+        (quad.max_in, np.maximum, np.greater),
+        (quad.min_in, np.minimum, np.less),
+    ):
+        best = ufunc.reduceat(sig[src][order_d], starts_d)
+        cur = sig[grp_d]
+        upd = cmp(best, cur)
+        if upd.any():
+            sig[grp_d[upd]] = best[upd]
+            changed = True
+    return changed
+
+
+def minmax_scc(
+    graph: CSRGraph,
+    *,
+    device: "VirtualDevice | DeviceSpec | None" = None,
+) -> EclResult:
+    """ECL-SCC with 2 max + 2 min signatures.  Same result contract as
+    :func:`repro.core.eclscc.ecl_scc` (labels = max ID per component)."""
+    if device is None:
+        device = VirtualDevice(A100)
+    elif isinstance(device, DeviceSpec):
+        device = VirtualDevice(device)
+    n = graph.num_vertices
+    labels = np.full(n, NO_VERTEX, dtype=VERTEX_DTYPE)
+    if n == 0:
+        return EclResult(
+            labels=labels, num_sccs=0, outer_iterations=0, propagation_rounds=0,
+            kernel_launches=0, edges_final=0, device=device,
+            estimate=device.estimate(0, 0, signatures=4),
+        )
+    src, dst = (a.copy() for a in graph.edges())
+    quad = _Quad.identity(n)
+    active = np.ones(n, dtype=bool)
+    outer = 0
+    total_rounds = 0
+    completed_per_iteration: "list[int]" = []
+    # interim labels carry completed-by-min components as negative codes so
+    # they cannot collide with completed-by-max labels (vertex IDs >= 0)
+    while active.any():
+        outer += 1
+        if outer > n + 2:
+            raise ConvergenceError("minmax ECL-SCC failed to converge")
+        quad.reinit()
+        device.launch(vertices=n, bytes_per_vertex=32)
+        if src.size:
+            order_s = np.argsort(src, kind="stable")
+            grp_s, starts_s = np.unique(src[order_s], return_index=True)
+            order_d = np.argsort(dst, kind="stable")
+            grp_d, starts_d = np.unique(dst[order_d], return_index=True)
+            rounds = 0
+            while True:
+                rounds += 1
+                if rounds > n + 2:
+                    raise ConvergenceError("minmax Phase 2 failed to converge")
+                changed = _relax(
+                    quad, src, dst, order_s, starts_s, grp_s, order_d, starts_d, grp_d
+                )
+                device.launch(edges=src.size, bytes_per_edge=80)
+                device.round()
+                if not changed:
+                    break
+            total_rounds += rounds
+        done_max = quad.max_in == quad.max_out
+        done_min = quad.min_in == quad.min_out
+        done = done_max | done_min
+        newly = done & active
+        # prefer the max label; fall back to the (negated) min label
+        lab = np.where(done_max, quad.max_in, -quad.min_in - 1)
+        labels[newly] = lab[newly]
+        completed_per_iteration.append(int(np.count_nonzero(newly)))
+        active &= ~done
+        device.launch(vertices=n, bytes_per_vertex=32)
+        if src.size:
+            keep = (
+                (quad.max_in[src] == quad.max_in[dst])
+                & (quad.max_out[src] == quad.max_out[dst])
+                & (quad.min_in[src] == quad.min_in[dst])
+                & (quad.min_out[src] == quad.min_out[dst])
+            )
+            keep &= ~done[src]
+            device.launch(edges=src.size, bytes_per_edge=80, atomics=int(keep.sum()))
+            src, dst = src[keep], dst[keep]
+
+    # normalize: negative (min-identified) codes -> max member ID
+    from ..baselines.tarjan import normalize_labels_to_max
+
+    labels = normalize_labels_to_max(labels)
+    return EclResult(
+        labels=labels,
+        num_sccs=int(np.unique(labels).size),
+        outer_iterations=outer,
+        propagation_rounds=total_rounds,
+        kernel_launches=device.counters.kernel_launches,
+        edges_final=int(src.size),
+        completed_per_iteration=completed_per_iteration,
+        device=device,
+        estimate=device.estimate(n, graph.num_edges, signatures=4),
+    )

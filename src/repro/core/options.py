@@ -1,0 +1,109 @@
+"""Configuration of the ECL-SCC implementation.
+
+:class:`EclOptions` exposes exactly the four code optimizations the paper
+evaluates in Figure 14, plus the simulation knobs and safety bounds.  The
+ablation benchmark flips these flags one at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import AlgorithmError
+
+__all__ = ["EclOptions", "ALL_ON", "ALL_OFF", "ablation_variants"]
+
+
+@dataclass(frozen=True)
+class EclOptions:
+    """Toggles for ECL-SCC's optimizations (paper §3.3-3.4, Fig. 14).
+
+    Attributes
+    ----------
+    async_phase2:
+        thread blocks iterate their edge chunk to a *local* fixed point
+        inside a single kernel launch, instead of one launch per global
+        relaxation round.  Cuts kernel launches by ~an order of magnitude.
+    remove_scc_edges:
+        Phase 3 also drops edges inside already-detected SCCs (not only
+        edges spanning different SCCs), shrinking later worklists.
+    path_compression:
+        propagate ``sig[sig[v]]`` instead of ``sig[v]`` (pointer jumping)
+        and apply the paper's signature-feedback rule, so values traverse
+        a c-cycle in O(log c) rounds instead of O(c).
+    persistent_threads:
+        launch only as many thread blocks as the device keeps resident;
+        each block owns a large contiguous edge chunk (multiple edges per
+        thread).  Interacts with ``async_phase2``: larger chunks converge
+        further per launch but keep processing already-converged edges.
+    block_edges:
+        edge-chunk size per block when ``persistent_threads`` is False
+        (one edge per thread x 512 threads).  Exposed for tests.
+    max_outer_iterations:
+        safety bound on Algorithm 1's outer loop; the theoretical maximum
+        is |V| (each iteration finishes >= 1 SCC).  Exceeding it raises
+        :class:`~repro.errors.ConvergenceError`.
+    max_rounds:
+        safety bound on Phase-2 relaxation rounds per outer iteration;
+        the theoretical maximum is O(longest path) <= |V| rounds.
+    """
+
+    async_phase2: bool = True
+    remove_scc_edges: bool = True
+    path_compression: bool = True
+    persistent_threads: bool = True
+    #: use the two-atomic-max Phase 2 the paper rejected (§3.4) instead of
+    #: the atomic-free engine; overrides ``async_phase2``.  For the
+    #: atomic-vs-atomic-free ablation (benchmarks/test_ext_atomic.py).
+    atomic_phase2: bool = False
+    block_edges: int = 512
+    max_outer_iterations: int = 0  # 0 = auto (|V| + 2)
+    max_rounds: int = 0  # 0 = auto (|V| + 2)
+
+    def __post_init__(self) -> None:
+        if self.block_edges < 1:
+            raise AlgorithmError(f"block_edges must be >= 1, got {self.block_edges}")
+        if self.max_outer_iterations < 0 or self.max_rounds < 0:
+            raise AlgorithmError("iteration bounds must be >= 0 (0 = auto)")
+
+    # ------------------------------------------------------------------
+    def outer_bound(self, num_vertices: int) -> int:
+        return self.max_outer_iterations or (num_vertices + 2)
+
+    def rounds_bound(self, num_vertices: int) -> int:
+        return self.max_rounds or (num_vertices + 2)
+
+    def disabling(self, flag: str) -> "EclOptions":
+        """Copy with one optimization turned off (ablation helper)."""
+        if flag not in (
+            "async_phase2",
+            "remove_scc_edges",
+            "path_compression",
+            "persistent_threads",
+        ):
+            raise AlgorithmError(f"unknown optimization flag {flag!r}")
+        return replace(self, **{flag: False})
+
+
+#: all optimizations enabled — the configuration the paper ships.
+ALL_ON = EclOptions()
+
+#: all four optimizations disabled — Fig. 14's "all off" bar.
+ALL_OFF = EclOptions(
+    async_phase2=False,
+    remove_scc_edges=False,
+    path_compression=False,
+    persistent_threads=False,
+)
+
+
+def ablation_variants() -> "dict[str, EclOptions]":
+    """The six configurations of Figure 14."""
+    return {
+        "all on": ALL_ON,
+        "no async": ALL_ON.disabling("async_phase2"),
+        "no SCC-edge removal": ALL_ON.disabling("remove_scc_edges"),
+        "no path compression": ALL_ON.disabling("path_compression"),
+        "no persistent threads": ALL_ON.disabling("persistent_threads"),
+        "all off": ALL_OFF,
+    }

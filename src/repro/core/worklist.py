@@ -1,0 +1,79 @@
+"""Phase 3 of ECL-SCC: edge removal via double-buffered worklists.
+
+The implementation never rebuilds a CSR graph (paper §3.3): the graph
+lives as an edge worklist, and Phase 3 compacts the surviving edges into
+the *other* buffer, after which the buffers swap roles.  In CUDA the
+compaction slot is claimed with one atomic add per surviving edge; the
+device accounting below records exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..device.executor import VirtualDevice
+from .options import EclOptions
+from .signatures import Signatures
+
+__all__ = ["DoubleBufferWorklist", "phase3_filter"]
+
+
+@dataclass
+class DoubleBufferWorklist:
+    """Front/back edge-buffer pair; ``swap`` exchanges them in O(1)."""
+
+    src: np.ndarray
+    dst: np.ndarray
+    generation: int = 0
+
+    @property
+    def num_edges(self) -> int:
+        return self.src.size
+
+    def replace(self, src: np.ndarray, dst: np.ndarray) -> None:
+        """Install the freshly-compacted back buffer (the pointer swap)."""
+        self.src = src
+        self.dst = dst
+        self.generation += 1
+
+
+def phase3_filter(
+    wl: DoubleBufferWorklist,
+    sigs: Signatures,
+    dev: VirtualDevice,
+    opts: EclOptions,
+) -> "tuple[int, int]":
+    """Remove edges that cannot be intra-SCC (Algorithm 1 lines 15-19).
+
+    An edge (u -> v) survives iff both signature pairs match:
+    ``u_in == v_in and u_out == v_out``.  Mismatched signatures prove the
+    endpoints are in different SCCs (paper §3.2.1), so dropping the edge
+    is always safe; matched signatures may still be a cluster remnant, so
+    the edge is kept for the next iteration.
+
+    With ``opts.remove_scc_edges`` the filter additionally drops edges
+    whose endpoints are already *completed* (``in == out``): a kept edge
+    between completed vertices lies inside a detected SCC and is dead
+    weight (the paper's second optimization).
+
+    Returns ``(kept, removed)``.
+    """
+    src, dst = wl.src, wl.dst
+    sig_in, sig_out = sigs.sig_in, sigs.sig_out
+    keep = (sig_in[src] == sig_in[dst]) & (sig_out[src] == sig_out[dst])
+    if opts.remove_scc_edges:
+        # u finished + signatures equal implies v finished in the same SCC
+        keep &= sig_in[src] != sig_out[src]
+    kept = int(np.count_nonzero(keep))
+    removed = src.size - kept
+    # one pass over the worklist; an atomic slot request per kept edge
+    dev.launch(
+        edges=src.size,
+        bytes_per_edge=24,
+        streamed_bytes=16 * src.size,
+        atomics=kept,
+    )
+    wl.replace(src[keep], dst[keep])
+    return kept, removed

@@ -1,0 +1,40 @@
+"""Virtual hardware: device specs, operation counters, cost model.
+
+See DESIGN.md §"Substitutions" — this package stands in for the CUDA /
+OpenMP hardware of the original evaluation.
+"""
+
+from .spec import (
+    A100,
+    ALL_DEVICES,
+    RYZEN_2950X,
+    TITAN_V,
+    XEON_6226R,
+    DeviceSpec,
+    device_by_name,
+)
+from .counters import KernelCounters
+from .costmodel import (
+    CostBreakdown,
+    CostModel,
+    estimate_runtime,
+    working_set_of_graph,
+)
+from .executor import THREADS_PER_BLOCK, VirtualDevice
+
+__all__ = [
+    "A100",
+    "ALL_DEVICES",
+    "RYZEN_2950X",
+    "TITAN_V",
+    "XEON_6226R",
+    "DeviceSpec",
+    "device_by_name",
+    "KernelCounters",
+    "CostBreakdown",
+    "CostModel",
+    "estimate_runtime",
+    "working_set_of_graph",
+    "THREADS_PER_BLOCK",
+    "VirtualDevice",
+]

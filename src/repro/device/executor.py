@@ -1,0 +1,107 @@
+"""Virtual device executor.
+
+:class:`VirtualDevice` bundles a :class:`~repro.device.spec.DeviceSpec`
+with a fresh :class:`~repro.device.counters.KernelCounters` and exposes
+the launch-accounting helpers the instrumented algorithms call.  It also
+implements the *launch-configuration* arithmetic from the paper (§3.4):
+512 threads per block, persistent-thread grids sized to the device's
+resident-thread capacity, and edge-to-block partitioning for the
+asynchronous Phase-2 kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DeviceError
+from .counters import KernelCounters
+from .costmodel import CostBreakdown, CostModel, working_set_of_graph
+from .spec import DeviceSpec
+
+__all__ = ["VirtualDevice", "THREADS_PER_BLOCK"]
+
+#: ECL-SCC launches all kernels with 512 threads per block (paper §3.4).
+THREADS_PER_BLOCK = 512
+
+
+class VirtualDevice:
+    """A device spec plus run counters; one instance per algorithm run.
+
+    With ``profile=True`` every launch's work size is also appended to
+    ``launch_history`` — the measured per-step parallelism profile used
+    by ``benchmarks/test_ext_parallelism.py``.
+    """
+
+    def __init__(self, spec: DeviceSpec, *, profile: bool = False) -> None:
+        self.spec = spec
+        self.counters = KernelCounters()
+        self.profile = profile
+        self.launch_history: "list[tuple[int, int]]" = []
+
+    # ------------------------------------------------------------------
+    # launch configuration
+    # ------------------------------------------------------------------
+    def grid_blocks(self, *, persistent: bool) -> int:
+        """Number of thread blocks launched.
+
+        Persistent-thread mode launches only as many blocks as the device
+        can keep resident (threads_resident / 512); otherwise one thread
+        per work item would be launched (callers then compute blocks from
+        work size themselves).
+        """
+        if not persistent:
+            raise DeviceError(
+                "grid_blocks(persistent=False) is work-size dependent;"
+                " use blocks_for(work_items)"
+            )
+        return max(1, self.spec.threads_resident // THREADS_PER_BLOCK)
+
+    def blocks_for(self, work_items: int) -> int:
+        """Blocks needed at one thread per work item."""
+        return max(1, -(-int(work_items) // THREADS_PER_BLOCK))
+
+    def partition_edges(self, num_edges: int, *, persistent: bool) -> np.ndarray:
+        """Block boundaries for distributing ``num_edges`` across blocks.
+
+        Returns an ``indptr``-style array of length ``blocks+1``.  In
+        persistent mode each resident block receives a contiguous chunk
+        (multiple edges per thread); otherwise each block gets exactly
+        512 edges.  Used by the asynchronous Phase-2 simulation, where a
+        block iterates its own chunk to a local fixed point.
+        """
+        if num_edges <= 0:
+            return np.zeros(1, dtype=np.int64)
+        if persistent:
+            blocks = min(self.grid_blocks(persistent=True), self.blocks_for(num_edges))
+        else:
+            blocks = self.blocks_for(num_edges)
+        bounds = np.linspace(0, num_edges, blocks + 1).astype(np.int64)
+        return bounds
+
+    # ------------------------------------------------------------------
+    # accounting passthroughs
+    # ------------------------------------------------------------------
+    def launch(self, **kwargs) -> None:
+        self.counters.launch(**kwargs)
+        if self.profile:
+            self.launch_history.append(
+                (int(kwargs.get("edges", 0)), int(kwargs.get("vertices", 0)))
+            )
+
+    def serial(self, ops: int) -> None:
+        self.counters.serial(ops)
+
+    def round(self, count: int = 1) -> None:
+        self.counters.round(count)
+
+    def note(self, key: str, value: float) -> None:
+        self.counters.note(key, value)
+
+    # ------------------------------------------------------------------
+    def estimate(self, num_vertices: int, num_edges: int, signatures: int = 2) -> CostBreakdown:
+        """Cost estimate for the accumulated counters on this run's graph."""
+        ws = working_set_of_graph(num_vertices, num_edges, signatures)
+        return CostModel(self.spec).estimate(self.counters, working_set_bytes=ws)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<VirtualDevice {self.spec.name} {self.counters!r}>"

@@ -1,0 +1,159 @@
+"""Virtual hardware specifications.
+
+The paper evaluates on two NVIDIA GPUs (Volta Titan V, Ampere A100) and
+two CPU hosts (AMD Ryzen Threadripper 2950X, dual Intel Xeon Gold 6226R).
+We have none of that hardware; instead every algorithm in this library is
+written as a sequence of data-parallel *kernels* whose work it reports to
+a :class:`~repro.device.counters.KernelCounters`, and the analytic cost
+model (:mod:`repro.device.costmodel`) converts those counts to estimated
+runtimes using the published parameters below.
+
+Parameter sources: the paper's §4 hardware description (processing
+elements, SM counts, cache sizes, peak bandwidths) plus vendor datasheets
+for clocks.  Two calibration constants (memory efficiency for irregular
+gathers, kernel-launch latency) are fixed once, globally — never tuned
+per input — so relative results remain honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DeviceError
+
+__all__ = [
+    "DeviceSpec",
+    "TITAN_V",
+    "A100",
+    "RYZEN_2950X",
+    "XEON_6226R",
+    "ALL_DEVICES",
+    "device_by_name",
+]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Parameters of one execution platform.
+
+    Attributes
+    ----------
+    name:
+        human-readable label used in benchmark tables.
+    kind:
+        ``"gpu"`` or ``"cpu"`` — selects which cost terms dominate
+        (GPUs pay per-launch latency; CPUs pay per-barrier sync and have
+        far fewer lanes).
+    lanes:
+        hardware parallelism: CUDA cores for GPUs, hardware threads for
+        CPUs.
+    sms:
+        streaming multiprocessors (GPU) or cores (CPU); bounds the number
+        of concurrently resident thread blocks.
+    clock_ghz:
+        sustained clock.
+    mem_bw_gbs:
+        peak global-memory bandwidth (GB/s).
+    launch_us:
+        latency of one kernel launch (GPU) or one parallel-region
+        fork/join barrier (CPU), microseconds.
+    l2_mb:
+        last-level cache size in MB (reported for context; the cost model
+        uses it to pick a cached-bandwidth multiplier for small inputs).
+    ipc:
+        sustained scalar instructions/cycle per lane for compute-bound
+        phases.
+    """
+
+    name: str
+    kind: str
+    lanes: int
+    sms: int
+    clock_ghz: float
+    mem_bw_gbs: float
+    launch_us: float
+    l2_mb: float
+    ipc: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("gpu", "cpu"):
+            raise DeviceError(f"kind must be 'gpu' or 'cpu', got {self.kind!r}")
+        if self.lanes <= 0 or self.sms <= 0:
+            raise DeviceError("lanes and sms must be positive")
+        if min(self.clock_ghz, self.mem_bw_gbs, self.launch_us) <= 0:
+            raise DeviceError("clock, bandwidth and launch latency must be positive")
+
+    @property
+    def threads_resident(self) -> int:
+        """Threads the device can schedule concurrently.
+
+        GPUs: 2048 threads per SM (Volta/Ampere max residency).  CPUs: one
+        per hardware thread.  This is what the persistent-thread launch
+        configuration targets (paper §3.4).
+        """
+        if self.kind == "gpu":
+            return self.sms * 2048
+        return self.lanes
+
+
+#: NVIDIA Titan V (Volta): 5120 cores / 80 SMs, 4.5 MB L2, 652 GB/s (§4).
+TITAN_V = DeviceSpec(
+    name="Titan V",
+    kind="gpu",
+    lanes=5120,
+    sms=80,
+    clock_ghz=1.455,
+    mem_bw_gbs=652.0,
+    launch_us=5.0,
+    l2_mb=4.5,
+)
+
+#: NVIDIA A100 (Ampere): 6912 cores / 108 SMs, 40 MB L2, 1555 GB/s (§4).
+A100 = DeviceSpec(
+    name="A100",
+    kind="gpu",
+    lanes=6912,
+    sms=108,
+    clock_ghz=1.41,
+    mem_bw_gbs=1555.0,
+    launch_us=5.0,
+    l2_mb=40.0,
+)
+
+#: AMD Ryzen Threadripper 2950X: 16C/32T @ 3.5 GHz, 32 MB L3 (§4).
+RYZEN_2950X = DeviceSpec(
+    name="Ryzen 2950X",
+    kind="cpu",
+    lanes=32,
+    sms=16,
+    clock_ghz=3.5,
+    mem_bw_gbs=50.0,
+    launch_us=15.0,
+    l2_mb=32.0,
+    ipc=2.0,
+)
+
+#: Dual Intel Xeon Gold 6226R: 32C/64T @ 2.9 GHz, 2 x 44 MB L3 (§4).
+XEON_6226R = DeviceSpec(
+    name="Xeon 6226R",
+    kind="cpu",
+    lanes=64,
+    sms=32,
+    clock_ghz=2.9,
+    mem_bw_gbs=120.0,
+    launch_us=20.0,
+    l2_mb=88.0,
+    ipc=2.0,
+)
+
+ALL_DEVICES = (TITAN_V, A100, RYZEN_2950X, XEON_6226R)
+
+
+def device_by_name(name: str) -> DeviceSpec:
+    """Look up a built-in device by (case-insensitive) name."""
+    for d in ALL_DEVICES:
+        if d.name.lower() == name.lower():
+            return d
+    raise DeviceError(
+        f"unknown device {name!r}; known: {[d.name for d in ALL_DEVICES]}"
+    )

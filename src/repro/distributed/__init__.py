@@ -1,0 +1,22 @@
+"""Virtual distributed-memory substrate (McLendon lineage, paper ref [15]).
+
+Bulk-synchronous implementations of ECL-SCC and FB-Trim over a vertex
+partition, with an alpha-beta communication cost model — the setting the
+radiative-transfer community used before GPU SCC detection.
+"""
+
+from .partition import Partition, block_partition, random_partition
+from .cluster import ClusterSpec, VirtualCluster
+from .eclscc import DistributedResult, distributed_ecl_scc
+from .fb import distributed_fbtrim
+
+__all__ = [
+    "Partition",
+    "block_partition",
+    "random_partition",
+    "ClusterSpec",
+    "VirtualCluster",
+    "DistributedResult",
+    "distributed_ecl_scc",
+    "distributed_fbtrim",
+]

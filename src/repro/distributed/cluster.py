@@ -1,0 +1,101 @@
+"""Virtual distributed-memory cluster: BSP supersteps with an alpha-beta
+communication model.
+
+The distributed algorithms in this package are bulk-synchronous: each
+superstep does local work on every rank, then exchanges boundary data.
+:class:`VirtualCluster` accumulates, per superstep, the *maximum* local
+work over ranks (the BSP critical path) and the messages/bytes exchanged,
+and converts them to estimated seconds with the classic alpha-beta model::
+
+    t = sum over supersteps of [ max_rank(local_ops) / rank_speed
+                                 + alpha * max_rank(messages)
+                                 + max_rank(bytes) / beta ]
+
+Defaults model a commodity MPI cluster (alpha = 2 us latency,
+beta = 10 GB/s effective per-rank bandwidth); the per-rank compute speed
+comes from a :class:`~repro.device.spec.DeviceSpec` (one CPU socket per
+rank by default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..device.spec import XEON_6226R, DeviceSpec
+from ..errors import DeviceError
+
+__all__ = ["ClusterSpec", "VirtualCluster"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Parameters of the virtual cluster."""
+
+    num_ranks: int
+    rank_device: DeviceSpec = XEON_6226R
+    alpha_us: float = 2.0          # per-message latency
+    beta_gbs: float = 10.0         # per-rank network bandwidth
+    ops_per_edge: float = 10.0     # matches the CPU cost model convention
+
+    def __post_init__(self) -> None:
+        if self.num_ranks < 1:
+            raise DeviceError(f"num_ranks must be >= 1, got {self.num_ranks}")
+        if self.alpha_us <= 0 or self.beta_gbs <= 0:
+            raise DeviceError("alpha and beta must be positive")
+
+
+@dataclass
+class VirtualCluster:
+    """Accumulates BSP superstep costs for one distributed run."""
+
+    spec: ClusterSpec
+    supersteps: int = 0
+    compute_seconds: float = 0.0
+    latency_seconds: float = 0.0
+    bandwidth_seconds: float = 0.0
+    total_messages: int = 0
+    total_bytes: int = 0
+    _rank_ops: "np.ndarray | None" = field(default=None, repr=False)
+
+    def superstep(
+        self,
+        local_ops: np.ndarray,
+        *,
+        messages: "np.ndarray | int" = 0,
+        bytes_out: "np.ndarray | int" = 0,
+    ) -> None:
+        """Record one superstep.
+
+        ``local_ops`` is per-rank operation counts (length ``num_ranks``
+        or a scalar applied to all); ``messages``/``bytes_out`` likewise.
+        """
+        r = self.spec.num_ranks
+        ops = np.broadcast_to(np.asarray(local_ops, dtype=np.float64), (r,))
+        msg = np.broadcast_to(np.asarray(messages, dtype=np.float64), (r,))
+        byt = np.broadcast_to(np.asarray(bytes_out, dtype=np.float64), (r,))
+        dev = self.spec.rank_device
+        rank_speed = dev.lanes * dev.clock_ghz * 1e9 * dev.ipc
+        self.supersteps += 1
+        self.compute_seconds += float(ops.max()) / rank_speed
+        self.latency_seconds += float(msg.max()) * self.spec.alpha_us * 1e-6
+        self.bandwidth_seconds += float(byt.max()) / (self.spec.beta_gbs * 1e9)
+        self.total_messages += int(msg.sum())
+        self.total_bytes += int(byt.sum())
+
+    @property
+    def estimated_seconds(self) -> float:
+        return self.compute_seconds + self.latency_seconds + self.bandwidth_seconds
+
+    def summary(self) -> "dict[str, float | int]":
+        return {
+            "ranks": self.spec.num_ranks,
+            "supersteps": self.supersteps,
+            "compute_s": self.compute_seconds,
+            "latency_s": self.latency_seconds,
+            "bandwidth_s": self.bandwidth_seconds,
+            "total_messages": self.total_messages,
+            "total_bytes": self.total_bytes,
+            "estimated_s": self.estimated_seconds,
+        }

@@ -1,0 +1,78 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while letting
+programming errors (``TypeError`` on wrong argument types, etc.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphFormatError",
+    "GraphValidationError",
+    "MeshError",
+    "MeshTopologyError",
+    "DeviceError",
+    "AlgorithmError",
+    "ConvergenceError",
+    "VerificationError",
+    "IOFormatError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphFormatError(ReproError, ValueError):
+    """An array bundle does not describe a structurally valid graph.
+
+    Raised when constructing a :class:`repro.graph.CSRGraph` or
+    :class:`repro.graph.EdgeList` from arrays whose shapes, dtypes, or value
+    ranges are inconsistent (e.g. ``indptr`` not monotone, vertex IDs out of
+    range, mismatched ``src``/``dst`` lengths).
+    """
+
+
+class GraphValidationError(ReproError, ValueError):
+    """A graph violates a semantic precondition of an operation.
+
+    Distinct from :class:`GraphFormatError`: the arrays are well formed but
+    the graph cannot be used for the requested purpose (e.g. requesting a
+    sweep schedule on a graph whose condensation was not computed).
+    """
+
+
+class MeshError(ReproError, ValueError):
+    """Base class for mesh-construction failures."""
+
+
+class MeshTopologyError(MeshError):
+    """A mesh has inconsistent connectivity (bad face sharing, orphan nodes)."""
+
+
+class DeviceError(ReproError, ValueError):
+    """A virtual-device configuration is invalid (e.g. zero SMs)."""
+
+
+class AlgorithmError(ReproError, RuntimeError):
+    """An SCC algorithm reached an internal inconsistency."""
+
+
+class ConvergenceError(AlgorithmError):
+    """An iterative phase exceeded its iteration safety bound.
+
+    All fixed-point loops in the library carry a generous iteration cap
+    (a small multiple of the theoretical worst case).  Hitting the cap
+    indicates a bug rather than a slow input, so it raises instead of
+    silently returning partial results.
+    """
+
+
+class VerificationError(ReproError, AssertionError):
+    """An SCC labelling failed verification against a reference oracle."""
+
+
+class IOFormatError(ReproError, ValueError):
+    """A graph file could not be parsed in the declared format."""

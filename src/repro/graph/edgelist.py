@@ -1,0 +1,155 @@
+"""COO edge-list container used as the SCC worklist representation.
+
+The ECL-SCC implementation is *edge-based* (paper §3.3): each outer
+iteration consumes a worklist of edges and Phase 3 emits a (usually
+smaller) worklist instead of rebuilding a CSR graph.  :class:`EdgeList`
+is that worklist: two parallel arrays plus the vertex-count context.
+
+It intentionally stays mutable-by-replacement: all operations return new
+instances; the arrays themselves are never written in place by library
+code once wrapped.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from ..errors import GraphFormatError
+from ..types import VERTEX_DTYPE, as_vertex_array
+from .csr import CSRGraph
+
+__all__ = ["EdgeList"]
+
+
+class EdgeList:
+    """Parallel ``src``/``dst`` arrays describing directed edges.
+
+    Parameters
+    ----------
+    src, dst:
+        equal-length integer arrays with entries in ``[0, num_vertices)``.
+    num_vertices:
+        the vertex-space size; defaults to ``max(src, dst) + 1``.
+    """
+
+    __slots__ = ("src", "dst", "num_vertices")
+
+    def __init__(
+        self,
+        src: "np.ndarray | Iterable[int]",
+        dst: "np.ndarray | Iterable[int]",
+        num_vertices: "int | None" = None,
+        *,
+        validate: bool = True,
+    ) -> None:
+        self.src = as_vertex_array(src, "src")
+        self.dst = as_vertex_array(dst, "dst")
+        if self.src.shape != self.dst.shape:
+            raise GraphFormatError(
+                f"src and dst must have equal length, got {self.src.size} and {self.dst.size}"
+            )
+        if num_vertices is None:
+            num_vertices = int(
+                max(self.src.max(initial=-1), self.dst.max(initial=-1)) + 1
+            )
+        self.num_vertices = int(num_vertices)
+        if validate:
+            if self.num_vertices < 0:
+                raise GraphFormatError(
+                    f"num_vertices must be >= 0, got {self.num_vertices}"
+                )
+            if self.src.size:
+                lo = min(int(self.src.min()), int(self.dst.min()))
+                hi = max(int(self.src.max()), int(self.dst.max()))
+                if lo < 0 or hi >= self.num_vertices:
+                    raise GraphFormatError(
+                        f"edge endpoints must lie in [0, {self.num_vertices}),"
+                        f" found range [{lo}, {hi}]"
+                    )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(cls, graph: CSRGraph) -> "EdgeList":
+        """Edge list of *graph* in CSR order."""
+        src, dst = graph.edges()
+        return cls(src, dst, graph.num_vertices, validate=False)
+
+    @classmethod
+    def empty(cls, num_vertices: int = 0) -> "EdgeList":
+        return cls(
+            np.empty(0, dtype=VERTEX_DTYPE),
+            np.empty(0, dtype=VERTEX_DTYPE),
+            num_vertices,
+            validate=False,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        return self.src.size
+
+    def __len__(self) -> int:
+        return self.src.size
+
+    def to_graph(self, *, name: str = "") -> CSRGraph:
+        return CSRGraph.from_edges(self.src, self.dst, self.num_vertices, name=name)
+
+    def select(self, mask: np.ndarray) -> "EdgeList":
+        """Keep only edges where boolean *mask* is True."""
+        mask = np.asarray(mask)
+        if mask.dtype != np.bool_ or mask.shape != self.src.shape:
+            raise GraphFormatError(
+                "mask must be a boolean array parallel to the edge arrays"
+            )
+        return EdgeList(
+            self.src[mask], self.dst[mask], self.num_vertices, validate=False
+        )
+
+    def reversed(self) -> "EdgeList":
+        """Edge list with every edge direction flipped."""
+        return EdgeList(self.dst, self.src, self.num_vertices, validate=False)
+
+    def concatenate(self, other: "EdgeList") -> "EdgeList":
+        """Union (as multisets) of two edge lists over the same vertex space."""
+        if other.num_vertices != self.num_vertices:
+            raise GraphFormatError(
+                "cannot concatenate edge lists over different vertex spaces"
+                f" ({self.num_vertices} vs {other.num_vertices})"
+            )
+        return EdgeList(
+            np.concatenate([self.src, other.src]),
+            np.concatenate([self.dst, other.dst]),
+            self.num_vertices,
+            validate=False,
+        )
+
+    def dedup(self) -> "EdgeList":
+        """Remove duplicate (src, dst) pairs; order not preserved."""
+        if self.src.size == 0:
+            return self
+        n = max(self.num_vertices, 1)
+        key = self.src * np.int64(n) + self.dst
+        _, keep = np.unique(key, return_index=True)
+        return EdgeList(
+            self.src[keep], self.dst[keep], self.num_vertices, validate=False
+        )
+
+    def sorted_by_src(self) -> "EdgeList":
+        order = np.argsort(self.src, kind="stable")
+        return EdgeList(
+            self.src[order], self.dst[order], self.num_vertices, validate=False
+        )
+
+    def sorted_by_dst(self) -> "EdgeList":
+        order = np.argsort(self.dst, kind="stable")
+        return EdgeList(
+            self.src[order], self.dst[order], self.num_vertices, validate=False
+        )
+
+    def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        return self.src, self.dst
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<EdgeList |V|={self.num_vertices} |E|={self.num_edges}>"

@@ -1,0 +1,210 @@
+"""Synthetic digraph generators for tests and microbenchmarks.
+
+The generators here produce *structurally controlled* inputs: graphs whose
+SCC layout (count, sizes, DAG depth) is known by construction.  They are
+used by the unit/property tests to validate the SCC codes and by the
+kernel microbenchmarks; the paper-matched workloads live in
+:mod:`repro.graph.suite` (power-law) and :mod:`repro.mesh.suite` (meshes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GraphFormatError
+from ..types import VERTEX_DTYPE
+from .csr import CSRGraph
+from .ops import disjoint_union, permute_random
+
+__all__ = [
+    "cycle_graph",
+    "path_graph",
+    "complete_digraph",
+    "random_gnm",
+    "random_gnp",
+    "dag_chain_of_cliques",
+    "scc_ladder",
+    "grid_dag",
+    "planted_scc_graph",
+    "random_tournament",
+]
+
+
+def cycle_graph(n: int) -> CSRGraph:
+    """Directed n-cycle 0 -> 1 -> ... -> n-1 -> 0 (one SCC, longest cycle n)."""
+    if n < 1:
+        raise GraphFormatError("cycle_graph needs n >= 1")
+    v = np.arange(n, dtype=VERTEX_DTYPE)
+    return CSRGraph.from_edges(v, (v + 1) % n, n, name=f"cycle{n}")
+
+
+def path_graph(n: int) -> CSRGraph:
+    """Directed path 0 -> 1 -> ... -> n-1 (n trivial SCCs, DAG depth n)."""
+    if n < 1:
+        raise GraphFormatError("path_graph needs n >= 1")
+    v = np.arange(n - 1, dtype=VERTEX_DTYPE)
+    return CSRGraph.from_edges(v, v + 1, n, name=f"path{n}")
+
+
+def complete_digraph(n: int) -> CSRGraph:
+    """All ordered pairs (u, v), u != v (one SCC)."""
+    u, v = np.meshgrid(np.arange(n, dtype=VERTEX_DTYPE), np.arange(n, dtype=VERTEX_DTYPE))
+    src, dst = u.ravel(), v.ravel()
+    keep = src != dst
+    return CSRGraph.from_edges(src[keep], dst[keep], n, name=f"K{n}")
+
+
+def random_gnm(n: int, m: int, seed: "int | None" = None, *, self_loops: bool = False) -> CSRGraph:
+    """Uniform random digraph with n vertices and m edges (with replacement)."""
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, size=m, dtype=VERTEX_DTYPE)
+    dst = rng.integers(0, n, size=m, dtype=VERTEX_DTYPE)
+    if not self_loops and n > 1:
+        loops = src == dst
+        dst[loops] = (dst[loops] + 1) % n
+    return CSRGraph.from_edges(src, dst, n, name=f"gnm_{n}_{m}")
+
+
+def random_gnp(n: int, p: float, seed: "int | None" = None) -> CSRGraph:
+    """Erdos-Renyi digraph: each ordered pair independently with prob p."""
+    rng = np.random.default_rng(seed)
+    m_expect = p * n * (n - 1)
+    if m_expect > 5e7:
+        raise GraphFormatError("random_gnp parameters would produce too many edges")
+    # sample pair indices directly for small n
+    mask = rng.random((n, n)) < p
+    np.fill_diagonal(mask, False)
+    src, dst = np.nonzero(mask)
+    return CSRGraph.from_edges(
+        src.astype(VERTEX_DTYPE), dst.astype(VERTEX_DTYPE), n, name=f"gnp_{n}"
+    )
+
+
+def dag_chain_of_cliques(k: int, clique: int, seed: "int | None" = None) -> CSRGraph:
+    """Chain of k bidirectional cliques of size ``clique`` linked forward.
+
+    Produces exactly k SCCs of equal size forming a DAG path of depth k —
+    the adversarial deep-DAG shape the paper's mesh graphs approximate.
+    Vertex IDs are randomly permuted so max-ID propagation sees a generic
+    labelling.
+    """
+    blocks = [complete_digraph(clique) for _ in range(k)]
+    g = disjoint_union(blocks)
+    # link clique i's vertex 0 to clique i+1's vertex 0
+    link_src = (np.arange(k - 1, dtype=VERTEX_DTYPE)) * clique
+    link_dst = link_src + clique
+    src, dst = g.edges()
+    g = CSRGraph.from_edges(
+        np.concatenate([src, link_src]),
+        np.concatenate([dst, link_dst]),
+        g.num_vertices,
+        name=f"chain{k}x{clique}",
+    )
+    g, _ = permute_random(g, seed)
+    return g.with_name(f"chain{k}x{clique}")
+
+
+def scc_ladder(rungs: int) -> CSRGraph:
+    """Ladder of 2-cycles: pairs (2i, 2i+1) mutually linked, plus 2i -> 2i+2.
+
+    rungs SCCs of size 2 in a depth-``rungs`` DAG; the canonical Trim-2
+    workload.
+    """
+    if rungs < 1:
+        raise GraphFormatError("scc_ladder needs rungs >= 1")
+    i = np.arange(rungs, dtype=VERTEX_DTYPE)
+    a, b = 2 * i, 2 * i + 1
+    src = np.concatenate([a, b, a[:-1]])
+    dst = np.concatenate([b, a, a[:-1] + 2])
+    return CSRGraph.from_edges(src, dst, 2 * rungs, name=f"ladder{rungs}")
+
+
+def grid_dag(rows: int, cols: int) -> CSRGraph:
+    """Acyclic 2-D grid: edges right and down.  All-trivial SCCs, deep DAG.
+
+    This mimics the structured beam-hex / star sweep graphs (constant
+    degree <= 2, DAG depth rows+cols-1).
+    """
+    idx = np.arange(rows * cols, dtype=VERTEX_DTYPE).reshape(rows, cols)
+    right_src, right_dst = idx[:, :-1].ravel(), idx[:, 1:].ravel()
+    down_src, down_dst = idx[:-1, :].ravel(), idx[1:, :].ravel()
+    return CSRGraph.from_edges(
+        np.concatenate([right_src, down_src]),
+        np.concatenate([right_dst, down_dst]),
+        rows * cols,
+        name=f"grid{rows}x{cols}",
+    )
+
+
+def planted_scc_graph(
+    sizes: "list[int]",
+    *,
+    extra_dag_edges: int = 0,
+    intra_extra: int = 1,
+    seed: "int | None" = None,
+) -> "tuple[CSRGraph, np.ndarray]":
+    """Digraph with SCCs of exactly the given sizes; returns (graph, truth).
+
+    Each component of size s >= 2 is a directed cycle over its vertices
+    plus ``intra_extra * s`` random intra-component chords; size-1
+    components are isolated (possibly receiving DAG edges).  Components are
+    then topologically ordered and ``extra_dag_edges`` forward edges are
+    added between random earlier/later components, guaranteeing the
+    component structure is preserved.  ``truth[v]`` is the planted
+    component index of vertex v.  Vertex IDs are randomly permuted.
+    """
+    rng = np.random.default_rng(seed)
+    total = int(sum(sizes))
+    truth = np.empty(total, dtype=VERTEX_DTYPE)
+    srcs: "list[np.ndarray]" = []
+    dsts: "list[np.ndarray]" = []
+    starts = np.cumsum([0] + list(sizes))[:-1]
+    for ci, (s0, size) in enumerate(zip(starts, sizes)):
+        vs = np.arange(s0, s0 + size, dtype=VERTEX_DTYPE)
+        truth[vs] = ci
+        if size >= 2:
+            srcs.append(vs)
+            dsts.append(np.roll(vs, -1))
+            k = intra_extra * size
+            srcs.append(rng.choice(vs, size=k))
+            dsts.append(rng.choice(vs, size=k))
+    # forward DAG edges between components (earlier index -> later index)
+    if extra_dag_edges and len(sizes) >= 2:
+        ca = rng.integers(0, len(sizes) - 1, size=extra_dag_edges)
+        cb = ca + 1 + rng.integers(
+            0, np.maximum(len(sizes) - 1 - ca, 1), size=extra_dag_edges
+        )
+        cb = np.minimum(cb, len(sizes) - 1)
+        ok = cb > ca
+        ca, cb = ca[ok], cb[ok]
+        pick = lambda comp: starts[comp] + (
+            rng.integers(0, 1 << 30, size=comp.size) % np.asarray(sizes)[comp]
+        )
+        srcs.append(pick(ca).astype(VERTEX_DTYPE))
+        dsts.append(pick(cb).astype(VERTEX_DTYPE))
+    src = np.concatenate(srcs) if srcs else np.empty(0, dtype=VERTEX_DTYPE)
+    dst = np.concatenate(dsts) if dsts else np.empty(0, dtype=VERTEX_DTYPE)
+    g = CSRGraph.from_edges(src, dst, total, name="planted")
+    perm = rng.permutation(total).astype(VERTEX_DTYPE)
+    from .ops import relabel  # local import to avoid cycle at module load
+
+    g = relabel(g, perm)
+    truth_perm = np.empty(total, dtype=VERTEX_DTYPE)
+    truth_perm[perm] = truth
+    return g.with_name("planted"), truth_perm
+
+
+def random_tournament(n: int, seed: "int | None" = None) -> CSRGraph:
+    """Random tournament: exactly one direction for every vertex pair.
+
+    Tournaments on n >= some small size are almost surely strongly
+    connected, giving a cheap one-giant-SCC stress input.
+    """
+    rng = np.random.default_rng(seed)
+    iu = np.triu_indices(n, k=1)
+    u = iu[0].astype(VERTEX_DTYPE)
+    v = iu[1].astype(VERTEX_DTYPE)
+    flip = rng.random(u.size) < 0.5
+    src = np.where(flip, v, u)
+    dst = np.where(flip, u, v)
+    return CSRGraph.from_edges(src, dst, n, name=f"tournament{n}")

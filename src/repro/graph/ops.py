@@ -1,0 +1,152 @@
+"""Whole-graph transformations: relabelling, subgraphs, permutations.
+
+These are the structural operations the SCC algorithms and the benchmark
+harness need around the core kernels: extracting the subgraph a recursive
+Forward-Backward call works on, randomly permuting vertex IDs (ECL-SCC's
+expected complexity assumes random IDs), and replicating graphs for the
+"expanded meshes" experiment of §5.1.4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GraphFormatError
+from ..types import NO_VERTEX, VERTEX_DTYPE, as_vertex_array
+from .csr import CSRGraph
+
+__all__ = [
+    "relabel",
+    "permute_random",
+    "induced_subgraph",
+    "remove_edges_mask",
+    "disjoint_union",
+    "replicate",
+    "add_edges",
+]
+
+
+def relabel(graph: CSRGraph, mapping: np.ndarray) -> CSRGraph:
+    """Rename every vertex ``v`` to ``mapping[v]``.
+
+    *mapping* must be a permutation of ``0..n-1``; this is checked because a
+    non-bijective mapping silently merges vertices, which is almost never
+    what a caller wants (use :func:`repro.graph.condensation.condense` for
+    contractions).
+    """
+    mapping = as_vertex_array(mapping, "mapping")
+    n = graph.num_vertices
+    if mapping.size != n:
+        raise GraphFormatError(
+            f"mapping must have length {n}, got {mapping.size}"
+        )
+    if n:
+        seen = np.zeros(n, dtype=bool)
+        if mapping.min() < 0 or mapping.max() >= n:
+            raise GraphFormatError("mapping values must lie in [0, n)")
+        seen[mapping] = True
+        if not seen.all():
+            raise GraphFormatError("mapping must be a permutation of 0..n-1")
+    src, dst = graph.edges()
+    return CSRGraph.from_edges(mapping[src], mapping[dst], n, name=graph.name)
+
+
+def permute_random(graph: CSRGraph, seed: "int | None" = None) -> "tuple[CSRGraph, np.ndarray]":
+    """Randomly permute vertex IDs; returns ``(new_graph, mapping)``.
+
+    ``mapping[old] == new``.  Useful because ECL-SCC's expected iteration
+    count assumes vertex IDs are randomly distributed over the topology.
+    """
+    rng = np.random.default_rng(seed)
+    mapping = rng.permutation(graph.num_vertices).astype(VERTEX_DTYPE)
+    return relabel(graph, mapping), mapping
+
+
+def induced_subgraph(graph: CSRGraph, vertices: np.ndarray) -> "tuple[CSRGraph, np.ndarray]":
+    """Subgraph induced by *vertices* with compacted IDs.
+
+    Returns ``(subgraph, original_ids)`` where ``original_ids[i]`` is the
+    original label of subgraph vertex ``i``.  *vertices* may be a boolean
+    mask of length ``n`` or an array of unique vertex IDs.
+    """
+    n = graph.num_vertices
+    vertices = np.asarray(vertices)
+    if vertices.dtype == np.bool_:
+        if vertices.size != n:
+            raise GraphFormatError(
+                f"boolean vertex mask must have length {n}, got {vertices.size}"
+            )
+        original = np.flatnonzero(vertices).astype(VERTEX_DTYPE)
+        member = vertices
+    else:
+        original = as_vertex_array(vertices, "vertices")
+        if original.size and (original.min() < 0 or original.max() >= n):
+            raise GraphFormatError("vertex IDs out of range")
+        if np.unique(original).size != original.size:
+            raise GraphFormatError("vertex IDs must be unique")
+        member = np.zeros(n, dtype=bool)
+        member[original] = True
+    new_id = np.full(n, NO_VERTEX, dtype=VERTEX_DTYPE)
+    new_id[original] = np.arange(original.size, dtype=VERTEX_DTYPE)
+    src, dst = graph.edges()
+    keep = member[src] & member[dst]
+    sub = CSRGraph.from_edges(new_id[src[keep]], new_id[dst[keep]], original.size)
+    return sub, original
+
+
+def remove_edges_mask(graph: CSRGraph, remove: np.ndarray) -> CSRGraph:
+    """Remove edges flagged True in *remove* (parallel to CSR edge order)."""
+    remove = np.asarray(remove)
+    if remove.dtype != np.bool_ or remove.size != graph.num_edges:
+        raise GraphFormatError(
+            "remove must be a boolean array with one entry per edge"
+        )
+    src, dst = graph.edges()
+    keep = ~remove
+    return CSRGraph.from_edges(src[keep], dst[keep], graph.num_vertices, name=graph.name)
+
+
+def add_edges(graph: CSRGraph, src: np.ndarray, dst: np.ndarray) -> CSRGraph:
+    """Return *graph* plus the given extra edges (multigraph semantics)."""
+    s0, d0 = graph.edges()
+    s1 = as_vertex_array(src, "src")
+    d1 = as_vertex_array(dst, "dst")
+    return CSRGraph.from_edges(
+        np.concatenate([s0, s1]),
+        np.concatenate([d0, d1]),
+        graph.num_vertices,
+        name=graph.name,
+    )
+
+
+def disjoint_union(graphs: "list[CSRGraph]") -> CSRGraph:
+    """Disjoint union; vertex IDs of component k are shifted by sum of sizes."""
+    if not graphs:
+        return CSRGraph.empty(0)
+    offsets = np.cumsum([0] + [g.num_vertices for g in graphs])
+    srcs, dsts = [], []
+    for off, g in zip(offsets[:-1], graphs):
+        s, d = g.edges()
+        srcs.append(s + off)
+        dsts.append(d + off)
+    return CSRGraph.from_edges(
+        np.concatenate(srcs) if srcs else np.empty(0, dtype=VERTEX_DTYPE),
+        np.concatenate(dsts) if dsts else np.empty(0, dtype=VERTEX_DTYPE),
+        int(offsets[-1]),
+    )
+
+
+def replicate(graph: CSRGraph, copies: int, *, name: str = "") -> CSRGraph:
+    """*copies* disjoint copies of *graph* (the §5.1.4 'expanded' inputs).
+
+    The paper expands twist-hex and toroid-hex by replicating the mesh 10x;
+    structurally the sweep graph of a replicated mesh is the disjoint union
+    of per-copy sweep graphs, which is what this produces.
+    """
+    if copies < 1:
+        raise GraphFormatError(f"copies must be >= 1, got {copies}")
+    n, (src, dst) = graph.num_vertices, graph.edges()
+    offs = (np.arange(copies, dtype=VERTEX_DTYPE) * n)[:, None]
+    big_src = (src[None, :] + offs).ravel()
+    big_dst = (dst[None, :] + offs).ravel()
+    return CSRGraph.from_edges(big_src, big_dst, n * copies, name=name or graph.name)

@@ -1,0 +1,97 @@
+"""Radiative-transfer mesh substrate: geometries, ordinates, sweep graphs."""
+
+from .elements import ELEMENT_DIM, FACES, NODES_PER_ELEMENT, ElementType
+from .core import Mesh
+from .faces import FaceSet, interior_faces
+from .geometry import face_quadrature_normals, quadrature_points_1d, triangle_quadrature
+from .quadrature import (
+    level_symmetric_s4,
+    level_symmetric_s6,
+    ordinates_2d,
+    ordinates_3d,
+    ordinates_for,
+)
+from .transform import (
+    compose,
+    cylinder_map,
+    klein_map,
+    mobius_map,
+    sinusoidal_wobble,
+    torus_map,
+    twist_about_z,
+)
+from .builders import (
+    beam_hex,
+    hex_to_tets,
+    hex_to_wedges,
+    jitter_points,
+    klein_bottle,
+    mobius_strip,
+    parametric_hex_grid,
+    parametric_quad_grid,
+    star,
+    structured_hex_grid,
+    toroid_hex,
+    toroid_wedge,
+    torch_hex,
+    torch_tet,
+    twist_hex,
+)
+from .quality import BoundaryFaces, MeshQuality, boundary_faces, mesh_quality
+from .unstructured import delaunay_tet_mesh, unstructured_box_tet, unstructured_torch_tet
+from .refine import refine_uniform
+from .vtkio import VTK_CELL_TYPES, write_vtk
+from .sweepgraph import SweepGraphBuilder, build_sweep_graph, sweep_graphs
+
+__all__ = [
+    "ELEMENT_DIM",
+    "FACES",
+    "NODES_PER_ELEMENT",
+    "ElementType",
+    "Mesh",
+    "FaceSet",
+    "interior_faces",
+    "face_quadrature_normals",
+    "quadrature_points_1d",
+    "triangle_quadrature",
+    "level_symmetric_s4",
+    "level_symmetric_s6",
+    "ordinates_2d",
+    "ordinates_3d",
+    "ordinates_for",
+    "compose",
+    "cylinder_map",
+    "klein_map",
+    "mobius_map",
+    "sinusoidal_wobble",
+    "torus_map",
+    "twist_about_z",
+    "beam_hex",
+    "hex_to_tets",
+    "hex_to_wedges",
+    "jitter_points",
+    "klein_bottle",
+    "mobius_strip",
+    "parametric_hex_grid",
+    "parametric_quad_grid",
+    "star",
+    "structured_hex_grid",
+    "toroid_hex",
+    "toroid_wedge",
+    "torch_hex",
+    "torch_tet",
+    "twist_hex",
+    "delaunay_tet_mesh",
+    "unstructured_box_tet",
+    "unstructured_torch_tet",
+    "BoundaryFaces",
+    "MeshQuality",
+    "boundary_faces",
+    "mesh_quality",
+    "refine_uniform",
+    "VTK_CELL_TYPES",
+    "write_vtk",
+    "SweepGraphBuilder",
+    "build_sweep_graph",
+    "sweep_graphs",
+]

@@ -1,0 +1,160 @@
+"""Mesh container.
+
+A :class:`Mesh` stores straight-sided *base* geometry (points + fixed-size
+element connectivity) and, for high-order ("curved") meshes, a smooth
+coordinate transform applied on top.  Keeping the base geometry and the
+transform separate is what lets the face-geometry code evaluate outward
+normals at arbitrary quadrature points of the *curved* surface: a face is
+parametrized bilinearly on the base corners and pushed through the
+transform, exactly like an isoparametric high-order element (the
+mechanism behind the paper's re-entrant faces, Fig. 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..errors import MeshError, MeshTopologyError
+from ..types import FLOAT_DTYPE, VERTEX_DTYPE
+from .elements import ELEMENT_DIM, NODES_PER_ELEMENT, ElementType
+
+__all__ = ["Mesh"]
+
+Transform = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass
+class Mesh:
+    """Unstructured single-element-type mesh.
+
+    Parameters
+    ----------
+    base_points:
+        ``(np, e)`` float array of straight-geometry node coordinates;
+        ``e`` is the embedding dimension (2 or 3).  Surface meshes in 3-D
+        (Mobius strip, Klein bottle) have 2-D elements with ``e == 3``.
+    cells:
+        ``(ne, k)`` int array of element connectivity, VTK node order.
+    element_type:
+        shape of every element.
+    transform:
+        optional smooth map ``R^e -> R^e`` giving the curved geometry;
+        ``None`` means straight (order-1) elements.
+    order:
+        geometric order reported in Table 4 (1 = straight, 3 = the paper's
+        cubically-curved meshes).  Informational; the geometry itself is
+        exact through ``transform``.
+    """
+
+    base_points: np.ndarray
+    cells: np.ndarray
+    element_type: ElementType
+    transform: Optional[Transform] = None
+    order: int = 1
+    name: str = ""
+    #: optional periodic/twisted identification: (elemA, elemB, nodesA,
+    #: countsA) — each row glues a boundary face of elemA (given by its
+    #: node indices, padded with -1) to elemB, like an MFEM periodic mesh.
+    #: The geometry need not match across the seam; the mismatch ("the
+    #: coordinate chart jumps") is precisely what creates the global sweep
+    #: cycles of the twist-hex / klein-bottle / mobius inputs.
+    identified_faces: "Optional[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]" = None
+    _points_cache: "np.ndarray | None" = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.base_points = np.ascontiguousarray(self.base_points, dtype=FLOAT_DTYPE)
+        self.cells = np.ascontiguousarray(self.cells, dtype=VERTEX_DTYPE)
+        if self.base_points.ndim != 2 or self.base_points.shape[1] not in (2, 3):
+            raise MeshError(
+                f"base_points must be (np, 2|3), got {self.base_points.shape}"
+            )
+        k = NODES_PER_ELEMENT[self.element_type]
+        if self.cells.ndim != 2 or self.cells.shape[1] != k:
+            raise MeshError(
+                f"{self.element_type.value} cells must be (ne, {k}),"
+                f" got {self.cells.shape}"
+            )
+        if self.cells.size:
+            lo, hi = int(self.cells.min()), int(self.cells.max())
+            if lo < 0 or hi >= self.base_points.shape[0]:
+                raise MeshTopologyError(
+                    f"cell connectivity out of range [0, {self.base_points.shape[0]})"
+                )
+        if self.element_dim > self.embedding_dim:
+            raise MeshError(
+                f"{self.element_type.value} elements need embedding dim >="
+                f" {self.element_dim}, got {self.embedding_dim}"
+            )
+        if self.identified_faces is not None:
+            ea, eb, nodes, counts = self.identified_faces
+            ea = np.ascontiguousarray(ea, dtype=VERTEX_DTYPE)
+            eb = np.ascontiguousarray(eb, dtype=VERTEX_DTYPE)
+            nodes = np.ascontiguousarray(nodes, dtype=VERTEX_DTYPE)
+            counts = np.ascontiguousarray(counts, dtype=VERTEX_DTYPE)
+            if not (ea.shape == eb.shape == counts.shape) or nodes.shape[0] != ea.size:
+                raise MeshTopologyError("identified_faces arrays are inconsistent")
+            if ea.size and (
+                max(int(ea.max()), int(eb.max())) >= self.num_elements
+                or min(int(ea.min()), int(eb.min())) < 0
+            ):
+                raise MeshTopologyError("identified_faces element index out of range")
+            self.identified_faces = (ea, eb, nodes, counts)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_points(self) -> int:
+        return self.base_points.shape[0]
+
+    @property
+    def num_elements(self) -> int:
+        return self.cells.shape[0]
+
+    @property
+    def embedding_dim(self) -> int:
+        return self.base_points.shape[1]
+
+    @property
+    def element_dim(self) -> int:
+        return ELEMENT_DIM[self.element_type]
+
+    @property
+    def is_curved(self) -> bool:
+        return self.transform is not None
+
+    # ------------------------------------------------------------------
+    def map_points(self, pts: np.ndarray) -> np.ndarray:
+        """Apply the curved-geometry transform (identity when straight)."""
+        if self.transform is None:
+            return pts
+        out = np.asarray(self.transform(pts), dtype=FLOAT_DTYPE)
+        if out.shape != pts.shape:
+            raise MeshError(
+                f"transform changed point-array shape {pts.shape} -> {out.shape}"
+            )
+        return out
+
+    @property
+    def points(self) -> np.ndarray:
+        """Curved node coordinates (cached)."""
+        if self._points_cache is None:
+            self._points_cache = self.map_points(self.base_points)
+        return self._points_cache
+
+    def element_centroids(self) -> np.ndarray:
+        """``(ne, e)`` centroids of the curved elements (vertex average)."""
+        return self.points[self.cells].mean(axis=1)
+
+    def bounding_box(self) -> "tuple[np.ndarray, np.ndarray]":
+        p = self.points
+        return p.min(axis=0), p.max(axis=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" {self.name!r}" if self.name else ""
+        curved = f" order={self.order}" if self.is_curved else ""
+        return (
+            f"<Mesh{label} {self.element_type.value}"
+            f" ne={self.num_elements} np={self.num_points}{curved}>"
+        )

@@ -1,0 +1,71 @@
+"""Reference element definitions.
+
+Node orderings follow the VTK/MFEM convention.  ``FACES[etype]`` lists
+each element face as a tuple of local node indices ordered so that the
+right-hand-rule normal of the first three nodes points *outward* from the
+element (verified by ``tests/test_mesh_elements.py`` on unit elements).
+For 2-D elements the "faces" are edges, listed counter-clockwise so the
+outward normal is the tangent rotated by -90 degrees.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["ElementType", "FACES", "ELEMENT_DIM", "NODES_PER_ELEMENT"]
+
+
+class ElementType(Enum):
+    """Supported element shapes (Table 4 of the paper)."""
+
+    QUAD = "quad"
+    HEX = "hex"
+    TET = "tet"
+    WEDGE = "wedge"
+
+
+#: local node count per element type
+NODES_PER_ELEMENT = {
+    ElementType.QUAD: 4,
+    ElementType.HEX: 8,
+    ElementType.TET: 4,
+    ElementType.WEDGE: 6,
+}
+
+#: topological dimension of each element type
+ELEMENT_DIM = {
+    ElementType.QUAD: 2,
+    ElementType.HEX: 3,
+    ElementType.TET: 3,
+    ElementType.WEDGE: 3,
+}
+
+#: outward-oriented local faces per element type
+FACES: "dict[ElementType, tuple[tuple[int, ...], ...]]" = {
+    # unit quad (0,0) (1,0) (1,1) (0,1), CCW: outward edge normals
+    ElementType.QUAD: ((0, 1), (1, 2), (2, 3), (3, 0)),
+    # VTK hexahedron: bottom 0-3, top 4-7
+    ElementType.HEX: (
+        (0, 3, 2, 1),  # z- (bottom)
+        (4, 5, 6, 7),  # z+ (top)
+        (0, 1, 5, 4),  # y-
+        (1, 2, 6, 5),  # x+
+        (2, 3, 7, 6),  # y+
+        (3, 0, 4, 7),  # x-
+    ),
+    # VTK tetrahedron
+    ElementType.TET: (
+        (0, 2, 1),
+        (0, 1, 3),
+        (1, 2, 3),
+        (0, 3, 2),
+    ),
+    # VTK wedge: bottom triangle 0-2, top triangle 3-5
+    ElementType.WEDGE: (
+        (0, 2, 1),      # bottom
+        (3, 4, 5),      # top
+        (0, 1, 4, 3),   # quad side
+        (1, 2, 5, 4),   # quad side
+        (2, 0, 3, 5),   # quad side
+    ),
+}

@@ -1,0 +1,114 @@
+"""Interior-face extraction.
+
+An *interior face* is a face (2-D: edge; 3-D: triangle/quad) shared by
+exactly two elements.  The sweep-graph construction (§4.1) iterates over
+interior faces: each becomes one or two directed graph edges between the
+adjacent elements depending on the ordinate/normal signs.
+
+Extraction is fully vectorized: all element faces are emitted as padded
+node-index rows, canonicalized by sorting within the row, lexsorted, and
+scanned for adjacent duplicates.  A face shared by more than two elements
+is a topology error (non-manifold mesh).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import MeshTopologyError
+from ..types import VERTEX_DTYPE
+from .core import Mesh
+from .elements import FACES
+
+__all__ = ["FaceSet", "interior_faces"]
+
+
+@dataclass(frozen=True)
+class FaceSet:
+    """Interior faces of a mesh.
+
+    Attributes
+    ----------
+    elem1, elem2:
+        ``(nf,)`` adjacent element indices; the stored node order is the
+        face as seen from ``elem1`` (outward orientation w.r.t. elem1).
+    nodes:
+        ``(nf, max_nodes)`` face corner node indices, padded with -1 for
+        triangle faces in wedge meshes.
+    node_counts:
+        ``(nf,)`` number of valid nodes per face (2, 3, or 4).
+    """
+
+    elem1: np.ndarray
+    elem2: np.ndarray
+    nodes: np.ndarray
+    node_counts: np.ndarray
+
+    @property
+    def num_faces(self) -> int:
+        return self.elem1.size
+
+
+def interior_faces(mesh: Mesh) -> FaceSet:
+    """Extract all interior faces of *mesh* (see module docstring)."""
+    face_defs = FACES[mesh.element_type]
+    ne = mesh.num_elements
+    max_nodes = max(len(f) for f in face_defs)
+
+    all_nodes_parts = []
+    all_counts_parts = []
+    for f in face_defs:
+        block = mesh.cells[:, list(f)]
+        if block.shape[1] < max_nodes:
+            pad = np.full((ne, max_nodes - block.shape[1]), -1, dtype=VERTEX_DTYPE)
+            block = np.hstack([block, pad])
+        all_nodes_parts.append(block)
+        all_counts_parts.append(np.full(ne, len(f), dtype=VERTEX_DTYPE))
+    # interleave per element so ordering is (elem0 faces..., elem1 faces...)
+    nf_per = len(face_defs)
+    all_nodes = np.stack(all_nodes_parts, axis=1).reshape(ne * nf_per, max_nodes)
+    all_counts = np.stack(all_counts_parts, axis=1).reshape(ne * nf_per)
+    owner = np.repeat(np.arange(ne, dtype=VERTEX_DTYPE), nf_per)
+
+    # canonical key: sorted node indices (padding -1 sorts first, harmless)
+    key = np.sort(all_nodes, axis=1)
+    order = np.lexsort(key.T[::-1])
+    key_sorted = key[order]
+    same_as_prev = np.all(key_sorted[1:] == key_sorted[:-1], axis=1)
+    # detect non-manifold: three consecutive identical keys
+    if same_as_prev.size >= 2 and np.any(same_as_prev[1:] & same_as_prev[:-1]):
+        raise MeshTopologyError("face shared by more than two elements")
+    match_idx = np.flatnonzero(same_as_prev)  # pairs (match_idx, match_idx+1)
+    first = order[match_idx]
+    second = order[match_idx + 1]
+    elem1 = owner[first]
+    elem2 = owner[second]
+    if np.any(elem1 == elem2):
+        raise MeshTopologyError("element shares a face with itself")
+    elem1 = elem1.astype(VERTEX_DTYPE, copy=False)
+    elem2 = elem2.astype(VERTEX_DTYPE, copy=False)
+    nodes = all_nodes[first]
+    counts = all_counts[first]
+    # append periodic/twisted identification faces (see Mesh docstring);
+    # elem1 is the gluing owner, so its geometry defines the face normals
+    if mesh.identified_faces is not None:
+        ea, eb, inodes, icounts = mesh.identified_faces
+        pad = nodes.shape[1] - inodes.shape[1]
+        if pad < 0:
+            raise MeshTopologyError("identified face has too many nodes")
+        if pad > 0:
+            inodes = np.hstack(
+                [inodes, np.full((inodes.shape[0], pad), -1, dtype=VERTEX_DTYPE)]
+            )
+        elem1 = np.concatenate([elem1, ea])
+        elem2 = np.concatenate([elem2, eb])
+        nodes = np.vstack([nodes, inodes])
+        counts = np.concatenate([counts, icounts])
+    return FaceSet(
+        elem1=elem1,
+        elem2=elem2,
+        nodes=nodes,
+        node_counts=counts,
+    )

@@ -1,0 +1,209 @@
+"""Face quadrature points and outward normals on (possibly curved) meshes.
+
+For every interior face we evaluate the outward unit normal (w.r.t.
+``elem1``) at several quadrature points of the *curved* face.  On a
+straight mesh the normal is constant per planar face; on a curved mesh
+(or a straight mesh with non-planar bilinear quad faces) it varies across
+the face — the ingredient that creates the paper's re-entrant faces.
+
+Geometry evaluation: a face is parametrized on its base (straight)
+corner nodes — linearly for edges, barycentrically for triangles,
+bilinearly for quads — and pushed through the mesh's smooth transform.
+Tangent vectors of the curved face are obtained by central differences of
+the transform along the exact base-tangent directions::
+
+    t(w) = (phi(b + eps*w) - phi(b - eps*w)) / (2*eps)
+
+which equals J_phi(b) @ w up to O(eps^2) and is exact for straight meshes.
+Only normal *directions* matter for the sweep construction, so no
+normalization or Jacobian weighting is applied.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import MeshError
+from ..types import FLOAT_DTYPE
+from .core import Mesh
+from .faces import FaceSet
+
+__all__ = ["face_quadrature_normals", "quadrature_points_1d", "triangle_quadrature"]
+
+_EPS = 1e-5
+
+#: Gauss-Legendre abscissae on [0, 1]
+_GAUSS_1D = {
+    1: np.array([0.5]),
+    2: np.array([0.2113248654051871, 0.7886751345948129]),
+    3: np.array([0.1127016653792583, 0.5, 0.8872983346207417]),
+    4: np.array(
+        [0.0694318442029737, 0.3300094782075719, 0.6699905217924281, 0.9305681557970263]
+    ),
+}
+
+#: symmetric interior points of the unit triangle (barycentric)
+_TRI_POINTS = {
+    1: np.array([[1 / 3, 1 / 3, 1 / 3]]),
+    2: np.array([[2 / 3, 1 / 6, 1 / 6], [1 / 6, 2 / 3, 1 / 6], [1 / 6, 1 / 6, 2 / 3]]),
+    3: np.array(
+        [
+            [1 / 3, 1 / 3, 1 / 3],
+            [0.6, 0.2, 0.2],
+            [0.2, 0.6, 0.2],
+            [0.2, 0.2, 0.6],
+        ]
+    ),
+}
+
+
+def quadrature_points_1d(n: int) -> np.ndarray:
+    """Gauss points on [0, 1] (n = 1..4)."""
+    if n not in _GAUSS_1D:
+        raise MeshError(f"unsupported 1-D quadrature order {n}")
+    return _GAUSS_1D[n].copy()
+
+
+def triangle_quadrature(n: int) -> np.ndarray:
+    """Barycentric interior points of the unit triangle (n = 1..3)."""
+    if n not in _TRI_POINTS:
+        raise MeshError(f"unsupported triangle quadrature order {n}")
+    return _TRI_POINTS[n].copy()
+
+
+def _transform_tangent(mesh: Mesh, base: np.ndarray, direction: np.ndarray) -> np.ndarray:
+    """Central-difference pushforward of *direction* at *base* points.
+
+    ``base`` and ``direction`` are (..., e); returns (..., e).
+    """
+    if mesh.transform is None:
+        return direction
+    shape = base.shape
+    flat_b = base.reshape(-1, shape[-1])
+    flat_d = direction.reshape(-1, shape[-1])
+    plus = mesh.map_points(flat_b + _EPS * flat_d)
+    minus = mesh.map_points(flat_b - _EPS * flat_d)
+    return ((plus - minus) / (2.0 * _EPS)).reshape(shape)
+
+
+def _cross(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return np.cross(a, b)
+
+
+def face_quadrature_normals(
+    mesh: Mesh, faces: FaceSet, points_per_dim: int = 2
+) -> np.ndarray:
+    """Outward normals at quadrature points of every interior face.
+
+    Returns ``(nf, q, e)`` where ``q`` is the per-face quadrature count
+    (faces with fewer natural points — triangles among quads — repeat
+    their last point so the array stays rectangular; repeated points are
+    harmless for the sign tests the sweep construction performs).
+    Normals are oriented out of ``faces.elem1`` by a face-center centroid
+    test applied uniformly to all of a face's points.
+    """
+    nf = faces.num_faces
+    e = mesh.embedding_dim
+    if nf == 0:
+        return np.empty((0, 0, e), dtype=FLOAT_DTYPE)
+
+    counts = faces.node_counts
+    max_q = _max_points(mesh, points_per_dim)
+    normals = np.zeros((nf, max_q, e), dtype=FLOAT_DTYPE)
+
+    for count in np.unique(counts):
+        sel = np.flatnonzero(counts == count)
+        block = _normals_for_count(mesh, faces, sel, int(count), points_per_dim)
+        q = block.shape[1]
+        normals[sel, :q] = block
+        if q < max_q:  # pad by repeating the last quadrature point
+            normals[sel, q:] = block[:, -1:, :]
+
+    # Orientation comes from elem1's stored node order (FACES lists faces
+    # outward; 2-D edges are CCW).  A geometric centroid test would break
+    # on periodic/identified meshes (twist-hex, klein-bottle), where an
+    # element's centroid straddles the identification seam.
+    return normals
+
+
+def _max_points(mesh: Mesh, ppd: int) -> int:
+    if mesh.element_dim == 2:
+        return ppd  # edges
+    # 3-D: quad faces dominate (ppd^2); triangles have fewer
+    return ppd * ppd
+
+
+def _normals_for_count(
+    mesh: Mesh, faces: FaceSet, sel: np.ndarray, count: int, ppd: int
+) -> np.ndarray:
+    base = mesh.base_points
+    nodes = faces.nodes[sel]
+    if count == 2:
+        return _edge_normals(mesh, faces, sel, nodes[:, :2], ppd)
+    if count == 3:
+        return _tri_normals(mesh, nodes[:, :3], ppd)
+    if count == 4:
+        return _quad_normals(mesh, nodes[:, :4], ppd)
+    raise MeshError(f"unsupported face node count {count}")
+
+
+def _edge_normals(
+    mesh: Mesh, faces: FaceSet, sel: np.ndarray, nodes: np.ndarray, ppd: int
+) -> np.ndarray:
+    """Edges of 2-D elements: in-plane (2-D) or in-surface (3-D) normals."""
+    base = mesh.base_points
+    p0 = base[nodes[:, 0]]  # (k, e)
+    p1 = base[nodes[:, 1]]
+    s = quadrature_points_1d(ppd)  # (q,)
+    b = p0[:, None, :] + s[None, :, None] * (p1 - p0)[:, None, :]  # (k, q, e)
+    t_edge_base = np.broadcast_to((p1 - p0)[:, None, :], b.shape)
+    t_edge = _transform_tangent(mesh, b, t_edge_base)
+    if mesh.embedding_dim == 2:
+        # CCW boundary edge: outward normal is the tangent rotated by -90
+        n = np.stack([t_edge[..., 1], -t_edge[..., 0]], axis=-1)
+        return n
+    # Surface mesh in 3-D: outward in-plane conormal.  t_in points from the
+    # edge into elem1, so the component of t_in orthogonal to the edge is
+    # the *inward* conormal; negate it.  This is intrinsic to elem1 and
+    # stays valid on non-orientable and identified (seam) meshes.
+    cells1 = mesh.cells[faces.elem1[sel]]
+    centroid1 = base[cells1].mean(axis=1)  # (k, e) base centroid of elem1
+    t_in_base = centroid1[:, None, :] - b  # (k, q, e), points into elem1
+    t_in = _transform_tangent(mesh, b, t_in_base)
+    n_surf = _cross(t_edge, t_in)
+    inward = _cross(n_surf, t_edge)
+    return -inward
+
+
+def _tri_normals(mesh: Mesh, nodes: np.ndarray, ppd: int) -> np.ndarray:
+    base = mesh.base_points
+    p0, p1, p2 = base[nodes[:, 0]], base[nodes[:, 1]], base[nodes[:, 2]]
+    bary = triangle_quadrature(min(ppd, 3))  # (q, 3)
+    b = (
+        bary[None, :, 0, None] * p0[:, None, :]
+        + bary[None, :, 1, None] * p1[:, None, :]
+        + bary[None, :, 2, None] * p2[:, None, :]
+    )
+    t1 = _transform_tangent(mesh, b, np.broadcast_to((p1 - p0)[:, None, :], b.shape))
+    t2 = _transform_tangent(mesh, b, np.broadcast_to((p2 - p0)[:, None, :], b.shape))
+    return _cross(t1, t2)
+
+
+def _quad_normals(mesh: Mesh, nodes: np.ndarray, ppd: int) -> np.ndarray:
+    base = mesh.base_points
+    p = base[nodes]  # (k, 4, e) corners in face order
+    s = quadrature_points_1d(ppd)
+    u, v = np.meshgrid(s, s, indexing="ij")
+    u, v = u.ravel(), v.ravel()  # (q,)
+    # bilinear shape functions on corner order (0,0) (1,0) (1,1) (0,1)
+    shp = np.stack(
+        [(1 - u) * (1 - v), u * (1 - v), u * v, (1 - u) * v], axis=0
+    )  # (4, q)
+    dshp_du = np.stack([-(1 - v), (1 - v), v, -v], axis=0)
+    dshp_dv = np.stack([-(1 - u), -u, u, (1 - u)], axis=0)
+    b = np.einsum("cq,kce->kqe", shp, p)
+    tu_base = np.einsum("cq,kce->kqe", dshp_du, p)
+    tv_base = np.einsum("cq,kce->kqe", dshp_dv, p)
+    tu = _transform_tangent(mesh, b, tu_base)
+    tv = _transform_tangent(mesh, b, tv_base)
+    return _cross(tu, tv)

@@ -1,0 +1,107 @@
+"""Discrete ordinates (angular quadrature directions).
+
+Transport sweeps solve the RTE for a set of discrete directions
+("ordinates"); the paper builds one sweep graph per ordinate (N_Omega
+graphs per mesh).  The original work uses MFEM/level-symmetric sets; we
+provide:
+
+* :func:`ordinates_2d` — N uniformly spread unit vectors in the plane,
+  offset so none aligns with a mesh axis (axis-aligned ordinates produce
+  degenerate zero dot products on structured meshes);
+* :func:`ordinates_3d` — a deterministic Fibonacci-sphere set, the
+  standard way to spread N near-uniform directions for arbitrary N
+  (level-symmetric S_N sets only exist for specific counts);
+* :func:`level_symmetric_s4` / :func:`level_symmetric_s6` — classic
+  octant-symmetric S_4 (24 directions) and S_6 (48) sets for users who
+  want textbook quadratures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import MeshError
+from ..types import FLOAT_DTYPE
+
+__all__ = [
+    "ordinates_2d",
+    "ordinates_3d",
+    "level_symmetric_s4",
+    "level_symmetric_s6",
+    "ordinates_for",
+]
+
+
+def ordinates_2d(n: int, *, offset: float = 0.15) -> np.ndarray:
+    """``(n, 2)`` unit vectors at uniformly spaced angles plus an offset."""
+    if n < 1:
+        raise MeshError(f"need n >= 1 ordinates, got {n}")
+    theta = offset + 2.0 * np.pi * np.arange(n) / n
+    return np.stack([np.cos(theta), np.sin(theta)], axis=1).astype(FLOAT_DTYPE)
+
+
+def ordinates_3d(n: int) -> np.ndarray:
+    """``(n, 3)`` Fibonacci-sphere unit vectors (deterministic, well spread)."""
+    if n < 1:
+        raise MeshError(f"need n >= 1 ordinates, got {n}")
+    i = np.arange(n, dtype=FLOAT_DTYPE) + 0.5
+    phi = np.pi * (3.0 - np.sqrt(5.0)) * i  # golden angle
+    z = 1.0 - 2.0 * i / n
+    r = np.sqrt(np.maximum(0.0, 1.0 - z * z))
+    pts = np.stack([r * np.cos(phi), r * np.sin(phi), z], axis=1)
+    # tiny fixed rotation so no ordinate is exactly axis-aligned
+    return (pts @ _rotation_matrix()).astype(FLOAT_DTYPE)
+
+
+def _rotation_matrix() -> np.ndarray:
+    a, b = 0.3, 0.2  # fixed small angles
+    rz = np.array(
+        [[np.cos(a), -np.sin(a), 0], [np.sin(a), np.cos(a), 0], [0, 0, 1]]
+    )
+    rx = np.array(
+        [[1, 0, 0], [0, np.cos(b), -np.sin(b)], [0, np.sin(b), np.cos(b)]]
+    )
+    return rz @ rx
+
+
+def level_symmetric_s4() -> np.ndarray:
+    """S_4 level-symmetric set: 3 direction cosines per octant x 8 = 24."""
+    mu = 0.3500212  # standard S4 cosine
+    eta = np.sqrt(1.0 - 2.0 * mu * mu)
+    base = np.array([[mu, mu, eta], [mu, eta, mu], [eta, mu, mu]])
+    return _octant_expand(base)
+
+
+def level_symmetric_s6() -> np.ndarray:
+    """S_6 level-symmetric set: 6 directions per octant x 8 = 48."""
+    m1, m2 = 0.2666355, 0.6815076
+    m3 = np.sqrt(1.0 - 2.0 * m1 * m1)  # completes the (m1, m1, m3) triple
+    base = np.array(
+        [
+            [m1, m1, m3],
+            [m1, m3, m1],
+            [m3, m1, m1],
+            [m1, m2, m2],
+            [m2, m1, m2],
+            [m2, m2, m1],
+        ]
+    )
+    return _octant_expand(base)
+
+
+def _octant_expand(base: np.ndarray) -> np.ndarray:
+    signs = np.array(
+        [[sx, sy, sz] for sx in (1, -1) for sy in (1, -1) for sz in (1, -1)],
+        dtype=FLOAT_DTYPE,
+    )
+    out = (base[None, :, :] * signs[:, None, :]).reshape(-1, 3)
+    return out.astype(FLOAT_DTYPE)
+
+
+def ordinates_for(dim: int, n: int) -> np.ndarray:
+    """Dispatch on embedding dimension."""
+    if dim == 2:
+        return ordinates_2d(n)
+    if dim == 3:
+        return ordinates_3d(n)
+    raise MeshError(f"ordinates only defined for dim 2 or 3, got {dim}")

@@ -1,0 +1,171 @@
+"""Mesh inspection: boundary faces and element-quality metrics.
+
+Production sweep codes need the boundary faces (inflow/outflow
+conditions enter there) and sanity metrics on element shapes —
+especially here, where curved transforms and deterministic jitter could
+silently invert elements and corrupt the sweep-graph construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..types import FLOAT_DTYPE, VERTEX_DTYPE
+from .core import Mesh
+from .elements import FACES, ElementType
+
+__all__ = ["BoundaryFaces", "boundary_faces", "MeshQuality", "mesh_quality"]
+
+
+@dataclass(frozen=True)
+class BoundaryFaces:
+    """Faces owned by exactly one element (the domain boundary)."""
+
+    element: np.ndarray          # (nb,) owning element
+    nodes: np.ndarray            # (nb, max_nodes) padded with -1
+    node_counts: np.ndarray      # (nb,)
+
+    @property
+    def num_faces(self) -> int:
+        return self.element.size
+
+
+def boundary_faces(mesh: Mesh) -> BoundaryFaces:
+    """Extract all boundary faces (single-owner faces) of *mesh*.
+
+    Faces glued by an identification record are interior and excluded —
+    on the *recorded* (elem-A) side.  The partner element's own boundary
+    face is not linked to the record (identifications are single-sided,
+    like an MFEM periodic master/slave pair), so it still appears here;
+    callers that need the fully-glued boundary subtract one face per
+    identification record.
+    """
+    face_defs = FACES[mesh.element_type]
+    ne = mesh.num_elements
+    max_nodes = max(len(f) for f in face_defs)
+    parts, counts_parts = [], []
+    for f in face_defs:
+        block = mesh.cells[:, list(f)]
+        if block.shape[1] < max_nodes:
+            pad = np.full((ne, max_nodes - block.shape[1]), -1, dtype=VERTEX_DTYPE)
+            block = np.hstack([block, pad])
+        parts.append(block)
+        counts_parts.append(np.full(ne, len(f), dtype=VERTEX_DTYPE))
+    nf_per = len(face_defs)
+    all_nodes = np.stack(parts, axis=1).reshape(ne * nf_per, max_nodes)
+    all_counts = np.stack(counts_parts, axis=1).reshape(ne * nf_per)
+    owner = np.repeat(np.arange(ne, dtype=VERTEX_DTYPE), nf_per)
+
+    key = np.sort(all_nodes, axis=1)
+    order = np.lexsort(key.T[::-1])
+    key_sorted = key[order]
+    same_prev = np.zeros(order.size, dtype=bool)
+    same_prev[1:] = np.all(key_sorted[1:] == key_sorted[:-1], axis=1)
+    same_next = np.zeros(order.size, dtype=bool)
+    same_next[:-1] = same_prev[1:]
+    solo = ~(same_prev | same_next)
+    picked = order[solo]
+    # exclude faces glued by identification (they are interior)
+    if mesh.identified_faces is not None:
+        _, _, inodes, icounts = mesh.identified_faces
+        pad = max_nodes - inodes.shape[1]
+        if pad > 0:
+            inodes = np.hstack(
+                [inodes, np.full((inodes.shape[0], pad), -1, dtype=VERTEX_DTYPE)]
+            )
+        glued = np.sort(inodes, axis=1)
+        n = max(mesh.num_points, 1)
+        enc = lambda rows: (rows.astype(np.int64) + 1) @ (
+            (np.int64(n + 1)) ** np.arange(max_nodes, dtype=np.int64)
+        )
+        glued_keys = set(enc(glued).tolist())
+        keep = np.asarray(
+            [int(k) not in glued_keys for k in enc(key[picked])], dtype=bool
+        )
+        picked = picked[keep]
+    return BoundaryFaces(
+        element=owner[picked],
+        nodes=all_nodes[picked],
+        node_counts=all_counts[picked],
+    )
+
+
+@dataclass(frozen=True)
+class MeshQuality:
+    """Summary shape metrics over the (curved) elements."""
+
+    min_edge_length: float
+    max_edge_length: float
+    max_aspect_ratio: float
+    inverted_elements: int
+
+    @property
+    def is_valid(self) -> bool:
+        return self.inverted_elements == 0 and self.min_edge_length > 0
+
+
+def mesh_quality(mesh: Mesh) -> MeshQuality:
+    """Edge-length statistics and an inversion check.
+
+    Inversion test: the signed corner-Jacobian determinant of every
+    element is compared against the mesh's majority orientation; an
+    element is *inverted* when its sign differs from the majority (or is
+    zero).  A globally negatively-oriented parametric mesh is fine — the
+    sweep construction only needs consistency — but sign flips inside
+    one mesh mean jitter or a transform has folded elements over.
+    """
+    pts = mesh.points
+    cells = mesh.cells
+    et = mesh.element_type
+    # edge lengths: use each element's local face edges as a proxy set
+    edges = set()
+    for f in FACES[et]:
+        ring = list(f)
+        for a, b in zip(ring, ring[1:] + ring[:1]):
+            if len(ring) == 2 and (b, a) in edges:
+                continue
+            edges.add((a, b))
+    a_idx = np.asarray([e[0] for e in edges])
+    b_idx = np.asarray([e[1] for e in edges])
+    vec = pts[cells[:, a_idx]] - pts[cells[:, b_idx]]  # (ne, k, e)
+    lengths = np.linalg.norm(vec, axis=-1)
+    per_elem_min = lengths.min(axis=1)
+    per_elem_max = lengths.max(axis=1)
+    aspect = per_elem_max / np.maximum(per_elem_min, 1e-300)
+
+    # corner Jacobian determinant
+    if et in (ElementType.HEX,):
+        j = _det3(pts, cells, 0, 1, 3, 4)
+    elif et is ElementType.TET:
+        j = _det3(pts, cells, 0, 1, 2, 3)
+    elif et is ElementType.WEDGE:
+        j = _det3(pts, cells, 0, 1, 2, 3)
+    else:  # QUAD
+        if mesh.embedding_dim == 2:
+            v1 = pts[cells[:, 1]] - pts[cells[:, 0]]
+            v2 = pts[cells[:, 3]] - pts[cells[:, 0]]
+            j = v1[:, 0] * v2[:, 1] - v1[:, 1] * v2[:, 0]
+        else:
+            # surface quads cannot invert in-plane; use patch area
+            v1 = pts[cells[:, 1]] - pts[cells[:, 0]]
+            v2 = pts[cells[:, 3]] - pts[cells[:, 0]]
+            j = np.linalg.norm(np.cross(v1, v2), axis=-1)
+    positives = int(np.count_nonzero(j > 0))
+    negatives = int(np.count_nonzero(j < 0))
+    zeros = int(np.count_nonzero(j == 0))
+    inverted = min(positives, negatives) + zeros
+    return MeshQuality(
+        min_edge_length=float(per_elem_min.min(initial=np.inf)),
+        max_edge_length=float(per_elem_max.max(initial=0.0)),
+        max_aspect_ratio=float(aspect.max(initial=1.0)),
+        inverted_elements=inverted,
+    )
+
+
+def _det3(pts: np.ndarray, cells: np.ndarray, o: int, a: int, b: int, c: int) -> np.ndarray:
+    va = pts[cells[:, a]] - pts[cells[:, o]]
+    vb = pts[cells[:, b]] - pts[cells[:, o]]
+    vc = pts[cells[:, c]] - pts[cells[:, o]]
+    return np.einsum("ij,ij->i", np.cross(va, vb), vc)

@@ -1,0 +1,220 @@
+"""Uniform mesh refinement.
+
+Splits every element into 2^d children using topological midpoints
+(midpoint identity is keyed by the sorted parent-node tuple, so shared
+edges/faces refine consistently across neighbouring elements without any
+coordinate tolerance).  This is how the paper's large meshes relate to
+the MFEM sample meshes — uniform refinements of coarse geometry — and it
+lets users scale any builder output up by exact factors of 8 (3-D) or 4
+(2-D).
+
+The curved-geometry ``transform`` carries over unchanged: midpoints are
+created in base (straight) space and the transform continues to be
+evaluated at face quadrature points, exactly like refining an
+isoparametric mesh while keeping the geometric map.
+
+Meshes with ``identified_faces`` (twist-hex, mobius, klein) are refused:
+refining the identification pairing is geometry-specific, so rebuild
+those at higher resolution via their builders instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import MeshError
+from ..types import FLOAT_DTYPE, VERTEX_DTYPE
+from .core import Mesh
+from .elements import ElementType
+
+__all__ = ["refine_uniform"]
+
+
+class _MidpointFactory:
+    """Allocates one node per distinct sorted parent-node tuple."""
+
+    def __init__(self, points: np.ndarray) -> None:
+        self.points: "list[np.ndarray]" = [points]
+        self.count = points.shape[0]
+        self.cache: "dict[tuple[int, ...], int]" = {}
+        self._base = points
+
+    def mid(self, cells: np.ndarray, locals_: "tuple[int, ...]") -> np.ndarray:
+        """Vectorized midpoint nodes for every cell's node subset.
+
+        ``cells`` is the (ne, k) connectivity; ``locals_`` the local node
+        indices whose average defines the new point.  Returns (ne,) node
+        IDs, deduplicated across elements.
+        """
+        sub = cells[:, list(locals_)]
+        keys = np.sort(sub, axis=1)
+        uniq, inverse = np.unique(keys, axis=0, return_inverse=True)
+        ids = np.empty(uniq.shape[0], dtype=VERTEX_DTYPE)
+        new_pts = []
+        centroids = self._base[uniq].mean(axis=1)  # (u, e)
+        for i in range(uniq.shape[0]):
+            key = tuple(int(x) for x in uniq[i])
+            nid = self.cache.get(key)
+            if nid is None:
+                nid = self.count
+                self.cache[key] = nid
+                self.count += 1
+                new_pts.append(centroids[i])
+            ids[i] = nid
+        if new_pts:
+            self.points.append(np.asarray(new_pts, dtype=FLOAT_DTYPE))
+        return ids[inverse]
+
+    def all_points(self) -> np.ndarray:
+        return np.concatenate(self.points, axis=0)
+
+
+def refine_uniform(mesh: Mesh, times: int = 1) -> Mesh:
+    """Refine *mesh* uniformly *times* times."""
+    if times < 0:
+        raise MeshError(f"times must be >= 0, got {times}")
+    out = mesh
+    for _ in range(times):
+        out = _refine_once(out)
+    return out
+
+
+def _refine_once(mesh: Mesh) -> Mesh:
+    if mesh.identified_faces is not None:
+        raise MeshError(
+            "cannot uniformly refine a mesh with identified faces; rebuild"
+            " it at higher resolution via its builder"
+        )
+    fac = _MidpointFactory(mesh.base_points)
+    c = mesh.cells
+    et = mesh.element_type
+    if et is ElementType.QUAD:
+        children = _refine_quads(c, fac)
+    elif et is ElementType.HEX:
+        children = _refine_hexes(c, fac)
+    elif et is ElementType.TET:
+        children = _refine_tets(c, fac)
+    elif et is ElementType.WEDGE:
+        children = _refine_wedges(c, fac)
+    else:  # pragma: no cover - enum is closed
+        raise MeshError(f"unsupported element type {et}")
+    return Mesh(
+        fac.all_points(),
+        children,
+        et,
+        transform=mesh.transform,
+        order=mesh.order,
+        name=mesh.name,
+    )
+
+
+def _refine_quads(c: np.ndarray, fac: _MidpointFactory) -> np.ndarray:
+    m01 = fac.mid(c, (0, 1))
+    m12 = fac.mid(c, (1, 2))
+    m23 = fac.mid(c, (2, 3))
+    m30 = fac.mid(c, (3, 0))
+    ctr = fac.mid(c, (0, 1, 2, 3))
+    kids = [
+        (c[:, 0], m01, ctr, m30),
+        (m01, c[:, 1], m12, ctr),
+        (ctr, m12, c[:, 2], m23),
+        (m30, ctr, m23, c[:, 3]),
+    ]
+    return np.stack([np.stack(k, axis=1) for k in kids], axis=1).reshape(-1, 4)
+
+
+def _refine_hexes(c: np.ndarray, fac: _MidpointFactory) -> np.ndarray:
+    # a refined structured hex is a 3x3x3 lattice of corner/edge/face/center
+    # nodes; build the lattice per element then emit the 8 children
+    n = {}
+    corners = {(0, 0, 0): 0, (2, 0, 0): 1, (2, 2, 0): 2, (0, 2, 0): 3,
+               (0, 0, 2): 4, (2, 0, 2): 5, (2, 2, 2): 6, (0, 2, 2): 7}
+    for pos, local in corners.items():
+        n[pos] = c[:, local]
+    # edges: the 12 hex edges in VTK order
+    edges = [
+        (0, 1), (1, 2), (2, 3), (3, 0),
+        (4, 5), (5, 6), (6, 7), (7, 4),
+        (0, 4), (1, 5), (2, 6), (3, 7),
+    ]
+    inv = {v: k for k, v in corners.items()}
+    for a, b in edges:
+        pa, pb = inv[a], inv[b]
+        pos = tuple((x + y) // 2 for x, y in zip(pa, pb))
+        n[pos] = fac.mid(c, (a, b))
+    # faces
+    from .elements import FACES
+
+    for face in FACES[ElementType.HEX]:
+        pts = [inv[l] for l in face]
+        pos = tuple(sum(p[i] for p in pts) // 4 for i in range(3))
+        n[pos] = fac.mid(c, face)
+    # center
+    n[(1, 1, 1)] = fac.mid(c, tuple(range(8)))
+
+    def cell(x, y, z):
+        # child hex with lower corner (x, y, z) of the 2x2x2 block
+        return [
+            n[(x, y, z)], n[(x + 1, y, z)], n[(x + 1, y + 1, z)], n[(x, y + 1, z)],
+            n[(x, y, z + 1)], n[(x + 1, y, z + 1)], n[(x + 1, y + 1, z + 1)],
+            n[(x, y + 1, z + 1)],
+        ]
+
+    kids = [cell(x, y, z) for x in (0, 1) for y in (0, 1) for z in (0, 1)]
+    return np.stack(
+        [np.stack(k, axis=1) for k in kids], axis=1
+    ).reshape(-1, 8)
+
+
+def _refine_tets(c: np.ndarray, fac: _MidpointFactory) -> np.ndarray:
+    m01 = fac.mid(c, (0, 1))
+    m02 = fac.mid(c, (0, 2))
+    m03 = fac.mid(c, (0, 3))
+    m12 = fac.mid(c, (1, 2))
+    m13 = fac.mid(c, (1, 3))
+    m23 = fac.mid(c, (2, 3))
+    v0, v1, v2, v3 = c[:, 0], c[:, 1], c[:, 2], c[:, 3]
+    # 4 corner tets + 4 tets from the interior octahedron (diagonal m01-m23)
+    kids = [
+        (v0, m01, m02, m03),
+        (m01, v1, m12, m13),
+        (m02, m12, v2, m23),
+        (m03, m13, m23, v3),
+        (m01, m12, m02, m23),
+        (m01, m13, m12, m23),
+        (m01, m03, m13, m23),
+        (m01, m02, m03, m23),
+    ]
+    return np.stack([np.stack(k, axis=1) for k in kids], axis=1).reshape(-1, 4)
+
+
+def _refine_wedges(c: np.ndarray, fac: _MidpointFactory) -> np.ndarray:
+    # bottom triangle (0,1,2), top (3,4,5)
+    b01 = fac.mid(c, (0, 1))
+    b12 = fac.mid(c, (1, 2))
+    b20 = fac.mid(c, (2, 0))
+    t34 = fac.mid(c, (3, 4))
+    t45 = fac.mid(c, (4, 5))
+    t53 = fac.mid(c, (5, 3))
+    v03 = fac.mid(c, (0, 3))
+    v14 = fac.mid(c, (1, 4))
+    v25 = fac.mid(c, (2, 5))
+    q014 = fac.mid(c, (0, 1, 4, 3))
+    q125 = fac.mid(c, (1, 2, 5, 4))
+    q203 = fac.mid(c, (2, 0, 3, 5))
+    v = [c[:, i] for i in range(6)]
+    # lower layer: bottom triangle 4-split extruded to the mid layer
+    lower = [
+        (v[0], b01, b20, v03, q014, q203),
+        (b01, v[1], b12, q014, v14, q125),
+        (b20, b12, v[2], q203, q125, v25),
+        (b01, b12, b20, q014, q125, q203),
+    ]
+    upper = [
+        (v03, q014, q203, v[3], t34, t53),
+        (q014, v14, q125, t34, v[4], t45),
+        (q203, q125, v25, t53, t45, v[5]),
+        (q014, q125, q203, t34, t45, t53),
+    ]
+    kids = lower + upper
+    return np.stack([np.stack(k, axis=1) for k in kids], axis=1).reshape(-1, 6)

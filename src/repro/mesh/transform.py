@@ -1,0 +1,170 @@
+"""Smooth coordinate transforms used to curve meshes.
+
+The paper's high-order (order-3) meshes are curved versions of simple
+geometries; the curvature is what creates re-entrant faces and hence
+SCCs.  Each factory below returns a vectorized map ``(n, e) -> (n, e)``
+suitable as :attr:`repro.mesh.core.Mesh.transform`.
+
+All transforms are smooth (C^inf) and deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..types import FLOAT_DTYPE
+
+__all__ = [
+    "twist_about_z",
+    "sinusoidal_wobble",
+    "torus_map",
+    "mobius_map",
+    "klein_map",
+    "cylinder_map",
+    "compose",
+]
+
+Transform = Callable[[np.ndarray], np.ndarray]
+
+
+def compose(*transforms: Transform) -> Transform:
+    """Left-to-right composition of transforms."""
+
+    def _composed(p: np.ndarray) -> np.ndarray:
+        for t in transforms:
+            p = t(p)
+        return p
+
+    return _composed
+
+
+def twist_about_z(turns: float, z_extent: float) -> Transform:
+    """Rotate the xy-plane by an angle proportional to z.
+
+    ``turns`` full rotations over ``z_extent`` — the paper's twist-hex
+    meshes use the MFEM twist miniapp with 3 and 6 twists; strong twists
+    wind the sweep ordering around the axis into one giant cycle.
+    """
+    rate = 2.0 * np.pi * turns / z_extent
+
+    def _twist(p: np.ndarray) -> np.ndarray:
+        p = np.asarray(p, dtype=FLOAT_DTYPE)
+        ang = rate * p[..., 2]
+        c, s = np.cos(ang), np.sin(ang)
+        out = p.copy()
+        out[..., 0] = c * p[..., 0] - s * p[..., 1]
+        out[..., 1] = s * p[..., 0] + c * p[..., 1]
+        return out
+
+    return _twist
+
+
+def sinusoidal_wobble(amplitude: float, frequency: float, axes: "tuple[int, ...]" = (0, 1, 2)) -> Transform:
+    """Smooth periodic perturbation: each axis bends with the others.
+
+    This is the generic "high-order curvature" surrogate: gentle
+    amplitudes curve faces enough to flip quadrature-point normal signs
+    near inflection lines, producing scattered clusters of small SCCs
+    exactly like the paper's order-3 toroid meshes.
+    """
+
+    def _wobble(p: np.ndarray) -> np.ndarray:
+        p = np.asarray(p, dtype=FLOAT_DTYPE)
+        out = p.copy()
+        e = p.shape[-1]
+        for ax in axes:
+            if ax >= e:
+                continue
+            others = [a for a in range(e) if a != ax]
+            bend = np.zeros(p.shape[:-1], dtype=FLOAT_DTYPE)
+            for o in others:
+                bend = bend + np.sin(frequency * p[..., o] + 0.7 * ax)
+            out[..., ax] = p[..., ax] + amplitude * bend
+        return out
+
+    return _wobble
+
+
+def torus_map(major_radius: float, minor_radius: float, box: "tuple[float, float, float]") -> Transform:
+    """Map a rectangular box onto a solid torus.
+
+    Box coordinates ``(x, y, z) in [0, bx] x [0, by] x [0, bz]`` map to
+    poloidal angle, radial depth, and toroidal angle respectively.
+    """
+    bx, by, bz = box
+
+    def _torus(p: np.ndarray) -> np.ndarray:
+        p = np.asarray(p, dtype=FLOAT_DTYPE)
+        pol = 2.0 * np.pi * p[..., 0] / bx
+        r = minor_radius * (0.35 + 0.65 * p[..., 1] / by)
+        tor = 2.0 * np.pi * p[..., 2] / bz
+        ring = major_radius + r * np.cos(pol)
+        return np.stack(
+            [ring * np.cos(tor), ring * np.sin(tor), r * np.sin(pol)], axis=-1
+        )
+
+    return _torus
+
+
+def mobius_map(radius: float, width: float, length: float) -> Transform:
+    """Map a flat strip ``(x in [0, length], y in [-w/2, w/2])`` to a
+    Mobius band (half twist per revolution).  2-D input, 3-D output."""
+
+    def _mobius(p: np.ndarray) -> np.ndarray:
+        p = np.asarray(p, dtype=FLOAT_DTYPE)
+        u = 2.0 * np.pi * p[..., 0] / length
+        v = p[..., 1]
+        half = u / 2.0
+        ring = radius + v * np.cos(half)
+        return np.stack(
+            [ring * np.cos(u), ring * np.sin(u), v * np.sin(half)], axis=-1
+        )
+
+    return _mobius
+
+
+def klein_map(scale: float, length: float, width: float) -> Transform:
+    """Figure-8 immersion of the Klein bottle from a flat rectangle.
+
+    ``x in [0, length]`` is the tube direction, ``y in [0, width]`` the
+    meridian.  2-D input, 3-D output.
+    """
+
+    def _klein(p: np.ndarray) -> np.ndarray:
+        p = np.asarray(p, dtype=FLOAT_DTYPE)
+        u = 2.0 * np.pi * p[..., 0] / length
+        v = 2.0 * np.pi * p[..., 1] / width
+        r = 2.0 + np.cos(u / 2.0) * np.sin(v) - np.sin(u / 2.0) * np.sin(2.0 * v)
+        return np.stack(
+            [
+                scale * r * np.cos(u),
+                scale * r * np.sin(u),
+                scale
+                * (np.sin(u / 2.0) * np.sin(v) + np.cos(u / 2.0) * np.sin(2.0 * v)),
+            ],
+            axis=-1,
+        )
+
+    return _klein
+
+
+def cylinder_map(radius: float, box: "tuple[float, float, float]") -> Transform:
+    """Map a box onto a solid cylinder (torch-body geometry).
+
+    ``x`` is azimuthal, ``y`` radial (with a solid core offset), ``z``
+    axial with a nozzle-like contraction toward one end.
+    """
+    bx, by, bz = box
+
+    def _cyl(p: np.ndarray) -> np.ndarray:
+        p = np.asarray(p, dtype=FLOAT_DTYPE)
+        theta = 2.0 * np.pi * p[..., 0] / bx
+        taper = 1.0 - 0.45 * (p[..., 2] / bz) ** 2  # nozzle contraction
+        r = radius * (0.25 + 0.75 * p[..., 1] / by) * taper
+        return np.stack(
+            [r * np.cos(theta), r * np.sin(theta), p[..., 2]], axis=-1
+        )
+
+    return _cyl

@@ -1,0 +1,16 @@
+"""Downstream RTE application: sweep scheduling, single sweeps, and
+multi-ordinate source-iteration transport."""
+
+from .scheduler import SweepSchedule, sweep_schedule
+from .solver import SweepResult, solve_transport_sweep
+from .transport import TransportProblem, TransportSolution, solve_transport
+
+__all__ = [
+    "SweepSchedule",
+    "sweep_schedule",
+    "SweepResult",
+    "solve_transport_sweep",
+    "TransportProblem",
+    "TransportSolution",
+    "solve_transport",
+]

@@ -1,0 +1,110 @@
+"""A model upwind transport sweep driven by the SCC schedule.
+
+This is the "aha" integration: the reason the paper computes SCCs at all.
+We solve a model discrete-ordinates balance per element::
+
+    sigma_t * psi_e = q_e + sum_{upwind faces f} w * psi_upwind(f)
+
+element by element in the schedule's topological order.  Trivial levels
+are solved directly; non-trivial SCCs (cyclic dependencies, the paper's
+livelock hazard) are relaxed with Jacobi iterations *inside* the SCC
+until converged, exactly the standard production workaround.
+
+The solver is intentionally simple physics (constant cross-section,
+isotropic source, unit face weights) — its role is to demonstrate and
+test that the SCC-based schedule yields a well-defined, convergent sweep
+on graphs where a naive topological sweep would livelock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConvergenceError
+from ..graph.csr import CSRGraph
+from ..types import FLOAT_DTYPE
+from .scheduler import SweepSchedule
+
+__all__ = ["SweepResult", "solve_transport_sweep"]
+
+
+@dataclass
+class SweepResult:
+    """Converged angular flux and solver diagnostics."""
+
+    psi: np.ndarray
+    levels_processed: int
+    scc_inner_iterations: int
+    residual: float
+
+
+def solve_transport_sweep(
+    graph: CSRGraph,
+    schedule: SweepSchedule,
+    labels: np.ndarray,
+    *,
+    sigma_t: float = 2.0,
+    source: "np.ndarray | float" = 1.0,
+    coupling: float = 0.45,
+    tol: float = 1e-12,
+    max_inner: int = 10_000,
+) -> SweepResult:
+    """Solve the model sweep.  ``coupling * max_in_degree < sigma_t`` must
+    hold for the in-SCC Jacobi iteration to contract; the defaults are
+    safe for the mesh suite (degree <= 5).
+
+    Raises :class:`ConvergenceError` if an SCC's inner iteration stalls.
+    """
+    n = graph.num_vertices
+    psi = np.zeros(n, dtype=FLOAT_DTYPE)
+    q = np.broadcast_to(np.asarray(source, dtype=FLOAT_DTYPE), (n,)).copy()
+    labels = np.asarray(labels)
+    src, dst = graph.edges()
+    inner_total = 0
+
+    # incoming contributions: psi[v] = (q[v] + coupling * sum_in psi[u]) / sigma_t
+    for level in schedule.levels:
+        if level.size == 0:
+            continue
+        in_level = np.zeros(n, dtype=bool)
+        in_level[level] = True
+        # edges entering this level (sources already solved or intra-level)
+        entering = in_level[dst]
+        e_src, e_dst = src[entering], dst[entering]
+        intra = in_level[e_src] & (labels[e_src] == labels[e_dst])
+        # direct solve with frozen upwind values from earlier levels
+        fixed_contrib = np.zeros(n, dtype=FLOAT_DTYPE)
+        np.add.at(fixed_contrib, e_dst[~intra], coupling * psi[e_src[~intra]])
+        if not intra.any():
+            psi[level] = (q[level] + fixed_contrib[level]) / sigma_t
+            continue
+        # cyclic level: Jacobi inside the SCCs until the flux settles
+        i_src, i_dst = e_src[intra], e_dst[intra]
+        psi[level] = (q[level] + fixed_contrib[level]) / sigma_t
+        for it in range(max_inner):
+            inner = np.zeros(n, dtype=FLOAT_DTYPE)
+            np.add.at(inner, i_dst, coupling * psi[i_src])
+            new = (q[level] + fixed_contrib[level] + inner[level]) / sigma_t
+            delta = float(np.max(np.abs(new - psi[level]))) if level.size else 0.0
+            psi[level] = new
+            inner_total += 1
+            if delta <= tol:
+                break
+        else:
+            raise ConvergenceError(
+                "in-SCC Jacobi failed to converge; reduce `coupling` or"
+                " increase `max_inner`"
+            )
+
+    # global residual check
+    incoming = np.zeros(n, dtype=FLOAT_DTYPE)
+    np.add.at(incoming, dst, coupling * psi[src])
+    residual = float(np.max(np.abs(sigma_t * psi - q - incoming))) if n else 0.0
+    return SweepResult(
+        psi=psi,
+        levels_processed=schedule.depth,
+        scc_inner_iterations=inner_total,
+        residual=residual,
+    )

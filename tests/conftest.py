@@ -1,0 +1,70 @@
+"""Shared fixtures and graph corpora for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    CSRGraph,
+    complete_digraph,
+    cycle_graph,
+    dag_chain_of_cliques,
+    grid_dag,
+    path_graph,
+    planted_scc_graph,
+    random_gnm,
+    scc_ladder,
+)
+
+
+def corpus_small() -> "list[CSRGraph]":
+    """Hand-built graphs covering structural corner cases."""
+    return [
+        CSRGraph.empty(0),
+        CSRGraph.empty(1),
+        CSRGraph.empty(5),
+        CSRGraph.from_adjacency([[0]]),                   # single self-loop
+        CSRGraph.from_adjacency([[1], [0]]),              # 2-cycle
+        CSRGraph.from_adjacency([[1], []]),               # single edge
+        CSRGraph.from_adjacency([[1, 1], [0]]),           # duplicate edges
+        CSRGraph.from_adjacency([[0, 1], [1, 0]]),        # loops + 2-cycle
+        cycle_graph(3),
+        cycle_graph(17),
+        path_graph(9),
+        complete_digraph(5),
+        scc_ladder(6),
+        grid_dag(4, 5),
+        dag_chain_of_cliques(5, 3, seed=0),
+    ]
+
+
+def corpus_random(count: int = 6) -> "list[CSRGraph]":
+    out = []
+    for seed in range(count):
+        out.append(random_gnm(40 + 10 * seed, 100 + 30 * seed, seed=seed))
+        g, _ = planted_scc_graph(
+            [3, 1, 5, 2, 7, 1, 1, 4], extra_dag_edges=10, seed=seed
+        )
+        out.append(g)
+    return out
+
+
+@pytest.fixture(scope="session")
+def small_graphs():
+    return corpus_small()
+
+
+@pytest.fixture(scope="session")
+def random_graphs():
+    return corpus_random()
+
+
+@pytest.fixture(scope="session")
+def all_graphs(small_graphs, random_graphs):
+    return small_graphs + random_graphs
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

@@ -1,0 +1,93 @@
+"""Unit tests for the experiment entry points (tiny scales)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    RUNTIME_COLUMNS,
+    ablation_figure,
+    expanded_meshes,
+    mesh_table_properties,
+    powerlaw_table_properties,
+    runtime_table,
+    throughput_figures,
+)
+from repro.graph import scc_ladder
+
+
+class TestPropertyTables:
+    def test_table1_structure(self):
+        res = mesh_table_properties(
+            "small", names=["beam-hex", "toroid-hex"], scale=0.1, num_ordinates=2
+        )
+        assert res.name == "table1"
+        assert {r["graph"] for r in res.rows} == {"beam-hex", "toroid-hex"}
+        beam = next(r for r in res.rows if r["graph"] == "beam-hex")
+        assert beam["max_largest"] == 1
+        assert beam["N_ord"] == 2
+        assert "Table 1" in res.rendered
+
+    def test_table2_structure(self):
+        res = mesh_table_properties(
+            "large", names=["twist-hex"], scale=0.08, num_ordinates=1
+        )
+        row = res.rows[0]
+        assert row["min_sccs"] == row["max_sccs"] == 1
+        assert res.name == "table2"
+
+    def test_table3_structure(self):
+        res = powerlaw_table_properties(names=["cage14", "wiki-Talk"], scale=1 / 512)
+        assert res.name == "table3"
+        rows = {r["graph"]: r for r in res.rows}
+        assert rows["cage14"]["sccs"] == 1
+        assert rows["wiki-Talk"]["largest"] < rows["wiki-Talk"]["vertices"] / 2
+        assert res.elapsed_s > 0
+
+
+class TestRuntimeTables:
+    def test_columns_and_rows(self):
+        cols = (RUNTIME_COLUMNS[1], RUNTIME_COLUMNS[3])
+        res = runtime_table(
+            [("ladder", [scc_ladder(12)])], table_name="tX", columns=cols
+        )
+        assert res.rows[0]["graph"] == "ladder"
+        for label, _, _ in cols:
+            assert res.rows[0][label] > 0
+        assert "tX" in res.rendered
+
+    def test_ordinates_averaged(self):
+        cols = (RUNTIME_COLUMNS[1],)
+        res = runtime_table(
+            [("pair", [scc_ladder(12), scc_ladder(12)])],
+            table_name="tY", columns=cols,
+        )
+        runs = res.raw["runs"][("pair", "ECL-SCC A100")]
+        assert len(runs) == 2
+
+    def test_throughput_figures_geomean(self):
+        cols = (RUNTIME_COLUMNS[1],)
+        res = runtime_table(
+            [("a", [scc_ladder(8)]), ("b", [scc_ladder(16)])],
+            table_name="tZ", columns=cols,
+        )
+        fig = throughput_figures(res, figure_name="fZ", columns=cols)
+        series = fig.series["ECL-SCC A100"]
+        vals = [series["a"], series["b"]]
+        assert series["geomean"] == pytest.approx(
+            float(np.sqrt(vals[0] * vals[1]))
+        )
+
+
+class TestAblationAndExpanded:
+    def test_ablation_variants_present(self):
+        res = ablation_figure([("tiny", [scc_ladder(10)])])
+        assert set(res.series) == {
+            "all on", "no async", "no SCC-edge removal",
+            "no path compression", "no persistent threads", "all off",
+        }
+        assert all("tiny" in v for v in res.series.values())
+
+    def test_expanded_meshes_rows(self):
+        res = expanded_meshes(copies=2, scale=0.05)
+        names = {r["graph"] for r in res.rows}
+        assert names == {"twist-hex-x2", "toroid-hex-x2"}

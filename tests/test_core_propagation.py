@@ -1,0 +1,130 @@
+"""Tests for the Phase-2 propagation engines."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ALL_ON,
+    BlockPartition,
+    EclOptions,
+    EdgeGrouping,
+    Signatures,
+    propagate_async,
+    propagate_sync,
+)
+from repro.device import A100, VirtualDevice
+from repro.errors import ConvergenceError
+from repro.graph import cycle_graph, path_graph, permute_random
+
+
+def run_sync(graph, opts):
+    src, dst = graph.edges()
+    sigs = Signatures.identity(graph.num_vertices)
+    dev = VirtualDevice(A100)
+    grouping = EdgeGrouping.build(src, dst)
+    rounds = propagate_sync(sigs, grouping, dev, opts, graph.num_vertices)
+    return sigs, rounds, dev
+
+
+def run_async(graph, opts, blocks=4):
+    src, dst = graph.edges()
+    sigs = Signatures.identity(graph.num_vertices)
+    dev = VirtualDevice(A100)
+    bounds = np.linspace(0, src.size, blocks + 1).astype(np.int64)
+    part = BlockPartition.build(src, dst, bounds)
+    launches, rounds = propagate_async(sigs, part, dev, opts, graph.num_vertices)
+    return sigs, launches, rounds, dev
+
+
+SYNC_PLAIN = EclOptions(async_phase2=False, path_compression=False)
+SYNC_COMPRESS = EclOptions(async_phase2=False, path_compression=True)
+
+
+class TestFixedPointValues:
+    """At the fixed point, sig_in/sig_out must equal the true max over
+    ancestors/descendants — checked exactly on analysable graphs."""
+
+    def test_path_graph(self):
+        g = path_graph(6)
+        sigs, _, _ = run_sync(g, SYNC_PLAIN)
+        # ancestors of v on a path: 0..v -> max ancestor is v itself
+        assert sigs.sig_in.tolist() == [0, 1, 2, 3, 4, 5]
+        # descendants of v: v..5 -> max descendant is 5
+        assert sigs.sig_out.tolist() == [5] * 6
+
+    def test_cycle_graph(self):
+        g = cycle_graph(5)
+        sigs, _, _ = run_sync(g, SYNC_PLAIN)
+        assert (sigs.sig_in == 4).all()
+        assert (sigs.sig_out == 4).all()
+
+    @pytest.mark.parametrize("opts", [SYNC_PLAIN, SYNC_COMPRESS])
+    def test_compression_same_fixed_point(self, opts):
+        g, _ = permute_random(cycle_graph(40), seed=2)
+        sigs, _, _ = run_sync(g, opts)
+        assert (sigs.sig_in == 39).all()
+        assert (sigs.sig_out == 39).all()
+
+    def test_async_same_fixed_point(self):
+        g, _ = permute_random(cycle_graph(64), seed=1)
+        s_sync, _, _ = run_sync(g, SYNC_COMPRESS)
+        s_async, _, _, _ = run_async(g, ALL_ON, blocks=5)
+        assert np.array_equal(s_sync.sig_in, s_async.sig_in)
+        assert np.array_equal(s_sync.sig_out, s_async.sig_out)
+
+
+class TestRoundCounts:
+    def test_plain_cycle_is_linear(self):
+        g = cycle_graph(64)
+        _, rounds, _ = run_sync(g, SYNC_PLAIN)
+        assert rounds >= 60  # value must walk the whole cycle
+
+    def test_compression_is_logarithmic_on_permuted_cycle(self):
+        g, _ = permute_random(cycle_graph(1024), seed=0)
+        _, rounds, _ = run_sync(g, SYNC_COMPRESS)
+        assert rounds < 40  # ~log2(1024) + constant, not ~1024
+
+    def test_async_fewer_launches_than_sync_rounds(self):
+        g, _ = permute_random(cycle_graph(256), seed=3)
+        _, sync_rounds, _ = run_sync(g, SYNC_PLAIN)
+        _, launches, _, _ = run_async(
+            g, EclOptions(path_compression=False), blocks=4
+        )
+        assert launches < sync_rounds
+
+    def test_sync_counts_one_launch_per_round(self):
+        g = path_graph(20)
+        _, rounds, dev = run_sync(g, SYNC_PLAIN)
+        assert dev.counters.kernel_launches == rounds
+
+
+class TestEdgeGrouping:
+    def test_build_groups(self):
+        src = np.array([2, 0, 2, 1])
+        dst = np.array([0, 1, 1, 2])
+        grp = EdgeGrouping.build(src, dst)
+        assert grp.group_src.tolist() == [0, 1, 2]
+        assert grp.touched.tolist() == [0, 1, 2]
+        assert grp.num_edges == 4
+
+    def test_relax_single_edge(self):
+        grp = EdgeGrouping.build(np.array([0]), np.array([1]))
+        sigs = Signatures.identity(2)
+        changed = grp.relax(sigs, compress=False)
+        assert changed
+        assert sigs.sig_out[0] == 1  # u_out <- max(u_out, v_out)
+        assert sigs.sig_in[1] == 1   # v_in stays (u_in=0 < 1)
+
+    def test_relax_idempotent_at_fixpoint(self):
+        grp = EdgeGrouping.build(np.array([0]), np.array([1]))
+        sigs = Signatures.identity(2)
+        grp.relax(sigs, compress=False)
+        assert not grp.relax(sigs, compress=False)
+
+
+class TestSafetyBounds:
+    def test_round_bound_raises(self):
+        g = cycle_graph(100)
+        opts = EclOptions(async_phase2=False, path_compression=False, max_rounds=3)
+        with pytest.raises(ConvergenceError):
+            run_sync(g, opts)

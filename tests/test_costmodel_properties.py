@@ -1,0 +1,57 @@
+"""Property tests for the cost model: more work can never cost less."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.device import A100, XEON_6226R, CostModel, KernelCounters
+
+counts = st.integers(min_value=0, max_value=10**9)
+COMMON = dict(max_examples=50, deadline=None)
+
+
+def make(launches, edges, atomics, serial, streamed):
+    c = KernelCounters()
+    for _ in range(min(launches, 50)):
+        c.launch()
+    c.kernel_launches = launches
+    c.global_barriers = launches
+    c.edge_work = edges
+    c.bytes_moved = edges * 24
+    c.bytes_streamed = streamed
+    c.atomics = atomics
+    c.serial_work = serial
+    return c
+
+
+@given(counts, counts, counts, counts, counts, counts)
+@settings(**COMMON)
+def test_monotone_in_every_counter(l1, e1, a1, s1, st1, delta):
+    for spec in (A100, XEON_6226R):
+        model = CostModel(spec)
+        base = model.estimate(make(l1, e1, a1, s1, st1)).total
+        for bumped in (
+            make(l1 + delta, e1, a1, s1, st1),
+            make(l1, e1 + delta, a1, s1, st1),
+            make(l1, e1, a1 + delta, s1, st1),
+            make(l1, e1, a1, s1 + delta, st1),
+            make(l1, e1, a1, s1, st1 + delta),
+        ):
+            assert model.estimate(bumped).total >= base - 1e-15
+
+
+@given(counts, counts)
+@settings(**COMMON)
+def test_nonnegative_and_finite(l1, e1):
+    est = CostModel(A100).estimate(make(l1, e1, 0, 0, 0))
+    for term in est.as_dict().values():
+        assert term >= 0.0
+        assert np.isfinite(term)
+
+
+@given(st.floats(min_value=1e3, max_value=1e12))
+@settings(max_examples=30, deadline=None)
+def test_cache_boost_never_hurts(ws):
+    c = make(10, 10**7, 0, 0, 0)
+    small = CostModel(A100).estimate(c, working_set_bytes=min(ws, 1e6)).total
+    large = CostModel(A100).estimate(c, working_set_bytes=max(ws, 1e9)).total
+    assert small <= large + 1e-15

@@ -1,0 +1,189 @@
+"""Tests for the virtual device layer: specs, counters, cost model."""
+
+import numpy as np
+import pytest
+
+from repro.device import (
+    A100,
+    ALL_DEVICES,
+    RYZEN_2950X,
+    TITAN_V,
+    XEON_6226R,
+    CostModel,
+    DeviceSpec,
+    KernelCounters,
+    VirtualDevice,
+    device_by_name,
+    estimate_runtime,
+    working_set_of_graph,
+)
+from repro.device.costmodel import CACHE_BOOST, IRREGULAR_EFF
+from repro.device.executor import THREADS_PER_BLOCK
+from repro.errors import DeviceError
+
+
+class TestSpecs:
+    def test_paper_parameters(self):
+        # §4 hardware description, verbatim
+        assert TITAN_V.lanes == 5120 and TITAN_V.sms == 80
+        assert TITAN_V.mem_bw_gbs == 652.0
+        assert A100.lanes == 6912 and A100.sms == 108
+        assert A100.mem_bw_gbs == 1555.0 and A100.l2_mb == 40.0
+        assert RYZEN_2950X.lanes == 32 and RYZEN_2950X.sms == 16
+        assert XEON_6226R.lanes == 64 and XEON_6226R.sms == 32
+
+    def test_threads_resident(self):
+        assert A100.threads_resident == 108 * 2048
+        assert XEON_6226R.threads_resident == 64
+
+    def test_lookup(self):
+        assert device_by_name("a100") is A100
+        assert device_by_name("Titan V") is TITAN_V
+        with pytest.raises(DeviceError):
+            device_by_name("H100")
+
+    def test_validation(self):
+        with pytest.raises(DeviceError):
+            DeviceSpec("x", "tpu", 1, 1, 1.0, 1.0, 1.0, 1.0)
+        with pytest.raises(DeviceError):
+            DeviceSpec("x", "gpu", 0, 1, 1.0, 1.0, 1.0, 1.0)
+        with pytest.raises(DeviceError):
+            DeviceSpec("x", "gpu", 1, 1, -1.0, 1.0, 1.0, 1.0)
+
+
+class TestCounters:
+    def test_launch_accumulates(self):
+        c = KernelCounters()
+        c.launch(edges=100, bytes_per_edge=10)
+        c.launch(vertices=50, bytes_per_vertex=8, atomics=5)
+        assert c.kernel_launches == 2
+        assert c.edge_work == 100
+        assert c.vertex_work == 50
+        assert c.bytes_moved == 1000 + 400
+        assert c.atomics == 5
+        assert c.global_barriers == 2
+
+    def test_merge(self):
+        a, b = KernelCounters(), KernelCounters()
+        a.launch(edges=10)
+        b.launch(edges=20)
+        b.serial(7)
+        b.note("x", 1.0)
+        a.merge(b)
+        assert a.edge_work == 30
+        assert a.serial_work == 7
+        assert a.notes["x"] == 1.0
+
+    def test_snapshot_keys(self):
+        snap = KernelCounters().snapshot()
+        assert set(snap) == {
+            "kernel_launches", "global_barriers", "edge_work", "vertex_work",
+            "bytes_moved", "atomics", "serial_work", "rounds",
+            "blocks_scheduled", "bytes_streamed",
+        }
+
+
+class TestCostModel:
+    def test_gpu_launch_term(self):
+        c = KernelCounters()
+        for _ in range(100):
+            c.launch()
+        est = CostModel(A100).estimate(c)
+        # 100 launches at 5us plus 100 single-block dispatches at 25ns
+        assert est.launch == pytest.approx(100 * 5e-6 + 100 * 25e-9)
+        assert est.total >= est.launch
+
+    def test_gpu_block_dispatch_term(self):
+        few, many = KernelCounters(), KernelCounters()
+        few.launch(edges=1_000_000, bytes_per_edge=0, blocks=432)
+        many.launch(edges=1_000_000, bytes_per_edge=0)  # ~1954 blocks
+        t_few = CostModel(A100).estimate(few).launch
+        t_many = CostModel(A100).estimate(many).launch
+        assert t_many > t_few
+
+    def test_gpu_memory_term(self):
+        c = KernelCounters()
+        c.launch(edges=10_000_000, bytes_per_edge=24)
+        big_ws = 1e9  # exceeds L2 -> no cache boost
+        est = CostModel(A100).estimate(c, working_set_bytes=big_ws)
+        expect = 240e6 / (1555e9 * IRREGULAR_EFF)
+        assert est.memory == pytest.approx(expect)
+
+    def test_cache_boost_small_working_set(self):
+        c = KernelCounters()
+        c.launch(edges=1_000_000, bytes_per_edge=24)
+        small = CostModel(A100).estimate(c, working_set_bytes=1e6)
+        large = CostModel(A100).estimate(c, working_set_bytes=1e9)
+        assert small.memory == pytest.approx(large.memory / CACHE_BOOST)
+
+    def test_cpu_roofline(self):
+        c = KernelCounters()
+        c.launch(edges=1_000_000, bytes_per_edge=0)
+        est = CostModel(XEON_6226R).estimate(c, working_set_bytes=1e9)
+        # compute-bound: memory column zeroed
+        assert est.compute > 0 and est.memory == 0
+
+    def test_cpu_memory_bound(self):
+        c = KernelCounters()
+        c.launch(edges=1000, bytes_per_edge=100_000)
+        est = CostModel(RYZEN_2950X).estimate(c, working_set_bytes=1e9)
+        assert est.memory > 0 and est.compute == 0
+
+    def test_serial_term(self):
+        c = KernelCounters()
+        c.serial(2_900_000_000 * 2)  # 1 second at Xeon clock x ipc
+        est = CostModel(XEON_6226R).estimate(c)
+        assert est.serial == pytest.approx(1.0)
+
+    def test_faster_device_is_faster(self):
+        c = KernelCounters()
+        c.launch(edges=50_000_000, bytes_per_edge=24)
+        t_titan = estimate_runtime(c, TITAN_V, working_set_bytes=1e9)
+        t_a100 = estimate_runtime(c, A100, working_set_bytes=1e9)
+        assert t_a100 < t_titan
+
+    def test_working_set_formula(self):
+        ws = working_set_of_graph(100, 200, signatures=2)
+        assert ws == 8.0 * (101 + 600 + 200)
+
+    def test_breakdown_dict(self):
+        c = KernelCounters()
+        c.launch(edges=10)
+        d = CostModel(A100).estimate(c).as_dict()
+        assert d["total"] == pytest.approx(
+            d["launch"] + d["memory"] + d["compute"] + d["atomic"] + d["serial"]
+        )
+
+
+class TestVirtualDevice:
+    def test_partition_persistent_caps_blocks(self):
+        dev = VirtualDevice(A100)
+        bounds = dev.partition_edges(10_000_000, persistent=True)
+        assert bounds.size - 1 == A100.threads_resident // THREADS_PER_BLOCK
+
+    def test_partition_small_input(self):
+        dev = VirtualDevice(A100)
+        bounds = dev.partition_edges(1000, persistent=True)
+        assert bounds[0] == 0 and bounds[-1] == 1000
+        assert bounds.size - 1 <= 2
+
+    def test_partition_empty(self):
+        dev = VirtualDevice(A100)
+        assert dev.partition_edges(0, persistent=True).tolist() == [0]
+
+    def test_blocks_for(self):
+        dev = VirtualDevice(A100)
+        assert dev.blocks_for(1) == 1
+        assert dev.blocks_for(512) == 1
+        assert dev.blocks_for(513) == 2
+
+    def test_grid_blocks_requires_persistent(self):
+        dev = VirtualDevice(A100)
+        with pytest.raises(DeviceError):
+            dev.grid_blocks(persistent=False)
+
+    def test_estimate_passthrough(self):
+        dev = VirtualDevice(A100)
+        dev.launch(edges=10)
+        est = dev.estimate(100, 10)
+        assert est.total > 0

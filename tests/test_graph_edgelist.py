@@ -1,0 +1,84 @@
+"""Unit tests for repro.graph.edgelist.EdgeList."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import CSRGraph, EdgeList
+
+
+class TestConstruction:
+    def test_basic(self):
+        wl = EdgeList([0, 1], [1, 2])
+        assert wl.num_edges == 2
+        assert wl.num_vertices == 3
+
+    def test_explicit_vertex_count(self):
+        wl = EdgeList([0], [1], num_vertices=9)
+        assert wl.num_vertices == 9
+
+    def test_mismatched(self):
+        with pytest.raises(GraphFormatError):
+            EdgeList([0, 1], [1])
+
+    def test_out_of_range(self):
+        with pytest.raises(GraphFormatError):
+            EdgeList([0], [4], num_vertices=2)
+
+    def test_from_graph_roundtrip(self):
+        g = CSRGraph.from_edges([2, 0, 1], [0, 1, 2])
+        wl = EdgeList.from_graph(g)
+        assert wl.to_graph().same_structure(g)
+
+    def test_empty(self):
+        wl = EdgeList.empty(4)
+        assert len(wl) == 0
+        assert wl.num_vertices == 4
+
+
+class TestOperations:
+    def test_select(self):
+        wl = EdgeList([0, 1, 2], [1, 2, 0])
+        out = wl.select(np.array([True, False, True]))
+        assert out.src.tolist() == [0, 2]
+
+    def test_select_bad_mask(self):
+        wl = EdgeList([0], [1])
+        with pytest.raises(GraphFormatError):
+            wl.select(np.array([1, 0]))
+        with pytest.raises(GraphFormatError):
+            wl.select(np.array([True, False]))
+
+    def test_reversed(self):
+        wl = EdgeList([0, 1], [1, 2]).reversed()
+        assert wl.src.tolist() == [1, 2]
+        assert wl.dst.tolist() == [0, 1]
+
+    def test_concatenate(self):
+        a = EdgeList([0], [1], num_vertices=3)
+        b = EdgeList([1], [2], num_vertices=3)
+        c = a.concatenate(b)
+        assert c.num_edges == 2
+
+    def test_concatenate_mismatched_space(self):
+        a = EdgeList([0], [1], num_vertices=2)
+        b = EdgeList([0], [1], num_vertices=3)
+        with pytest.raises(GraphFormatError):
+            a.concatenate(b)
+
+    def test_dedup(self):
+        wl = EdgeList([0, 0, 1], [1, 1, 0]).dedup()
+        assert wl.num_edges == 2
+
+    def test_sorted_by_src(self):
+        wl = EdgeList([2, 0, 1], [0, 1, 2]).sorted_by_src()
+        assert wl.src.tolist() == [0, 1, 2]
+
+    def test_sorted_by_dst(self):
+        wl = EdgeList([2, 0, 1], [0, 1, 2]).sorted_by_dst()
+        assert wl.dst.tolist() == [0, 1, 2]
+
+    def test_arrays_view(self):
+        wl = EdgeList([0], [1])
+        s, d = wl.arrays()
+        assert s is wl.src and d is wl.dst

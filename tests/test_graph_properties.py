@@ -1,0 +1,112 @@
+"""Unit tests for repro.graph.properties."""
+
+import numpy as np
+
+from repro.graph import (
+    CSRGraph,
+    bfs_levels,
+    bfs_reach,
+    cycle_graph,
+    degree_stats,
+    disjoint_union,
+    graph_diameter_estimate,
+    grid_dag,
+    path_graph,
+    weakly_connected_components,
+)
+
+
+class TestDegreeStats:
+    def test_basic(self):
+        g = CSRGraph.from_edges([0, 0, 1], [1, 2, 2])
+        s = degree_stats(g)
+        assert s.num_vertices == 3
+        assert s.num_edges == 3
+        assert s.avg_degree == 1.0
+        assert s.max_out_degree == 2
+        assert s.max_in_degree == 2
+
+    def test_empty(self):
+        s = degree_stats(CSRGraph.empty(0))
+        assert s.avg_degree == 0.0
+        assert s.max_in_degree == 0
+
+    def test_as_row(self):
+        row = degree_stats(cycle_graph(4)).as_row()
+        assert row["avg_deg"] == 1.0
+        assert row["vertices"] == 4
+
+
+class TestBfs:
+    def test_reach_full_cycle(self):
+        g = cycle_graph(6)
+        vis = bfs_reach(g, np.array([2]))
+        assert vis.all()
+
+    def test_reach_path_forward_only(self):
+        g = path_graph(5)
+        vis = bfs_reach(g, np.array([2]))
+        assert vis.tolist() == [False, False, True, True, True]
+
+    def test_reach_respects_mask(self):
+        g = path_graph(5)
+        mask = np.array([True, True, True, False, True])
+        vis = bfs_reach(g, np.array([0]), mask=mask)
+        assert vis.tolist() == [True, True, True, False, False]
+
+    def test_reach_source_outside_mask(self):
+        g = path_graph(3)
+        mask = np.array([False, True, True])
+        vis = bfs_reach(g, np.array([0]), mask=mask)
+        assert not vis.any()
+
+    def test_multi_source(self):
+        g = disjoint_union([path_graph(3), path_graph(3)])
+        vis = bfs_reach(g, np.array([0, 3]))
+        assert vis.sum() == 6
+
+    def test_levels(self):
+        g = path_graph(4)
+        assert bfs_levels(g, 0).tolist() == [0, 1, 2, 3]
+        assert bfs_levels(g, 2).tolist() == [-1, -1, 0, 1]
+
+    def test_levels_cycle(self):
+        g = cycle_graph(4)
+        assert bfs_levels(g, 0).tolist() == [0, 1, 2, 3]
+
+
+class TestWeakComponents:
+    def test_two_components(self):
+        g = disjoint_union([cycle_graph(3), path_graph(4)])
+        labels = weakly_connected_components(g)
+        assert np.unique(labels).size == 2
+
+    def test_direction_ignored(self):
+        # anti-parallel path is still weakly connected
+        g = CSRGraph.from_edges([1, 1], [0, 2])
+        labels = weakly_connected_components(g)
+        assert np.unique(labels).size == 1
+
+    def test_isolated_vertices(self):
+        g = CSRGraph.empty(4)
+        labels = weakly_connected_components(g)
+        assert np.unique(labels).size == 4
+
+    def test_labels_are_min_ids(self):
+        g = CSRGraph.from_edges([3], [4], num_vertices=5)
+        labels = weakly_connected_components(g)
+        assert labels[3] == labels[4] == 3
+
+
+class TestDiameterEstimate:
+    def test_lower_bound_on_path(self):
+        g = path_graph(20)
+        est = graph_diameter_estimate(g, samples=8, seed=0)
+        assert 0 < est <= 19
+
+    def test_grid(self):
+        g = grid_dag(5, 5)
+        assert graph_diameter_estimate(g, samples=8) <= 8
+
+    def test_empty(self):
+        assert graph_diameter_estimate(CSRGraph.empty(0)) == 0

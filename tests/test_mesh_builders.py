@@ -1,0 +1,146 @@
+"""Structural tests for the nine named mesh builders (Table 4 classes)."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import (
+    ElementType,
+    beam_hex,
+    interior_faces,
+    jitter_points,
+    klein_bottle,
+    mobius_strip,
+    star,
+    structured_hex_grid,
+    toroid_hex,
+    toroid_wedge,
+    torch_hex,
+    torch_tet,
+    twist_hex,
+)
+
+
+class TestStructuredGrids:
+    def test_beam_hex_type(self):
+        m = beam_hex(2)
+        assert m.element_type is ElementType.HEX
+        assert not m.is_curved
+
+    def test_beam_hex_element_formula(self):
+        for n in (1, 2, 3):
+            assert beam_hex(n).num_elements == 8 * n**3
+
+    def test_structured_grid_extents(self):
+        m = structured_hex_grid((2, 2, 2), (4.0, 2.0, 1.0))
+        lo, hi = m.bounding_box()
+        assert np.allclose(hi - lo, [4.0, 2.0, 1.0])
+
+    def test_star_counts_and_dim(self):
+        m = star(6)
+        assert m.element_type is ElementType.QUAD
+        assert m.embedding_dim == 2
+        assert m.num_elements == 5 * 36
+
+    def test_star_welded_seam(self):
+        # angular seam welded: every element has 2-4 neighbours, and the
+        # face count matches a welded annulus: nt*(nr-1) radial + nt*nr ang
+        n = 4
+        m = star(n)
+        nt, nr = 5 * n, n
+        fs = interior_faces(m)
+        assert fs.num_faces == nt * (nr - 1) + nt * nr
+
+
+class TestTorch:
+    def test_torch_hex_counts(self):
+        m = torch_hex(2)
+        assert m.num_elements == 24 * 4 * 16
+        assert m.element_type is ElementType.HEX
+        assert m.is_curved  # the cylinder transform
+
+    def test_torch_tet_counts(self):
+        m = torch_tet(2)
+        assert m.num_elements == 6 * 24 * 4 * 16
+        assert m.element_type is ElementType.TET
+
+    def test_jitter_deterministic(self):
+        p = np.random.default_rng(0).random((50, 3))
+        a = jitter_points(p, 0.01)
+        b = jitter_points(p, 0.01)
+        assert np.array_equal(a, b)
+        assert np.abs(a - p).max() <= 0.01 + 1e-12
+
+    def test_jitter_fixed_mask(self):
+        p = np.random.default_rng(1).random((20, 3))
+        fixed = np.zeros(20, dtype=bool)
+        fixed[:5] = True
+        a = jitter_points(p, 0.05, fixed=fixed)
+        assert np.array_equal(a[:5], p[:5])
+        assert np.abs(a[5:] - p[5:]).max() > 0
+
+
+class TestToroid:
+    def test_toroid_hex_periodic_weld(self):
+        n = 3
+        m = toroid_hex(n)
+        # welded in poloidal (4n) and toroidal (12n) directions:
+        # nodes = 4n * (n+1) * 12n
+        assert m.num_points == 4 * n * (n + 1) * 12 * n
+        assert m.num_elements == 48 * n**3
+        assert m.order == 3 and m.is_curved
+
+    def test_toroid_wedge_counts(self):
+        m = toroid_wedge(3)
+        assert m.element_type is ElementType.WEDGE
+        assert m.num_elements == 2 * 48 * 27
+
+    def test_toroid_interior_face_count(self):
+        # fully periodic in 2 of 3 directions
+        n = 2
+        m = toroid_hex(n)
+        a, b, c = 4 * n, n, 12 * n
+        expected = a * b * c + a * (b - 1) * c + a * b * c  # x,z periodic
+        assert interior_faces(m).num_faces == expected
+
+
+class TestIdentifiedGeometries:
+    def test_twist_hex_identified_faces(self):
+        n = 2
+        m = twist_hex(n)
+        assert m.identified_faces is not None
+        ea, eb, nodes, counts = m.identified_faces
+        assert ea.size == (2 * n) ** 2  # one glued face per cross-section cell
+        assert (counts == 4).all()
+
+    def test_twist_hex_rotation_bijective(self):
+        m = twist_hex(2, twists=3)
+        _, eb, _, _ = m.identified_faces
+        assert np.unique(eb).size == eb.size
+
+    def test_twist_identity_when_four_twists(self):
+        # 4 quarter turns = identity pairing of cross-section cells
+        m = twist_hex(2, twists=4)
+        ea, eb, _, _ = m.identified_faces
+        # elem (i,j,last) pairs with elem (i,j,0)
+        nz = 32
+        assert np.array_equal(eb, ea - (nz - 1))
+
+    def test_mobius_reflected_pairing(self):
+        n = 4
+        m = mobius_strip(n)
+        ea, eb, _, counts = m.identified_faces
+        assert ea.size == n  # nv pairs
+        assert (counts == 2).all()
+        assert np.unique(eb).size == eb.size
+
+    def test_klein_two_seams(self):
+        n = 4
+        m = klein_bottle(n)
+        ea, eb, _, _ = m.identified_faces
+        assert ea.size == 2 * n + 2 * n  # x seam (nv) + y seam (nu)
+
+    def test_klein_counts(self):
+        m = klein_bottle(5)
+        assert m.num_elements == 10 * 10
+        assert m.element_type is ElementType.QUAD
+        assert m.embedding_dim == 2

@@ -1,0 +1,151 @@
+"""Tests for the Mesh container and interior-face extraction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeshError, MeshTopologyError
+from repro.mesh import (
+    ElementType,
+    Mesh,
+    hex_to_tets,
+    hex_to_wedges,
+    interior_faces,
+    structured_hex_grid,
+)
+from repro.mesh.builders import parametric_quad_grid
+
+
+class TestMeshContainer:
+    def test_basic_properties(self):
+        m = structured_hex_grid((2, 3, 4))
+        assert m.num_elements == 24
+        assert m.num_points == 3 * 4 * 5
+        assert m.embedding_dim == 3
+        assert m.element_dim == 3
+        assert not m.is_curved
+
+    def test_cell_range_checked(self):
+        with pytest.raises(MeshTopologyError):
+            Mesh(np.zeros((2, 3)), np.array([[0, 1, 2, 5]]), ElementType.QUAD)
+
+    def test_cell_width_checked(self):
+        with pytest.raises(MeshError, match="cells"):
+            Mesh(np.zeros((8, 3)), np.arange(6).reshape(1, 6), ElementType.HEX)
+
+    def test_embedding_dim_checked(self):
+        with pytest.raises(MeshError, match="embedding"):
+            Mesh(np.zeros((8, 2)), np.arange(8).reshape(1, 8), ElementType.HEX)
+
+    def test_points_shape_checked(self):
+        with pytest.raises(MeshError):
+            Mesh(np.zeros((4,)), np.array([[0, 1, 2, 3]]), ElementType.QUAD)
+
+    def test_transform_applied_and_cached(self):
+        m = structured_hex_grid((1, 1, 1))
+        shifted = Mesh(
+            m.base_points, m.cells, ElementType.HEX, transform=lambda p: p + 1.0
+        )
+        assert np.allclose(shifted.points, m.base_points + 1.0)
+        assert shifted.points is shifted.points  # cached
+
+    def test_transform_shape_guard(self):
+        m = structured_hex_grid((1, 1, 1))
+        bad = Mesh(
+            m.base_points, m.cells, ElementType.HEX,
+            transform=lambda p: p[:, :2] if p.ndim == 2 else p,
+        )
+        with pytest.raises(MeshError, match="shape"):
+            _ = bad.points
+
+    def test_centroids(self):
+        m = structured_hex_grid((1, 1, 1))
+        assert np.allclose(m.element_centroids(), [[0.5, 0.5, 0.5]])
+
+    def test_bounding_box(self):
+        m = structured_hex_grid((2, 2, 2), (2.0, 4.0, 6.0))
+        lo, hi = m.bounding_box()
+        assert np.allclose(lo, 0) and np.allclose(hi, [2, 4, 6])
+
+    def test_identified_faces_validated(self):
+        m = structured_hex_grid((2, 1, 1))
+        with pytest.raises(MeshTopologyError):
+            Mesh(
+                m.base_points, m.cells, ElementType.HEX,
+                identified_faces=(
+                    np.array([0]), np.array([5]),
+                    np.zeros((1, 4), dtype=np.int64), np.array([4]),
+                ),
+            )
+
+
+class TestInteriorFaces:
+    def test_hex_grid_face_count(self):
+        # interior faces of an (a,b,c) grid: (a-1)bc + a(b-1)c + ab(c-1)
+        m = structured_hex_grid((3, 4, 5))
+        fs = interior_faces(m)
+        assert fs.num_faces == 2 * 4 * 5 + 3 * 3 * 5 + 3 * 4 * 4
+
+    def test_single_element_no_faces(self):
+        m = structured_hex_grid((1, 1, 1))
+        assert interior_faces(m).num_faces == 0
+
+    def test_elem_pairs_are_neighbours(self):
+        m = structured_hex_grid((4, 1, 1))
+        fs = interior_faces(m)
+        assert fs.num_faces == 3
+        pairs = sorted(
+            (min(a, b), max(a, b)) for a, b in zip(fs.elem1, fs.elem2)
+        )
+        assert pairs == [(0, 1), (1, 2), (2, 3)]
+
+    def test_face_nodes_belong_to_elem1(self):
+        m = structured_hex_grid((2, 2, 2))
+        fs = interior_faces(m)
+        for k in range(fs.num_faces):
+            e1_nodes = set(m.cells[fs.elem1[k]].tolist())
+            face_nodes = set(fs.nodes[k][: fs.node_counts[k]].tolist())
+            assert face_nodes <= e1_nodes
+
+    def test_tet_split_conforming(self):
+        """The 6-tet split of a structured grid must produce 2x3x(shared
+        quad faces) + internal tet faces, with no non-manifold faces."""
+        m = hex_to_tets(structured_hex_grid((2, 2, 2)))
+        fs = interior_faces(m)  # raises on non-manifold
+        assert fs.num_faces > 0
+        assert (fs.node_counts == 3).all()
+
+    def test_wedge_split_conforming(self):
+        m = hex_to_wedges(structured_hex_grid((2, 2, 2)))
+        fs = interior_faces(m)
+        assert set(np.unique(fs.node_counts)) <= {3, 4}
+
+    def test_tet_count(self):
+        m = hex_to_tets(structured_hex_grid((2, 1, 1)))
+        assert m.num_elements == 12
+
+    def test_wedge_count(self):
+        m = hex_to_wedges(structured_hex_grid((3, 1, 1)))
+        assert m.num_elements == 6
+
+    def test_split_requires_hex(self):
+        q = parametric_quad_grid(
+            (2, 2), lambda U, V: np.stack([U, V], axis=-1)
+        )
+        with pytest.raises(MeshError):
+            hex_to_tets(q)
+        with pytest.raises(MeshError):
+            hex_to_wedges(q)
+
+    def test_identified_faces_appended(self):
+        m = structured_hex_grid((1, 1, 3))
+        base = interior_faces(m).num_faces
+        glued = Mesh(
+            m.base_points, m.cells, ElementType.HEX,
+            identified_faces=(
+                np.array([2]), np.array([0]),
+                m.cells[2, 4:8].reshape(1, 4), np.array([4]),
+            ),
+        )
+        fs = interior_faces(glued)
+        assert fs.num_faces == base + 1
+        assert fs.elem1[-1] == 2 and fs.elem2[-1] == 0

@@ -1,0 +1,72 @@
+"""Reference-element orientation tests: FACES orderings must be outward.
+
+These lock down the convention the whole geometry pipeline relies on:
+the right-hand-rule normal of each face's first three nodes points out of
+the unit element.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mesh import ELEMENT_DIM, FACES, NODES_PER_ELEMENT, ElementType
+
+UNIT_COORDS = {
+    ElementType.QUAD: np.array([[0, 0], [1, 0], [1, 1], [0, 1]], dtype=float),
+    ElementType.HEX: np.array(
+        [
+            [0, 0, 0], [1, 0, 0], [1, 1, 0], [0, 1, 0],
+            [0, 0, 1], [1, 0, 1], [1, 1, 1], [0, 1, 1],
+        ],
+        dtype=float,
+    ),
+    ElementType.TET: np.array(
+        [[0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 0, 1]], dtype=float
+    ),
+    ElementType.WEDGE: np.array(
+        [[0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 0, 1], [1, 0, 1], [0, 1, 1]],
+        dtype=float,
+    ),
+}
+
+
+@pytest.mark.parametrize("etype", list(ElementType))
+def test_node_counts(etype):
+    assert max(max(f) for f in FACES[etype]) < NODES_PER_ELEMENT[etype]
+    assert UNIT_COORDS[etype].shape[0] == NODES_PER_ELEMENT[etype]
+
+
+@pytest.mark.parametrize("etype", [ElementType.HEX, ElementType.TET, ElementType.WEDGE])
+def test_3d_faces_point_outward(etype):
+    coords = UNIT_COORDS[etype]
+    centroid = coords.mean(axis=0)
+    for face in FACES[etype]:
+        p = coords[list(face)]
+        normal = np.cross(p[1] - p[0], p[2] - p[0])
+        face_center = p.mean(axis=0)
+        assert np.dot(normal, face_center - centroid) > 0, (etype, face)
+
+
+def test_quad_edges_ccw_outward():
+    coords = UNIT_COORDS[ElementType.QUAD]
+    centroid = coords.mean(axis=0)
+    for a, b in FACES[ElementType.QUAD]:
+        t = coords[b] - coords[a]
+        outward = np.array([t[1], -t[0]])
+        edge_center = 0.5 * (coords[a] + coords[b])
+        assert np.dot(outward, edge_center - centroid) > 0
+
+
+@pytest.mark.parametrize("etype", list(ElementType))
+def test_every_element_face_cover(etype):
+    """Each node appears on at least one face; 3-D faces cover all nodes."""
+    nodes = set()
+    for f in FACES[etype]:
+        nodes.update(f)
+    assert nodes == set(range(NODES_PER_ELEMENT[etype]))
+
+
+def test_element_dims():
+    assert ELEMENT_DIM[ElementType.QUAD] == 2
+    assert ELEMENT_DIM[ElementType.HEX] == 3
+    assert ELEMENT_DIM[ElementType.TET] == 3
+    assert ELEMENT_DIM[ElementType.WEDGE] == 3

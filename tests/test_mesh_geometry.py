@@ -1,0 +1,143 @@
+"""Tests for face quadrature normals (straight and curved geometry)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeshError
+from repro.mesh import (
+    ElementType,
+    Mesh,
+    face_quadrature_normals,
+    interior_faces,
+    quadrature_points_1d,
+    structured_hex_grid,
+    triangle_quadrature,
+    hex_to_tets,
+)
+from repro.mesh.builders import parametric_quad_grid
+
+
+def unit(v):
+    return v / np.linalg.norm(v, axis=-1, keepdims=True)
+
+
+class TestQuadraturePoints:
+    def test_gauss_1d_inside(self):
+        for n in (1, 2, 3, 4):
+            q = quadrature_points_1d(n)
+            assert q.size == n
+            assert np.all((q > 0) & (q < 1))
+
+    def test_gauss_symmetric(self):
+        q = quadrature_points_1d(2)
+        assert np.allclose(q[0] + q[1], 1.0)
+
+    def test_gauss_unsupported(self):
+        with pytest.raises(MeshError):
+            quadrature_points_1d(9)
+
+    def test_triangle_points_barycentric(self):
+        for n in (1, 2, 3):
+            b = triangle_quadrature(n)
+            assert np.allclose(b.sum(axis=1), 1.0)
+            assert np.all(b > 0)
+
+    def test_triangle_unsupported(self):
+        with pytest.raises(MeshError):
+            triangle_quadrature(7)
+
+
+class TestStraightNormals:
+    def test_hex_grid_axis_normals(self):
+        m = structured_hex_grid((2, 1, 1))
+        fs = interior_faces(m)
+        normals = face_quadrature_normals(m, fs)
+        # the single interior face is the x = 0.5 plane, outward from elem1
+        n = unit(normals[0])
+        expected = np.array([1.0, 0, 0]) if fs.elem1[0] == 0 else np.array([-1.0, 0, 0])
+        assert np.allclose(n, expected)
+
+    def test_constant_across_quad_points(self):
+        m = structured_hex_grid((2, 2, 2))
+        fs = interior_faces(m)
+        normals = unit(face_quadrature_normals(m, fs, points_per_dim=3))
+        spread = np.abs(normals - normals[:, :1, :]).max()
+        assert spread < 1e-12  # planar faces: identical at all points
+
+    def test_points_outward_from_elem1(self):
+        m = structured_hex_grid((3, 3, 3))
+        fs = interior_faces(m)
+        normals = unit(face_quadrature_normals(m, fs))
+        c = m.element_centroids()
+        away = unit(c[fs.elem2] - c[fs.elem1])
+        dots = np.einsum("fqe,fe->fq", normals, away)
+        assert np.all(dots > 0.9)
+
+    def test_tet_normals_outward(self):
+        m = hex_to_tets(structured_hex_grid((2, 2, 2)))
+        fs = interior_faces(m)
+        normals = unit(face_quadrature_normals(m, fs))
+        c = m.element_centroids()
+        away = unit(c[fs.elem2] - c[fs.elem1])
+        dots = np.einsum("fqe,fe->fq", normals, away)
+        assert np.all(dots > 0.0)
+
+    def test_2d_quad_edges_outward(self):
+        m = parametric_quad_grid((3, 3), lambda U, V: np.stack([U, V], axis=-1))
+        fs = interior_faces(m)
+        normals = unit(face_quadrature_normals(m, fs))
+        c = m.element_centroids()
+        away = unit(c[fs.elem2] - c[fs.elem1])
+        dots = np.einsum("fqe,fe->fq", normals, away)
+        assert np.all(dots > 0.9)
+
+    def test_empty_faceset(self):
+        m = structured_hex_grid((1, 1, 1))
+        fs = interior_faces(m)
+        out = face_quadrature_normals(m, fs)
+        assert out.shape[0] == 0
+
+
+class TestCurvedNormals:
+    def test_transform_bends_normals(self):
+        m0 = structured_hex_grid((4, 1, 1), (4.0, 1.0, 1.0))
+        # shift x by a function of y: tilts the x-plane interior faces
+        bend = lambda p: np.stack(
+            [p[..., 0] + 0.2 * np.sin(2.0 * p[..., 1]), p[..., 1], p[..., 2]],
+            axis=-1,
+        )
+        m = Mesh(m0.base_points, m0.cells, ElementType.HEX, transform=bend)
+        fs = interior_faces(m)
+        n_straight = unit(face_quadrature_normals(m0, fs))
+        n_curved = unit(face_quadrature_normals(m, fs))
+        assert np.abs(n_curved - n_straight).max() > 0.01
+
+    def test_quadrature_normal_variation_on_curved_face(self):
+        # strong nonlinear shear: normals must differ across one face
+        m0 = structured_hex_grid((2, 1, 1), (2.0, 1.0, 1.0))
+        shear = lambda p: np.stack(
+            [p[..., 0] + 0.5 * p[..., 1] ** 2 * p[..., 2], p[..., 1], p[..., 2]],
+            axis=-1,
+        )
+        m = Mesh(m0.base_points, m0.cells, ElementType.HEX, transform=shear)
+        fs = interior_faces(m)
+        normals = unit(face_quadrature_normals(m, fs, points_per_dim=2))
+        spread = np.abs(normals - normals[:, :1, :]).max()
+        assert spread > 1e-3
+
+    def test_rigid_rotation_exact(self):
+        # a rigid transform must rotate normals exactly (FD pushforward)
+        theta = 0.7
+        R = np.array(
+            [
+                [np.cos(theta), -np.sin(theta), 0],
+                [np.sin(theta), np.cos(theta), 0],
+                [0, 0, 1],
+            ]
+        )
+        m0 = structured_hex_grid((2, 2, 1))
+        m = Mesh(m0.base_points, m0.cells, ElementType.HEX, transform=lambda p: p @ R.T)
+        fs = interior_faces(m0)
+        n0 = unit(face_quadrature_normals(m0, fs))
+        n1 = unit(face_quadrature_normals(m, fs))
+        assert np.allclose(n1, n0 @ R.T, atol=1e-8)

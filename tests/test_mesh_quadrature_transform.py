@@ -1,0 +1,122 @@
+"""Tests for discrete ordinates and coordinate transforms."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeshError
+from repro.mesh import (
+    compose,
+    klein_map,
+    level_symmetric_s4,
+    level_symmetric_s6,
+    mobius_map,
+    ordinates_2d,
+    ordinates_3d,
+    ordinates_for,
+    sinusoidal_wobble,
+    torus_map,
+    twist_about_z,
+)
+
+
+class TestOrdinates:
+    def test_2d_unit_vectors(self):
+        o = ordinates_2d(8)
+        assert o.shape == (8, 2)
+        assert np.allclose(np.linalg.norm(o, axis=1), 1.0)
+
+    def test_2d_distinct(self):
+        o = ordinates_2d(16)
+        assert np.unique(np.round(o, 8), axis=0).shape[0] == 16
+
+    def test_2d_not_axis_aligned(self):
+        o = ordinates_2d(4)
+        assert np.abs(o).min() > 1e-3
+
+    def test_3d_unit_vectors(self):
+        o = ordinates_3d(30)
+        assert o.shape == (30, 3)
+        assert np.allclose(np.linalg.norm(o, axis=1), 1.0)
+
+    def test_3d_well_spread(self):
+        o = ordinates_3d(61)
+        dots = o @ o.T - 2 * np.eye(61)
+        assert dots.max() < 0.999  # no duplicated directions
+
+    def test_3d_covers_hemispheres(self):
+        o = ordinates_3d(32)
+        assert (o[:, 2] > 0).any() and (o[:, 2] < 0).any()
+
+    def test_invalid_count(self):
+        with pytest.raises(MeshError):
+            ordinates_2d(0)
+        with pytest.raises(MeshError):
+            ordinates_3d(0)
+
+    def test_dispatch(self):
+        assert ordinates_for(2, 4).shape == (4, 2)
+        assert ordinates_for(3, 4).shape == (4, 3)
+        with pytest.raises(MeshError):
+            ordinates_for(4, 4)
+
+    def test_level_symmetric_sets(self):
+        for s, count in ((level_symmetric_s4(), 24), (level_symmetric_s6(), 48)):
+            assert s.shape == (count, 3)
+            assert np.allclose(np.linalg.norm(s, axis=1), 1.0, atol=1e-6)
+            # octant symmetry: negating any axis permutes the set
+            for ax in range(3):
+                flipped = s.copy()
+                flipped[:, ax] *= -1
+                a = np.sort(np.round(s, 6).view("f8").reshape(count, 3), axis=0)
+                b = np.sort(np.round(flipped, 6), axis=0)
+                assert np.allclose(a, b)
+
+
+class TestTransforms:
+    def test_twist_preserves_z_and_radius(self):
+        t = twist_about_z(2.0, 10.0)
+        p = np.array([[1.0, 0.0, 5.0], [0.5, 0.5, 2.0]])
+        q = t(p)
+        assert np.allclose(q[:, 2], p[:, 2])
+        assert np.allclose(
+            np.hypot(q[:, 0], q[:, 1]), np.hypot(p[:, 0], p[:, 1])
+        )
+
+    def test_twist_angle(self):
+        t = twist_about_z(1.0, 4.0)  # one turn over z in [0, 4]
+        q = t(np.array([[1.0, 0.0, 1.0]]))
+        ang = np.arctan2(q[0, 1], q[0, 0])
+        assert np.isclose(ang, np.pi / 2)
+
+    def test_wobble_smooth_and_bounded(self):
+        w = sinusoidal_wobble(0.1, 3.0)
+        p = np.random.default_rng(0).random((100, 3))
+        q = w(p)
+        assert np.abs(q - p).max() <= 0.2 + 1e-12
+
+    def test_wobble_zero_amplitude_identity(self):
+        w = sinusoidal_wobble(0.0, 3.0)
+        p = np.random.default_rng(1).random((10, 3))
+        assert np.allclose(w(p), p)
+
+    def test_torus_map_periodicity(self):
+        t = torus_map(2.0, 0.5, (1.0, 1.0, 1.0))
+        a = t(np.array([[0.0, 0.3, 0.2]]))
+        b = t(np.array([[1.0, 0.3, 0.2]]))  # poloidal wrap
+        assert np.allclose(a, b)
+
+    def test_mobius_map_half_twist_identification(self):
+        m = mobius_map(2.0, 0.8, 1.0)
+        a = m(np.array([[1.0, 0.3]]))
+        b = m(np.array([[0.0, -0.3]]))
+        assert np.allclose(a, b, atol=1e-12)
+
+    def test_klein_map_identification(self):
+        k = klein_map(1.0, 1.0, 1.0)
+        a = k(np.array([[1.0, 0.25]]))
+        b = k(np.array([[0.0, -0.25]]))
+        assert np.allclose(a, b, atol=1e-12)
+
+    def test_compose(self):
+        f = compose(lambda p: p + 1.0, lambda p: p * 2.0)
+        assert np.allclose(f(np.zeros((1, 3))), 2.0)

@@ -1,0 +1,104 @@
+"""Tests for boundary-face extraction and mesh quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import (
+    beam_hex,
+    boundary_faces,
+    hex_to_tets,
+    klein_bottle,
+    mesh_quality,
+    mobius_strip,
+    star,
+    structured_hex_grid,
+    toroid_hex,
+    toroid_wedge,
+    torch_hex,
+    torch_tet,
+    twist_hex,
+)
+
+
+class TestBoundaryFaces:
+    def test_box_count(self):
+        # surface quads of an (a, b, c) grid: 2(ab + bc + ca)
+        m = structured_hex_grid((3, 2, 2))
+        assert boundary_faces(m).num_faces == 2 * (3 * 2 + 2 * 2 + 3 * 2)
+
+    def test_single_element(self):
+        m = structured_hex_grid((1, 1, 1))
+        assert boundary_faces(m).num_faces == 6
+
+    def test_faces_belong_to_owner(self):
+        m = structured_hex_grid((2, 2, 1))
+        bf = boundary_faces(m)
+        for k in range(bf.num_faces):
+            owner_nodes = set(m.cells[bf.element[k]].tolist())
+            face_nodes = set(bf.nodes[k][: bf.node_counts[k]].tolist())
+            assert face_nodes <= owner_nodes
+
+    def test_tet_split_boundary(self):
+        hexm = structured_hex_grid((2, 2, 2))
+        tets = hex_to_tets(hexm)
+        # every boundary quad splits into 2 boundary triangles
+        assert boundary_faces(tets).num_faces == 2 * boundary_faces(hexm).num_faces
+
+    def test_periodic_toroid_boundary(self):
+        # torus welded in 2 of 3 directions: only the radial sides remain:
+        # 2 * (poloidal cells * toroidal cells)
+        n = 2
+        m = toroid_hex(n)
+        assert boundary_faces(m).num_faces == 2 * (4 * n) * (12 * n)
+
+    def test_identified_a_side_excluded(self):
+        # klein bottle: the fully-glued surface keeps only the partner-side
+        # records (one per identification, see boundary_faces docstring)
+        m = klein_bottle(4)
+        ea, _, _, _ = m.identified_faces
+        assert boundary_faces(m).num_faces == ea.size
+
+    def test_star_boundary(self):
+        n = 4
+        m = star(n)  # welded annulus: inner + outer rims only
+        assert boundary_faces(m).num_faces == 2 * 5 * n
+
+
+class TestMeshQuality:
+    def test_unit_grid(self):
+        q = mesh_quality(structured_hex_grid((2, 2, 2)))
+        assert q.is_valid
+        assert q.max_aspect_ratio == pytest.approx(1.0)
+        assert q.min_edge_length == pytest.approx(0.5)
+
+    def test_anisotropic_grid(self):
+        q = mesh_quality(structured_hex_grid((4, 2, 1), (1.0, 1.0, 1.0)))
+        assert q.max_aspect_ratio == pytest.approx(4.0)
+
+    @pytest.mark.parametrize(
+        "builder,n",
+        [
+            (beam_hex, 2), (star, 4), (torch_hex, 2), (torch_tet, 2),
+            (toroid_hex, 2), (toroid_wedge, 2), (mobius_strip, 6),
+            (klein_bottle, 4), (twist_hex, 2),
+        ],
+        ids=lambda x: getattr(x, "__name__", str(x)),
+    )
+    def test_all_builders_noninverted(self, builder, n):
+        """No named mesh may contain orientation-inconsistent elements —
+        the guard that jitter/transform amplitudes stay geometric."""
+        q = mesh_quality(builder(n))
+        assert q.inverted_elements == 0
+        assert q.min_edge_length > 0
+
+    def test_detects_folded_element(self):
+        m = structured_hex_grid((2, 1, 1))
+        pts = m.base_points.copy()
+        # collapse one element by swapping two x-planes of nodes
+        pts[:, 0] = np.where(pts[:, 0] == 0.5, -1.0, pts[:, 0])
+        from repro.mesh import ElementType, Mesh
+
+        bad = Mesh(pts, m.cells, ElementType.HEX)
+        q = mesh_quality(bad)
+        assert q.inverted_elements > 0
+        assert not q.is_valid

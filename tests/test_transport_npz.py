@@ -1,0 +1,95 @@
+"""Tests for multi-ordinate transport and the npz graph format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError, IOFormatError
+from repro.graph import cycle_graph, random_gnm, read_npz, write_npz
+from repro.mesh import beam_hex, star, toroid_hex
+from repro.sweep import TransportProblem, TransportSolution, solve_transport
+
+
+class TestTransport:
+    def test_converges_on_cyclic_mesh(self):
+        sol = solve_transport(
+            TransportProblem(toroid_hex(2), num_ordinates=4, sigma_s=0.5)
+        )
+        assert sol.flux_residual < 1e-10
+        assert np.all(sol.scalar_flux > 0)
+        assert len(sol.num_sccs_per_ordinate) == 4
+        assert sol.scc_detect_model_seconds > 0
+
+    def test_no_scattering_one_pass(self):
+        sol = solve_transport(
+            TransportProblem(beam_hex(2), num_ordinates=4, sigma_s=0.0)
+        )
+        assert sol.source_iterations <= 2
+
+    def test_more_scattering_more_iterations(self):
+        lo = solve_transport(
+            TransportProblem(star(4), num_ordinates=4, sigma_s=0.2)
+        )
+        hi = solve_transport(
+            TransportProblem(star(4), num_ordinates=4, sigma_s=1.2)
+        )
+        assert hi.source_iterations > lo.source_iterations
+
+    def test_flux_bounds(self):
+        """Provable pointwise bounds: q/sigma_t <= phi <= q/(sigma_t -
+        sigma_s - coupling*max_in_degree) for the model solver."""
+        p = TransportProblem(beam_hex(2), num_ordinates=4, sigma_s=0.5)
+        sol = solve_transport(p)
+        lo = 1.0 / p.sigma_t
+        max_in = 3  # beam-hex sweep graphs have in-degree <= 3
+        hi = 1.0 / (p.sigma_t - p.sigma_s - p.coupling * max_in)
+        assert sol.scalar_flux.min() >= lo - 1e-12
+        assert sol.scalar_flux.max() <= hi + 1e-12
+
+    def test_scattering_ratio_validated(self):
+        with pytest.raises(ConvergenceError):
+            TransportProblem(beam_hex(1), sigma_t=1.0, sigma_s=1.5)
+
+    def test_schedule_depths_reported(self):
+        sol = solve_transport(
+            TransportProblem(beam_hex(2), num_ordinates=2, sigma_s=0.0)
+        )
+        assert all(d >= 1 for d in sol.schedule_depths)
+
+    def test_tight_budget_raises(self):
+        with pytest.raises(ConvergenceError, match="source iteration"):
+            solve_transport(
+                TransportProblem(star(3), num_ordinates=2, sigma_s=1.5,
+                                 sigma_t=1.6),
+                max_source_iterations=2,
+            )
+
+
+class TestNpz:
+    def test_roundtrip(self, tmp_path):
+        g = random_gnm(60, 150, seed=4).with_name("rt")
+        p = tmp_path / "g.npz"
+        write_npz(p, g)
+        h = read_npz(p)
+        assert h.same_structure(g)
+        assert h.name == "rt"
+
+    def test_roundtrip_empty(self, tmp_path):
+        from repro.graph import CSRGraph
+
+        p = tmp_path / "e.npz"
+        write_npz(p, CSRGraph.empty(5))
+        assert read_npz(p).num_vertices == 5
+
+    def test_bad_file(self, tmp_path):
+        p = tmp_path / "junk.npz"
+        np.savez(p, foo=np.arange(3))
+        with pytest.raises(IOFormatError):
+            read_npz(p)
+
+    def test_cli_npz_roundtrip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        p = tmp_path / "c.npz"
+        write_npz(p, cycle_graph(9))
+        assert main(["scc", str(p), "--verify"]) == 0
+        assert "SCCs:             1" in capsys.readouterr().out

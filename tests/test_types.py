@@ -1,0 +1,96 @@
+"""Unit tests for repro.types."""
+
+import numpy as np
+import pytest
+
+from repro.types import (
+    NO_VERTEX,
+    VERTEX_DTYPE,
+    as_indptr_array,
+    as_vertex_array,
+    check_1d,
+    is_sorted,
+)
+
+
+class TestAsVertexArray:
+    def test_list_input(self):
+        a = as_vertex_array([1, 2, 3])
+        assert a.dtype == VERTEX_DTYPE
+        assert a.tolist() == [1, 2, 3]
+
+    def test_int32_widened(self):
+        a = as_vertex_array(np.array([1, 2], dtype=np.int32))
+        assert a.dtype == VERTEX_DTYPE
+
+    def test_preserves_int64_contiguous(self):
+        src = np.array([5, 6, 7], dtype=np.int64)
+        out = as_vertex_array(src)
+        assert out.dtype == VERTEX_DTYPE
+        assert out.flags.c_contiguous
+
+    def test_float_rejected(self):
+        with pytest.raises(TypeError, match="integer"):
+            as_vertex_array(np.array([1.0, 2.0]))
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError, match="integer"):
+            as_vertex_array(np.array([True, False]))
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            as_vertex_array(np.zeros((2, 2), dtype=np.int64))
+
+    def test_empty_ok(self):
+        assert as_vertex_array([]).size == 0
+
+    def test_noncontiguous_made_contiguous(self):
+        a = np.arange(10, dtype=np.int64)[::2]
+        out = as_vertex_array(a)
+        assert out.flags.c_contiguous
+        assert out.tolist() == [0, 2, 4, 6, 8]
+
+
+class TestAsIndptrArray:
+    def test_basic(self):
+        a = as_indptr_array([0, 2, 4])
+        assert a.dtype == np.int64
+
+    def test_float_rejected(self):
+        with pytest.raises(TypeError):
+            as_indptr_array(np.array([0.0, 1.0]))
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            as_indptr_array(np.zeros((2, 3), dtype=np.int64))
+
+
+class TestIsSorted:
+    def test_sorted(self):
+        assert is_sorted(np.array([1, 2, 2, 3]))
+
+    def test_unsorted(self):
+        assert not is_sorted(np.array([2, 1]))
+
+    def test_empty_and_single(self):
+        assert is_sorted(np.array([], dtype=np.int64))
+        assert is_sorted(np.array([7]))
+
+
+class TestCheck1d:
+    def test_passthrough(self):
+        a = np.arange(3)
+        assert check_1d(a, "x") is a
+
+    def test_non_array(self):
+        with pytest.raises(TypeError):
+            check_1d([1, 2], "x")
+
+    def test_wrong_ndim(self):
+        with pytest.raises(ValueError):
+            check_1d(np.zeros((2, 2)), "x")
+
+
+def test_no_vertex_sentinel():
+    assert NO_VERTEX == -1
+    assert NO_VERTEX.dtype == VERTEX_DTYPE
