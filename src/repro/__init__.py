@@ -19,7 +19,12 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.baselines` — Tarjan/Kosaraju oracles, FB, GPU-SCC, iSpan, Hong;
 * :mod:`repro.device` — virtual GPU/CPU specs, counters, cost model;
 * :mod:`repro.sweep` — the downstream transport-sweep application;
-* :mod:`repro.bench` — the paper's tables/figures as runnable experiments.
+* :mod:`repro.bench` — the paper's tables/figures as runnable experiments;
+* :mod:`repro.trace` — structured tracing (nested spans, counters, JSONL).
+
+Every ``*_scc`` entry point returns an :class:`~repro.results.AlgoResult`
+(or a subclass) and accepts an optional ``tracer=`` keyword; see
+``docs/observability.md``.
 """
 
 from .core.eclscc import EclResult, ecl_scc
@@ -29,13 +34,21 @@ from .graph.edgelist import EdgeList
 from .baselines.tarjan import tarjan_scc
 from .mesh.sweepgraph import build_sweep_graph
 from .analysis.verify import verify_labels
+from .results import AlgoResult, count_sccs
+from .trace import NULL_TRACER, NullTracer, Trace, Tracer
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "AlgoResult",
     "EclResult",
     "ecl_scc",
     "EclOptions",
+    "count_sccs",
+    "Trace",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
     "CSRGraph",
     "EdgeList",
     "tarjan_scc",

@@ -43,7 +43,8 @@ def verify_labels(graph: CSRGraph, labels: np.ndarray, *, oracle=None) -> None:
         raise VerificationError(
             f"labels has {labels.size} entries for {graph.num_vertices} vertices"
         )
-    truth = (oracle or tarjan_scc)(graph)
+    # oracles return AlgoResult; coerce to the bare label array
+    truth = np.asarray((oracle or tarjan_scc)(graph))
     if not partitions_equal(labels, truth):
         bad = int(np.count_nonzero(labels != truth))
         raise VerificationError(

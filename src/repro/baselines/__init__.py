@@ -5,6 +5,11 @@
 * :func:`gpu_scc` — Li et al. 2017, the fastest prior GPU code;
 * :func:`ispan_scc` — Ji et al. 2018, the fastest parallel CPU code;
 * :func:`hong_scc` — Hong et al. 2013.
+
+Every entry point returns an :class:`~repro.results.AlgoResult` (labels,
+num_sccs, device, trace) and accepts ``tracer=`` for per-phase spans;
+the legacy bare-array / ``(labels, device)`` tuple behaviors remain
+available through deprecation shims on the result object.
 """
 
 from .tarjan import normalize_labels_to_max, tarjan_scc

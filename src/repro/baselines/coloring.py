@@ -28,6 +28,8 @@ from ..device.executor import VirtualDevice
 from ..device.spec import TITAN_V, DeviceSpec
 from ..errors import ConvergenceError
 from ..graph.csr import CSRGraph
+from ..results import AlgoResult, count_sccs
+from ..trace import Tracer, ensure_tracer
 from ..types import NO_VERTEX, VERTEX_DTYPE
 
 __all__ = ["coloring_scc"]
@@ -37,17 +39,24 @@ def coloring_scc(
     graph: CSRGraph,
     *,
     device: "VirtualDevice | DeviceSpec | None" = None,
-) -> "tuple[np.ndarray, VirtualDevice]":
-    """Orzan-style coloring SCC.  Returns (labels, device); labels use the
-    max-member-ID convention like every other code in this library."""
+    tracer: "Tracer | None" = None,
+) -> AlgoResult:
+    """Orzan-style coloring SCC.  Labels use the max-member-ID convention
+    like every other code in this library.  Returns an
+    :class:`~repro.results.AlgoResult` (still unpackable as the legacy
+    ``(labels, device)`` tuple)."""
     if device is None:
         device = VirtualDevice(TITAN_V)
     elif isinstance(device, DeviceSpec):
         device = VirtualDevice(device)
+    tr = ensure_tracer(tracer)
     n = graph.num_vertices
     labels = np.full(n, NO_VERTEX, dtype=VERTEX_DTYPE)
     if n == 0:
-        return labels, device
+        return AlgoResult(
+            labels=labels, num_sccs=0, device=device,
+            trace=tr.trace if tr.enabled else None,
+        )
     src, dst = graph.edges()
     gt = graph.transpose()
     t_indptr, t_indices = gt.indptr, gt.indices
@@ -57,53 +66,64 @@ def coloring_scc(
         outer += 1
         if outer > n + 2:
             raise ConvergenceError("coloring SCC failed to converge")
-        # ---- forward max-color propagation over active edges ------------
-        color = np.arange(n, dtype=VERTEX_DTYPE)
-        live = active[src] & active[dst]
-        s, d = src[live], dst[live]
-        rounds = 0
-        while True:
-            rounds += 1
-            if rounds > n + 2:
-                raise ConvergenceError("color propagation failed to converge")
-            before = color[d]
-            np.maximum.at(color, d, color[s])
-            device.launch(
-                edges=s.size, bytes_per_edge=24, streamed_bytes=16 * s.size
-            )
-            device.round()
-            if not np.any(color[d] > before):
-                break
-        # ---- backward sweeps from every root within its color -----------
-        roots = np.flatnonzero(active & (color == np.arange(n)))
-        visited = np.zeros(n, dtype=bool)
-        visited[roots] = True
-        frontier = roots
-        while frontier.size:
-            # expand along reverse edges staying in the same color
-            counts = t_indptr[frontier + 1] - t_indptr[frontier]
-            total = int(counts.sum())
-            device.launch(
-                edges=total + int(frontier.size),
-                vertices=n,
-                bytes_per_vertex=8,
-                bytes_per_edge=24,
-            )
-            if total == 0:
-                break
-            offsets = np.repeat(t_indptr[frontier], counts)
-            ids = np.arange(total, dtype=VERTEX_DTYPE)
-            resets = np.repeat(np.cumsum(counts) - counts, counts)
-            nxt = t_indices[offsets + (ids - resets)]
-            same = color[nxt] == np.repeat(color[frontier], counts)
-            ok = same & active[nxt] & ~visited[nxt]
-            frontier = np.unique(nxt[ok])
-            visited[frontier] = True
-        # visited vertices form complete SCCs labelled by their color root
-        found = visited & active
-        labels[found] = color[found]
-        active &= ~found
-        device.launch(vertices=n, bytes_per_vertex=8)
+        with tr.span("outer-iteration", index=outer):
+            # ---- forward max-color propagation over active edges --------
+            color = np.arange(n, dtype=VERTEX_DTYPE)
+            live = active[src] & active[dst]
+            s, d = src[live], dst[live]
+            rounds = 0
+            with tr.span("color-propagation", edges=int(s.size)) as cp:
+                while True:
+                    rounds += 1
+                    if rounds > n + 2:
+                        raise ConvergenceError(
+                            "color propagation failed to converge"
+                        )
+                    before = color[d]
+                    np.maximum.at(color, d, color[s])
+                    device.launch(
+                        edges=s.size, bytes_per_edge=24, streamed_bytes=16 * s.size
+                    )
+                    device.round()
+                    if not np.any(color[d] > before):
+                        break
+                cp.set(rounds=rounds)
+            # ---- backward sweeps from every root within its color -------
+            with tr.span("backward-sweep"):
+                roots = np.flatnonzero(active & (color == np.arange(n)))
+                visited = np.zeros(n, dtype=bool)
+                visited[roots] = True
+                frontier = roots
+                while frontier.size:
+                    # expand along reverse edges staying in the same color
+                    counts = t_indptr[frontier + 1] - t_indptr[frontier]
+                    total = int(counts.sum())
+                    device.launch(
+                        edges=total + int(frontier.size),
+                        vertices=n,
+                        bytes_per_vertex=8,
+                        bytes_per_edge=24,
+                    )
+                    if total == 0:
+                        break
+                    offsets = np.repeat(t_indptr[frontier], counts)
+                    ids = np.arange(total, dtype=VERTEX_DTYPE)
+                    resets = np.repeat(np.cumsum(counts) - counts, counts)
+                    nxt = t_indices[offsets + (ids - resets)]
+                    same = color[nxt] == np.repeat(color[frontier], counts)
+                    ok = same & active[nxt] & ~visited[nxt]
+                    frontier = np.unique(nxt[ok])
+                    visited[frontier] = True
+            # visited vertices form complete SCCs labelled by their color root
+            found = visited & active
+            labels[found] = color[found]
+            active &= ~found
+            device.launch(vertices=n, bytes_per_vertex=8)
     # colors are root IDs = max ID reaching the SCC; the root is the max
     # *member* too (it reaches itself), so labels are already normalized
-    return labels, device
+    return AlgoResult(
+        labels=labels,
+        num_sccs=count_sccs(labels),
+        device=device,
+        trace=tr.trace if tr.enabled else None,
+    )

@@ -15,6 +15,8 @@ import numpy as np
 from ..device.executor import VirtualDevice
 from ..device.spec import RYZEN_2950X, DeviceSpec
 from ..graph.csr import CSRGraph
+from ..results import AlgoResult, count_sccs
+from ..trace import Tracer, ensure_tracer
 from ..types import NO_VERTEX, VERTEX_DTYPE
 from .reach import masked_bfs
 
@@ -26,7 +28,8 @@ def fb_scc(
     *,
     device: "VirtualDevice | DeviceSpec | None" = None,
     pivot: str = "max",
-) -> "tuple[np.ndarray, VirtualDevice]":
+    tracer: "Tracer | None" = None,
+) -> AlgoResult:
     """Forward-Backward SCC decomposition.
 
     Parameters
@@ -35,16 +38,21 @@ def fb_scc(
         ``"max"`` — highest vertex ID in the task (deterministic, and
         labels come out max-normalized for free); ``"first"`` — lowest.
 
-    Returns ``(labels, device)`` with max-member-ID labels.
+    Returns an :class:`~repro.results.AlgoResult` with max-member-ID
+    labels (still unpackable as the legacy ``(labels, device)`` tuple).
     """
     if device is None:
         device = VirtualDevice(RYZEN_2950X)
     elif isinstance(device, DeviceSpec):
         device = VirtualDevice(device)
+    tr = ensure_tracer(tracer)
     n = graph.num_vertices
     labels = np.full(n, NO_VERTEX, dtype=VERTEX_DTYPE)
     if n == 0:
-        return labels, device
+        return AlgoResult(
+            labels=labels, num_sccs=0, device=device,
+            trace=tr.trace if tr.enabled else None,
+        )
     gt = graph.transpose()
     # task queue of vertex-index arrays (subgraphs); masks are rebuilt per
     # task — the textbook formulation, not the coloring one
@@ -57,19 +65,26 @@ def fb_scc(
         if task.size == 1:
             labels[task[0]] = task[0]
             continue
-        mask[:] = False
-        mask[task] = True
-        p = int(task.max()) if pivot == "max" else int(task.min())
-        fwd, _ = masked_bfs(graph, np.asarray([p]), mask, device)
-        bwd, _ = masked_bfs(gt, np.asarray([p]), mask, device)
-        scc = fwd & bwd & mask
-        scc_idx = np.flatnonzero(scc)
-        labels[scc_idx] = scc_idx.max()
-        device.launch(vertices=task.size)
-        fwd_only = np.flatnonzero(fwd & ~scc & mask)
-        bwd_only = np.flatnonzero(bwd & ~scc & mask)
-        rest = np.flatnonzero(mask & ~fwd & ~bwd)
-        for sub in (fwd_only, bwd_only, rest):
-            if sub.size:
-                queue.append(sub.astype(VERTEX_DTYPE))
-    return labels, device
+        with tr.span("fb-task", size=int(task.size)):
+            mask[:] = False
+            mask[task] = True
+            p = int(task.max()) if pivot == "max" else int(task.min())
+            fwd, _ = masked_bfs(graph, np.asarray([p]), mask, device)
+            bwd, _ = masked_bfs(gt, np.asarray([p]), mask, device)
+            scc = fwd & bwd & mask
+            scc_idx = np.flatnonzero(scc)
+            labels[scc_idx] = scc_idx.max()
+            tr.counter("scc-detected", size=int(scc_idx.size))
+            device.launch(vertices=task.size)
+            fwd_only = np.flatnonzero(fwd & ~scc & mask)
+            bwd_only = np.flatnonzero(bwd & ~scc & mask)
+            rest = np.flatnonzero(mask & ~fwd & ~bwd)
+            for sub in (fwd_only, bwd_only, rest):
+                if sub.size:
+                    queue.append(sub.astype(VERTEX_DTYPE))
+    return AlgoResult(
+        labels=labels,
+        num_sccs=count_sccs(labels),
+        device=device,
+        trace=tr.trace if tr.enabled else None,
+    )

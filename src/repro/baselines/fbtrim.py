@@ -12,6 +12,8 @@ import numpy as np
 from ..device.executor import VirtualDevice
 from ..device.spec import RYZEN_2950X, DeviceSpec
 from ..graph.csr import CSRGraph
+from ..results import AlgoResult, count_sccs
+from ..trace import Tracer, ensure_tracer
 from ..types import NO_VERTEX, VERTEX_DTYPE
 from .reach import colored_fb_rounds
 from .trim import trim1, trim2
@@ -24,22 +26,37 @@ def fbtrim_scc(
     *,
     device: "VirtualDevice | DeviceSpec | None" = None,
     use_trim2: bool = True,
-) -> "tuple[np.ndarray, VirtualDevice]":
-    """Trim-1 (+ optional Trim-2), then coloring-FB on the remainder."""
+    tracer: "Tracer | None" = None,
+) -> AlgoResult:
+    """Trim-1 (+ optional Trim-2), then coloring-FB on the remainder.
+
+    Returns an :class:`~repro.results.AlgoResult` (still unpackable as
+    the legacy ``(labels, device)`` tuple)."""
     if device is None:
         device = VirtualDevice(RYZEN_2950X)
     elif isinstance(device, DeviceSpec):
         device = VirtualDevice(device)
+    tr = ensure_tracer(tracer)
     n = graph.num_vertices
     labels = np.full(n, NO_VERTEX, dtype=VERTEX_DTYPE)
     active = np.ones(n, dtype=bool)
     if n == 0:
-        return labels, device
-    trim1(graph, active, labels, device)
-    if use_trim2:
-        while trim2(graph, active, labels, device):
-            trim1(graph, active, labels, device)
-    if active.any():
-        colored_fb_rounds(graph, active, labels, device)
+        return AlgoResult(
+            labels=labels, num_sccs=0, device=device,
+            trace=tr.trace if tr.enabled else None,
+        )
+    with tr.span("trim"):
+        trim1(graph, active, labels, device)
+        if use_trim2:
+            while trim2(graph, active, labels, device):
+                trim1(graph, active, labels, device)
+    with tr.span("coloring-fb", remaining=int(active.sum())):
+        if active.any():
+            colored_fb_rounds(graph, active, labels, device)
     assert not np.any(labels == NO_VERTEX)
-    return labels, device
+    return AlgoResult(
+        labels=labels,
+        num_sccs=count_sccs(labels),
+        device=device,
+        trace=tr.trace if tr.enabled else None,
+    )

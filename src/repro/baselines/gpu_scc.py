@@ -26,6 +26,8 @@ import numpy as np
 from ..device.executor import VirtualDevice
 from ..device.spec import TITAN_V, DeviceSpec
 from ..graph.csr import CSRGraph
+from ..results import AlgoResult, count_sccs
+from ..trace import Tracer, ensure_tracer
 from ..types import NO_VERTEX, VERTEX_DTYPE
 from .reach import colored_fb_rounds, masked_bfs
 from .trim import trim1, trim2
@@ -37,49 +39,66 @@ def gpu_scc(
     graph: CSRGraph,
     *,
     device: "VirtualDevice | DeviceSpec | None" = None,
-) -> "tuple[np.ndarray, VirtualDevice]":
+    tracer: "Tracer | None" = None,
+) -> AlgoResult:
     """Li et al.'s GPU SCC algorithm on the virtual device.
 
-    Returns ``(labels, device)`` with max-member-ID labels.
+    Returns an :class:`~repro.results.AlgoResult` with max-member-ID
+    labels (still unpackable as the legacy ``(labels, device)`` tuple).
     """
     if device is None:
         device = VirtualDevice(TITAN_V)
     elif isinstance(device, DeviceSpec):
         device = VirtualDevice(device)
+    tr = ensure_tracer(tracer)
     n = graph.num_vertices
     labels = np.full(n, NO_VERTEX, dtype=VERTEX_DTYPE)
     active = np.ones(n, dtype=bool)
     if n == 0:
-        return labels, device
+        return AlgoResult(
+            labels=labels, num_sccs=0, device=device,
+            trace=tr.trace if tr.enabled else None,
+        )
 
     # phase 1: iterated Trim-1
-    trim1(graph, active, labels, device)
+    with tr.span("phase1-trim"):
+        trim1(graph, active, labels, device)
 
     # phase 2: giant-SCC detection from a high-degree pivot
-    if active.any():
-        deg = graph.out_degree() + graph.in_degree()
-        deg = np.where(active, deg, -1)
-        pivot = int(np.argmax(deg))
-        device.launch(vertices=n, atomics=int(active.sum()))
-        fwd, _ = masked_bfs(graph, np.asarray([pivot]), active, device)
-        bwd, _ = masked_bfs(graph.transpose(), np.asarray([pivot]), active, device)
-        scc = fwd & bwd & active
-        scc_idx = np.flatnonzero(scc)
-        if scc_idx.size:
-            labels[scc_idx] = scc_idx.max()
-            active[scc_idx] = False
-        device.launch(vertices=n)
+    with tr.span("phase2-giant-scc"):
+        if active.any():
+            deg = graph.out_degree() + graph.in_degree()
+            deg = np.where(active, deg, -1)
+            pivot = int(np.argmax(deg))
+            device.launch(vertices=n, atomics=int(active.sum()))
+            fwd, _ = masked_bfs(graph, np.asarray([pivot]), active, device)
+            bwd, _ = masked_bfs(
+                graph.transpose(), np.asarray([pivot]), active, device
+            )
+            scc = fwd & bwd & active
+            scc_idx = np.flatnonzero(scc)
+            if scc_idx.size:
+                labels[scc_idx] = scc_idx.max()
+                active[scc_idx] = False
+            device.launch(vertices=n)
 
     # phase 3: re-trim (Trim-1 then Trim-2 then Trim-1 again)
-    if active.any():
-        trim1(graph, active, labels, device)
-    if active.any():
-        if trim2(graph, active, labels, device):
+    with tr.span("phase3-retrim"):
+        if active.any():
             trim1(graph, active, labels, device)
+        if active.any():
+            if trim2(graph, active, labels, device):
+                trim1(graph, active, labels, device)
 
     # phase 4: coloring-FB over everything that remains
-    if active.any():
-        colored_fb_rounds(graph, active, labels, device)
+    with tr.span("phase4-coloring-fb", remaining=int(active.sum())):
+        if active.any():
+            colored_fb_rounds(graph, active, labels, device)
 
     assert not np.any(labels == NO_VERTEX)
-    return labels, device
+    return AlgoResult(
+        labels=labels,
+        num_sccs=count_sccs(labels),
+        device=device,
+        trace=tr.trace if tr.enabled else None,
+    )

@@ -22,6 +22,8 @@ from ..device.executor import VirtualDevice
 from ..device.spec import XEON_6226R, DeviceSpec
 from ..graph.csr import CSRGraph
 from ..graph.properties import weakly_connected_components
+from ..results import AlgoResult, count_sccs
+from ..trace import Tracer, ensure_tracer
 from ..types import NO_VERTEX, VERTEX_DTYPE
 from .reach import colored_fb_rounds, masked_bfs
 from .trim import trim1, trim2
@@ -33,47 +35,65 @@ def hong_scc(
     graph: CSRGraph,
     *,
     device: "VirtualDevice | DeviceSpec | None" = None,
-) -> "tuple[np.ndarray, VirtualDevice]":
-    """Hong et al.'s method on the virtual CPU.  Returns (labels, device)."""
+    tracer: "Tracer | None" = None,
+) -> AlgoResult:
+    """Hong et al.'s method on the virtual CPU.  Returns an
+    :class:`~repro.results.AlgoResult` (still unpackable as the legacy
+    ``(labels, device)`` tuple)."""
     if device is None:
         device = VirtualDevice(XEON_6226R)
     elif isinstance(device, DeviceSpec):
         device = VirtualDevice(device)
+    tr = ensure_tracer(tracer)
     n = graph.num_vertices
     labels = np.full(n, NO_VERTEX, dtype=VERTEX_DTYPE)
     active = np.ones(n, dtype=bool)
     if n == 0:
-        return labels, device
+        return AlgoResult(
+            labels=labels, num_sccs=0, device=device,
+            trace=tr.trace if tr.enabled else None,
+        )
 
-    trim1(graph, active, labels, device)
-    if active.any():
-        trim2(graph, active, labels, device)
+    with tr.span("phase1-trim"):
         trim1(graph, active, labels, device)
+        if active.any():
+            trim2(graph, active, labels, device)
+            trim1(graph, active, labels, device)
 
-    if active.any():
-        deg = graph.out_degree() + graph.in_degree()
-        deg = np.where(active, deg, -1)
-        pivot = int(np.argmax(deg))
-        device.serial(n)
-        fwd, _ = masked_bfs(graph, np.asarray([pivot]), active, device)
-        bwd, _ = masked_bfs(graph.transpose(), np.asarray([pivot]), active, device)
-        scc = fwd & bwd & active
-        scc_idx = np.flatnonzero(scc)
-        if scc_idx.size:
-            labels[scc_idx] = scc_idx.max()
-            active[scc_idx] = False
-        device.launch(vertices=n)
+    with tr.span("phase2-giant-scc"):
+        if active.any():
+            deg = graph.out_degree() + graph.in_degree()
+            deg = np.where(active, deg, -1)
+            pivot = int(np.argmax(deg))
+            device.serial(n)
+            fwd, _ = masked_bfs(graph, np.asarray([pivot]), active, device)
+            bwd, _ = masked_bfs(
+                graph.transpose(), np.asarray([pivot]), active, device
+            )
+            scc = fwd & bwd & active
+            scc_idx = np.flatnonzero(scc)
+            if scc_idx.size:
+                labels[scc_idx] = scc_idx.max()
+                active[scc_idx] = False
+            device.launch(vertices=n)
 
-    if active.any():
-        # WCC decomposition of the remainder (label propagation), then FB
-        # within each WCC.  The colors of colored_fb_rounds start from the
-        # WCC labels, so components are processed as independent tasks.
-        wcc = weakly_connected_components(graph)
-        device.launch(edges=graph.num_edges, vertices=n, bytes_per_edge=24)
-        _fb_with_initial_colors(graph, active, labels, device, wcc)
+    with tr.span("phase3-wcc-fb", remaining=int(active.sum())):
+        if active.any():
+            # WCC decomposition of the remainder (label propagation), then
+            # FB within each WCC.  The colors of colored_fb_rounds start
+            # from the WCC labels, so components are processed as
+            # independent tasks.
+            wcc = weakly_connected_components(graph)
+            device.launch(edges=graph.num_edges, vertices=n, bytes_per_edge=24)
+            _fb_with_initial_colors(graph, active, labels, device, wcc)
 
     assert not np.any(labels == NO_VERTEX)
-    return labels, device
+    return AlgoResult(
+        labels=labels,
+        num_sccs=count_sccs(labels),
+        device=device,
+        trace=tr.trace if tr.enabled else None,
+    )
 
 
 def _fb_with_initial_colors(

@@ -29,6 +29,8 @@ import numpy as np
 from ..device.executor import VirtualDevice
 from ..device.spec import XEON_6226R, DeviceSpec
 from ..graph.csr import CSRGraph
+from ..results import AlgoResult, count_sccs
+from ..trace import Tracer, ensure_tracer
 from ..types import NO_VERTEX, VERTEX_DTYPE
 from .reach import colored_fb_rounds, masked_bfs
 from .trim import trim1, trim2, trim3
@@ -44,58 +46,74 @@ def ispan_scc(
     graph: CSRGraph,
     *,
     device: "VirtualDevice | DeviceSpec | None" = None,
-) -> "tuple[np.ndarray, VirtualDevice]":
-    """iSpan on the virtual CPU.  Returns (labels, device)."""
+    tracer: "Tracer | None" = None,
+) -> AlgoResult:
+    """iSpan on the virtual CPU.  Returns an
+    :class:`~repro.results.AlgoResult` (still unpackable as the legacy
+    ``(labels, device)`` tuple)."""
     if device is None:
         device = VirtualDevice(XEON_6226R)
     elif isinstance(device, DeviceSpec):
         device = VirtualDevice(device)
+    tr = ensure_tracer(tracer)
     n = graph.num_vertices
     labels = np.full(n, NO_VERTEX, dtype=VERTEX_DTYPE)
     active = np.ones(n, dtype=bool)
     if n == 0:
-        return labels, device
+        return AlgoResult(
+            labels=labels, num_sccs=0, device=device,
+            trace=tr.trace if tr.enabled else None,
+        )
 
     # phase 1: Trim-1 before the large-SCC search
-    trim1(graph, active, labels, device)
+    with tr.span("phase1-trim"):
+        trim1(graph, active, labels, device)
 
     # phase 2: spanning-tree forward/backward from the hub vertex
-    if active.any():
-        deg = graph.out_degree() + graph.in_degree()
-        deg = np.where(active, deg, -1)
-        hub = int(np.argmax(deg))
-        device.serial(n)  # hub selection scan
-        fwd, _ = masked_bfs(
-            graph, np.asarray([hub]), active, device,
-            serial_level_cost=_LEVEL_SERIAL_OPS,
-        )
-        bwd, _ = masked_bfs(
-            graph.transpose(), np.asarray([hub]), active, device,
-            serial_level_cost=_LEVEL_SERIAL_OPS,
-        )
-        scc = fwd & bwd & active
-        scc_idx = np.flatnonzero(scc)
-        if scc_idx.size:
-            labels[scc_idx] = scc_idx.max()
-            active[scc_idx] = False
-        device.launch(vertices=n)
+    with tr.span("phase2-giant-scc"):
+        if active.any():
+            deg = graph.out_degree() + graph.in_degree()
+            deg = np.where(active, deg, -1)
+            hub = int(np.argmax(deg))
+            device.serial(n)  # hub selection scan
+            fwd, _ = masked_bfs(
+                graph, np.asarray([hub]), active, device,
+                serial_level_cost=_LEVEL_SERIAL_OPS,
+            )
+            bwd, _ = masked_bfs(
+                graph.transpose(), np.asarray([hub]), active, device,
+                serial_level_cost=_LEVEL_SERIAL_OPS,
+            )
+            scc = fwd & bwd & active
+            scc_idx = np.flatnonzero(scc)
+            if scc_idx.size:
+                labels[scc_idx] = scc_idx.max()
+                active[scc_idx] = False
+            device.launch(vertices=n)
 
     # phase 3: Trim-1, Trim-2, Trim-3
-    if active.any():
-        trim1(graph, active, labels, device)
-    if active.any():
-        if trim2(graph, active, labels, device):
+    with tr.span("phase3-retrim"):
+        if active.any():
             trim1(graph, active, labels, device)
-    if active.any():
-        if trim3(graph, active, labels, device):
-            trim1(graph, active, labels, device)
+        if active.any():
+            if trim2(graph, active, labels, device):
+                trim1(graph, active, labels, device)
+        if active.any():
+            if trim3(graph, active, labels, device):
+                trim1(graph, active, labels, device)
 
     # phase 4: task-parallel FB on the residual subgraphs
-    if active.any():
-        colored_fb_rounds(
-            graph, active, labels, device,
-            serial_level_cost=_LEVEL_SERIAL_OPS,
-        )
+    with tr.span("phase4-residual-fb", remaining=int(active.sum())):
+        if active.any():
+            colored_fb_rounds(
+                graph, active, labels, device,
+                serial_level_cost=_LEVEL_SERIAL_OPS,
+            )
 
     assert not np.any(labels == NO_VERTEX)
-    return labels, device
+    return AlgoResult(
+        labels=labels,
+        num_sccs=count_sccs(labels),
+        device=device,
+        trace=tr.trace if tr.enabled else None,
+    )

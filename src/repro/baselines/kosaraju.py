@@ -14,67 +14,82 @@ from __future__ import annotations
 import numpy as np
 
 from ..graph.csr import CSRGraph
+from ..results import AlgoResult, count_sccs
+from ..trace import Tracer, ensure_tracer
 from ..types import VERTEX_DTYPE
 from .tarjan import normalize_labels_to_max
 
 __all__ = ["kosaraju_scc"]
 
 
-def kosaraju_scc(graph: CSRGraph) -> np.ndarray:
-    """Kosaraju's algorithm; returns max-ID-normalized per-vertex labels."""
+def kosaraju_scc(
+    graph: CSRGraph, *, tracer: "Tracer | None" = None
+) -> AlgoResult:
+    """Kosaraju's algorithm; labels are max-ID-normalized per-vertex.
+
+    Returns an :class:`~repro.results.AlgoResult` with ``device=None``
+    (serial oracle, outside the device model)."""
+    tr = ensure_tracer(tracer)
     n = graph.num_vertices
     indptr, indices = graph.indptr, graph.indices
 
     # Pass 1: DFS finish order on G.
-    visited = np.zeros(n, dtype=bool)
-    finish_order = np.empty(n, dtype=VERTEX_DTYPE)
-    fo_cursor = 0
-    dfs_v: "list[int]" = []
-    dfs_cursor: "list[int]" = []
-    for root in range(n):
-        if visited[root]:
-            continue
-        visited[root] = True
-        dfs_v.append(root)
-        dfs_cursor.append(int(indptr[root]))
-        while dfs_v:
-            v = dfs_v[-1]
-            cursor = dfs_cursor[-1]
-            end = int(indptr[v + 1])
-            advanced = False
-            while cursor < end:
-                w = int(indices[cursor])
-                cursor += 1
-                if not visited[w]:
-                    visited[w] = True
-                    dfs_cursor[-1] = cursor
-                    dfs_v.append(w)
-                    dfs_cursor.append(int(indptr[w]))
-                    advanced = True
-                    break
-            if advanced:
+    with tr.span("kosaraju-pass1", vertices=n):
+        visited = np.zeros(n, dtype=bool)
+        finish_order = np.empty(n, dtype=VERTEX_DTYPE)
+        fo_cursor = 0
+        dfs_v: "list[int]" = []
+        dfs_cursor: "list[int]" = []
+        for root in range(n):
+            if visited[root]:
                 continue
-            dfs_v.pop()
-            dfs_cursor.pop()
-            finish_order[fo_cursor] = v
-            fo_cursor += 1
+            visited[root] = True
+            dfs_v.append(root)
+            dfs_cursor.append(int(indptr[root]))
+            while dfs_v:
+                v = dfs_v[-1]
+                cursor = dfs_cursor[-1]
+                end = int(indptr[v + 1])
+                advanced = False
+                while cursor < end:
+                    w = int(indices[cursor])
+                    cursor += 1
+                    if not visited[w]:
+                        visited[w] = True
+                        dfs_cursor[-1] = cursor
+                        dfs_v.append(w)
+                        dfs_cursor.append(int(indptr[w]))
+                        advanced = True
+                        break
+                if advanced:
+                    continue
+                dfs_v.pop()
+                dfs_cursor.pop()
+                finish_order[fo_cursor] = v
+                fo_cursor += 1
 
     # Pass 2: DFS on G^T in reverse finish order; each tree is one SCC.
-    gt = graph.transpose()
-    t_indptr, t_indices = gt.indptr, gt.indices
-    labels = np.full(n, -1, dtype=VERTEX_DTYPE)
-    stack: "list[int]" = []
-    for i in range(n - 1, -1, -1):
-        root = int(finish_order[i])
-        if labels[root] != -1:
-            continue
-        labels[root] = root
-        stack.append(root)
-        while stack:
-            v = stack.pop()
-            for cursor in range(int(t_indptr[v]), int(t_indptr[v + 1])):
-                w = int(t_indices[cursor])
-                if labels[w] == -1:
-                    labels[w] = root
-                    stack.append(w)
-    return normalize_labels_to_max(labels)
+    with tr.span("kosaraju-pass2", vertices=n):
+        gt = graph.transpose()
+        t_indptr, t_indices = gt.indptr, gt.indices
+        labels = np.full(n, -1, dtype=VERTEX_DTYPE)
+        stack: "list[int]" = []
+        for i in range(n - 1, -1, -1):
+            root = int(finish_order[i])
+            if labels[root] != -1:
+                continue
+            labels[root] = root
+            stack.append(root)
+            while stack:
+                v = stack.pop()
+                for cursor in range(int(t_indptr[v]), int(t_indptr[v + 1])):
+                    w = int(t_indices[cursor])
+                    if labels[w] == -1:
+                        labels[w] = root
+                        stack.append(w)
+        labels = normalize_labels_to_max(labels)
+    return AlgoResult(
+        labels=labels,
+        num_sccs=count_sccs(labels),
+        trace=tr.trace if tr.enabled else None,
+    )

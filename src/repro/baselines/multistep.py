@@ -22,6 +22,8 @@ from ..device.executor import VirtualDevice
 from ..device.spec import XEON_6226R, DeviceSpec
 from ..graph.csr import CSRGraph
 from ..graph.ops import induced_subgraph
+from ..results import AlgoResult, count_sccs
+from ..trace import Tracer, ensure_tracer
 from ..types import NO_VERTEX, VERTEX_DTYPE
 from .coloring import coloring_scc
 from .reach import masked_bfs
@@ -35,50 +37,67 @@ def multistep_scc(
     *,
     device: "VirtualDevice | DeviceSpec | None" = None,
     use_trim2: bool = True,
-) -> "tuple[np.ndarray, VirtualDevice]":
-    """Slota et al.'s Multistep method.  Returns (labels, device)."""
+    tracer: "Tracer | None" = None,
+) -> AlgoResult:
+    """Slota et al.'s Multistep method.  Returns an
+    :class:`~repro.results.AlgoResult` (still unpackable as the legacy
+    ``(labels, device)`` tuple)."""
     if device is None:
         device = VirtualDevice(XEON_6226R)
     elif isinstance(device, DeviceSpec):
         device = VirtualDevice(device)
+    tr = ensure_tracer(tracer)
     n = graph.num_vertices
     labels = np.full(n, NO_VERTEX, dtype=VERTEX_DTYPE)
     if n == 0:
-        return labels, device
+        return AlgoResult(
+            labels=labels, num_sccs=0, device=device,
+            trace=tr.trace if tr.enabled else None,
+        )
 
     active = np.ones(n, dtype=bool)
     # step 1: trim
-    trim1(graph, active, labels, device)
-    if use_trim2 and active.any():
-        if trim2(graph, active, labels, device):
-            trim1(graph, active, labels, device)
+    with tr.span("step1-trim"):
+        trim1(graph, active, labels, device)
+        if use_trim2 and active.any():
+            if trim2(graph, active, labels, device):
+                trim1(graph, active, labels, device)
 
     # step 2: one FW-BW from the max-total-degree pivot
-    if active.any():
-        deg = graph.out_degree() + graph.in_degree()
-        deg = np.where(active, deg, -1)
-        pivot = int(np.argmax(deg))
-        device.serial(n)
-        fwd, _ = masked_bfs(graph, np.asarray([pivot]), active, device)
-        bwd, _ = masked_bfs(graph.transpose(), np.asarray([pivot]), active, device)
-        scc = fwd & bwd & active
-        scc_idx = np.flatnonzero(scc)
-        if scc_idx.size:
-            labels[scc_idx] = scc_idx.max()
-            active[scc_idx] = False
-        device.launch(vertices=n)
-        trim1(graph, active, labels, device)
+    with tr.span("step2-fwbw"):
+        if active.any():
+            deg = graph.out_degree() + graph.in_degree()
+            deg = np.where(active, deg, -1)
+            pivot = int(np.argmax(deg))
+            device.serial(n)
+            fwd, _ = masked_bfs(graph, np.asarray([pivot]), active, device)
+            bwd, _ = masked_bfs(
+                graph.transpose(), np.asarray([pivot]), active, device
+            )
+            scc = fwd & bwd & active
+            scc_idx = np.flatnonzero(scc)
+            if scc_idx.size:
+                labels[scc_idx] = scc_idx.max()
+                active[scc_idx] = False
+            device.launch(vertices=n)
+            trim1(graph, active, labels, device)
 
     # step 3: coloring SCC on the remaining induced subgraph
-    if active.any():
-        sub, original = induced_subgraph(graph, active)
-        sub_labels, sub_dev = coloring_scc(sub, device=device.spec)
-        device.counters.merge(sub_dev.counters)
-        # `original` is sorted ascending, so the compaction is monotone:
-        # the max sub-index of a component maps to its max original ID,
-        # and labels stay max-member-normalized through the lookup.
-        labels[original] = original[sub_labels]
-        active[original] = False
+    with tr.span("step3-coloring", remaining=int(active.sum())):
+        if active.any():
+            sub, original = induced_subgraph(graph, active)
+            sub_res = coloring_scc(sub, device=device.spec, tracer=tr)
+            device.counters.merge(sub_res.device.counters)
+            # `original` is sorted ascending, so the compaction is monotone:
+            # the max sub-index of a component maps to its max original ID,
+            # and labels stay max-member-normalized through the lookup.
+            labels[original] = original[sub_res.labels]
+            active[original] = False
 
     assert not np.any(labels == NO_VERTEX)
-    return labels, device
+    return AlgoResult(
+        labels=labels,
+        num_sccs=count_sccs(labels),
+        device=device,
+        trace=tr.trace if tr.enabled else None,
+    )

@@ -12,6 +12,10 @@ same SCC, and each label is the **maximum vertex ID** inside its component.
 Normalizing all algorithms to the max-ID convention makes outputs directly
 comparable with ``np.array_equal`` — no canonicalization pass needed in
 tests or verification.
+
+Like every ``*_scc`` entry point, :func:`tarjan_scc` returns an
+:class:`~repro.results.AlgoResult`; the result still behaves like the
+bare label array it historically returned (deprecated).
 """
 
 from __future__ import annotations
@@ -19,6 +23,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..graph.csr import CSRGraph
+from ..results import AlgoResult, count_sccs
+from ..trace import Tracer, ensure_tracer
 from ..types import VERTEX_DTYPE
 
 __all__ = ["tarjan_scc", "normalize_labels_to_max"]
@@ -36,12 +42,27 @@ def normalize_labels_to_max(labels: np.ndarray) -> np.ndarray:
     return reps[dense]
 
 
-def tarjan_scc(graph: CSRGraph) -> np.ndarray:
-    """Tarjan's algorithm; returns max-ID-normalized per-vertex labels.
+def tarjan_scc(
+    graph: CSRGraph, *, tracer: "Tracer | None" = None
+) -> AlgoResult:
+    """Tarjan's algorithm; labels are max-ID-normalized per-vertex.
 
     O(V + E) time, iterative.  Lowlink bookkeeping follows the classic
     formulation; the DFS stack stores (vertex, next-edge-cursor) pairs.
+    Returns an :class:`~repro.results.AlgoResult` with ``device=None``
+    (the oracle runs serially, outside the device model).
     """
+    tr = ensure_tracer(tracer)
+    with tr.span("tarjan-dfs", vertices=graph.num_vertices):
+        labels = _tarjan_labels(graph)
+    return AlgoResult(
+        labels=labels,
+        num_sccs=count_sccs(labels),
+        trace=tr.trace if tr.enabled else None,
+    )
+
+
+def _tarjan_labels(graph: CSRGraph) -> np.ndarray:
     n = graph.num_vertices
     indptr = graph.indptr
     indices = graph.indices

@@ -6,6 +6,11 @@ median-of-9 protocol and verifying the labels against Tarjan.  The
 returned :class:`RunResult` carries both the *model* runtime (virtual
 device cost estimate — the number the paper-style tables use) and the
 Python wall time (reported alongside for transparency).
+
+Every algorithm returns an :class:`~repro.results.AlgoResult`, so the
+dispatch here is a flat registry instead of the old per-algorithm
+unpacking if-chain; pass ``tracer=`` to record the run's phase spans
+(attached to the result as ``RunResult.trace``).
 """
 
 from __future__ import annotations
@@ -34,9 +39,41 @@ from ..device.executor import VirtualDevice
 from ..device.spec import DeviceSpec
 from ..errors import AlgorithmError
 from ..graph.csr import CSRGraph
+from ..results import AlgoResult
+from ..trace import NULL_TRACER, Trace, Tracer
 from .timing import TimedRun, median_time
 
 __all__ = ["RunResult", "run_algorithm", "ALGORITHM_NAMES"]
+
+
+def _run_oracle(fn: Callable, graph: CSRGraph, spec: DeviceSpec, tracer) -> AlgoResult:
+    """Serial oracle run: attach a device charged with all-serial work."""
+    dev = VirtualDevice(spec)
+    res = fn(graph, tracer=tracer)
+    # serial oracle: all work on the critical path
+    dev.serial(4 * (graph.num_vertices + graph.num_edges))
+    res.device = dev
+    return res
+
+
+#: name -> callable(graph, spec, options, tracer) -> AlgoResult
+_DISPATCH: "dict[str, Callable[..., AlgoResult]]" = {
+    "ecl-scc": lambda g, spec, opts, tr: ecl_scc(
+        g, options=opts, device=spec, tracer=tr
+    ),
+    "ecl-scc-minmax": lambda g, spec, opts, tr: minmax_scc(
+        g, device=spec, tracer=tr
+    ),
+    "gpu-scc": lambda g, spec, opts, tr: gpu_scc(g, device=spec, tracer=tr),
+    "ispan": lambda g, spec, opts, tr: ispan_scc(g, device=spec, tracer=tr),
+    "hong": lambda g, spec, opts, tr: hong_scc(g, device=spec, tracer=tr),
+    "multistep": lambda g, spec, opts, tr: multistep_scc(g, device=spec, tracer=tr),
+    "coloring": lambda g, spec, opts, tr: coloring_scc(g, device=spec, tracer=tr),
+    "fb": lambda g, spec, opts, tr: fb_scc(g, device=spec, tracer=tr),
+    "fb-trim": lambda g, spec, opts, tr: fbtrim_scc(g, device=spec, tracer=tr),
+    "tarjan": lambda g, spec, opts, tr: _run_oracle(tarjan_scc, g, spec, tr),
+    "kosaraju": lambda g, spec, opts, tr: _run_oracle(kosaraju_scc, g, spec, tr),
+}
 
 ALGORITHM_NAMES = (
     "ecl-scc",
@@ -51,6 +88,9 @@ ALGORITHM_NAMES = (
     "tarjan",
     "kosaraju",
 )
+
+#: signature arrays resident per vertex (memory term of the cost model)
+_SIGNATURE_ARRAYS = {"ecl-scc": 2, "ecl-scc-minmax": 4}
 
 
 @dataclass
@@ -67,6 +107,7 @@ class RunResult:
     wall: Optional[TimedRun]
     counters: "dict[str, int]"
     labels: np.ndarray
+    trace: Optional[Trace] = None
 
     @property
     def model_throughput_mvs(self) -> float:
@@ -80,44 +121,20 @@ class RunResult:
 
 
 def _execute(
-    name: str, graph: CSRGraph, spec: DeviceSpec, options: "EclOptions | None"
-) -> "tuple[np.ndarray, VirtualDevice, int]":
-    """One run; returns (labels, device, signature_arrays)."""
-    if name == "ecl-scc":
-        res = ecl_scc(graph, options=options, device=spec)
-        return res.labels, res.device, 2
-    if name == "ecl-scc-minmax":
-        res = minmax_scc(graph, device=spec)
-        return res.labels, res.device, 4
-    if name == "gpu-scc":
-        labels, dev = gpu_scc(graph, device=spec)
-        return labels, dev, 1
-    if name == "ispan":
-        labels, dev = ispan_scc(graph, device=spec)
-        return labels, dev, 1
-    if name == "hong":
-        labels, dev = hong_scc(graph, device=spec)
-        return labels, dev, 1
-    if name == "multistep":
-        labels, dev = multistep_scc(graph, device=spec)
-        return labels, dev, 1
-    if name == "coloring":
-        labels, dev = coloring_scc(graph, device=spec)
-        return labels, dev, 1
-    if name == "fb":
-        labels, dev = fb_scc(graph, device=spec)
-        return labels, dev, 1
-    if name == "fb-trim":
-        labels, dev = fbtrim_scc(graph, device=spec)
-        return labels, dev, 1
-    if name in ("tarjan", "kosaraju"):
-        fn: Callable = tarjan_scc if name == "tarjan" else kosaraju_scc
-        dev = VirtualDevice(spec)
-        labels = fn(graph)
-        # serial oracle: all work on the critical path
-        dev.serial(4 * (graph.num_vertices + graph.num_edges))
-        return labels, dev, 1
-    raise AlgorithmError(f"unknown algorithm {name!r}; known: {ALGORITHM_NAMES}")
+    name: str,
+    graph: CSRGraph,
+    spec: DeviceSpec,
+    options: "EclOptions | None",
+    tracer: "Tracer | None" = None,
+) -> AlgoResult:
+    """One run of *name* on *graph*; returns the algorithm's AlgoResult."""
+    try:
+        fn = _DISPATCH[name]
+    except KeyError:
+        raise AlgorithmError(
+            f"unknown algorithm {name!r}; known: {ALGORITHM_NAMES}"
+        ) from None
+    return fn(graph, spec, options, tracer)
 
 
 def run_algorithm(
@@ -129,32 +146,40 @@ def run_algorithm(
     time_wall: bool = False,
     repeats: int = 9,
     verify: bool = False,
+    tracer: "Tracer | None" = None,
 ) -> RunResult:
     """Run *algorithm* on *graph* against the *device* model.
 
     ``time_wall`` additionally measures Python wall time with the
     median-of-N protocol (each repeat uses a fresh device so counters
-    stay single-run).  ``verify`` checks labels against Tarjan (paper
-    §4 methodology) — skipped for the oracles themselves.
+    stay single-run; repeats run untraced so the caller's tracer sees
+    exactly one run).  ``verify`` checks labels against Tarjan (paper
+    §4 methodology) — skipped for the oracles themselves.  ``tracer``
+    records the run's phase spans; the trace is carried on the result.
     """
-    labels, dev, sigs = _execute(algorithm, graph, device, options)
-    estimate = dev.estimate(graph.num_vertices, graph.num_edges, signatures=sigs)
+    res = _execute(algorithm, graph, device, options, tracer)
+    sigs = _SIGNATURE_ARRAYS.get(algorithm, 1)
+    estimate = res.device.estimate(
+        graph.num_vertices, graph.num_edges, signatures=sigs
+    )
     wall = None
     if time_wall:
         wall = median_time(
-            lambda: _execute(algorithm, graph, device, options), repeats=repeats
+            lambda: _execute(algorithm, graph, device, options, NULL_TRACER),
+            repeats=repeats,
         )
     if verify and algorithm not in ("tarjan", "kosaraju"):
-        verify_labels(graph, labels)
+        verify_labels(graph, res.labels)
     return RunResult(
         algorithm=algorithm,
         device=device.name,
         graph_name=graph.name or "graph",
         num_vertices=graph.num_vertices,
         num_edges=graph.num_edges,
-        num_sccs=int(np.unique(labels).size) if labels.size else 0,
+        num_sccs=res.num_sccs,
         model_seconds=estimate.total,
         wall=wall,
-        counters=dev.counters.snapshot(),
-        labels=labels,
+        counters=res.device.counters.snapshot(),
+        labels=res.labels,
+        trace=res.trace,
     )

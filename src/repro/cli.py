@@ -7,6 +7,8 @@ Run as ``python -m repro`` (or ``python -m repro.cli``).  Subcommands:
 * ``gen``      — generate a workload (mesh sweep graph or power-law
   stand-in) and write it to a graph file;
 * ``bench``    — regenerate one of the paper's tables/figures;
+* ``trace``    — run one algorithm with the structured tracer and print
+  a span/counter summary (optionally dumping the trace as JSONL);
 * ``devices``  — list the virtual device models;
 * ``sweep``    — run the full RTE pipeline (mesh -> SCC -> schedule ->
   model transport solve) and report per-ordinate results.
@@ -216,6 +218,79 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_workload(args: argparse.Namespace):
+    """Resolve the ``trace`` subcommand's workload argument.
+
+    Accepts, in order of precedence: an existing graph file, a Table-3
+    power-law name (``flickr``, ``wiki-Talk``, ...), or a generator spec
+    (``cycle:N``, ``ladder:RUNGS``, ``gnm:N:M``).
+    """
+    spec = args.workload
+    if Path(spec).exists():
+        return _load_graph(spec, args.format)
+    from .graph.generators import cycle_graph, random_gnm, scc_ladder
+    from .graph.suite import POWER_LAW_SPECS, build_powerlaw
+
+    if spec in {s.name for s in POWER_LAW_SPECS}:
+        graph, _ = build_powerlaw(spec, scale=args.scale, seed=args.seed)
+        return graph
+    kind, _, rest = spec.partition(":")
+    try:
+        if kind == "cycle":
+            return cycle_graph(int(rest))
+        if kind == "ladder":
+            return scc_ladder(int(rest))
+        if kind == "gnm":
+            n, m = rest.split(":")
+            return random_gnm(int(n), int(m), seed=args.seed)
+    except ValueError:
+        pass
+    names = sorted(s.name for s in POWER_LAW_SPECS)
+    raise SystemExit(
+        f"unknown workload {spec!r}: not a file, power-law name"
+        f" ({', '.join(names)}), or generator spec"
+        " (cycle:N | ladder:RUNGS | gnm:N:M)"
+    )
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .trace import Tracer, dump_jsonl, load_jsonl, render_summary
+
+    if args.load:
+        if not Path(args.load).exists():
+            raise SystemExit(f"no such trace file: {args.load}")
+        trace = load_jsonl(args.load)
+        print(render_summary(trace))
+        return 0
+    from .bench import run_algorithm
+
+    graph = _trace_workload(args)
+    tracer = Tracer(
+        meta={
+            "algorithm": args.algo,
+            "workload": args.workload,
+            "device": args.device,
+            "num_vertices": graph.num_vertices,
+            "num_edges": graph.num_edges,
+        }
+    )
+    result = run_algorithm(graph, args.algo, _device(args.device), tracer=tracer)
+    trace = tracer.finish()
+    print(f"workload:         {args.workload}"
+          f"  (|V|={graph.num_vertices} |E|={graph.num_edges})")
+    print(f"algorithm:        {result.algorithm} on {result.device} (model)")
+    print(f"SCCs:             {result.num_sccs}")
+    print(f"spans recorded:   {len(trace.spans)}"
+          f"  events: {len(trace.events)}")
+    if args.jsonl:
+        dump_jsonl(trace, args.jsonl)
+        print(f"trace written to  {args.jsonl}")
+    if not args.no_summary:
+        print()
+        print(render_summary(trace))
+    return 0
+
+
 def _cmd_distributed(args: argparse.Namespace) -> int:
     from .distributed import (
         block_partition,
@@ -335,6 +410,31 @@ def build_parser() -> argparse.ArgumentParser:
                  "fig14", "expanded"],
     )
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "trace", help="run one algorithm with the structured tracer"
+    )
+    p.add_argument(
+        "workload",
+        nargs="?",
+        default="ladder:64",
+        help="graph file, power-law name, or generator spec"
+        " (cycle:N | ladder:RUNGS | gnm:N:M); default ladder:64",
+    )
+    p.add_argument("--algo", default="ecl-scc", choices=ALGORITHM_NAMES)
+    p.add_argument("--device", default="A100",
+                   help="Titan V | A100 | Ryzen 2950X | Xeon 6226R")
+    p.add_argument("--format", default="auto",
+                   choices=["auto", "mtx", "edges", "dimacs", "npz"])
+    p.add_argument("--scale", type=float, default=None,
+                   help="power-law workload scale factor")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jsonl", help="write the trace to this JSONL file")
+    p.add_argument("--load",
+                   help="summarize an existing JSONL trace instead of running")
+    p.add_argument("--no-summary", action="store_true",
+                   help="skip the span-tree summary")
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("distributed", help="BSP cluster run: ECL vs FB-Trim")
     p.add_argument("graph")

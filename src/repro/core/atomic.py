@@ -23,6 +23,7 @@ import numpy as np
 
 from ..device.executor import VirtualDevice
 from ..errors import ConvergenceError
+from ..trace import NULL_TRACER, Tracer
 from .options import EclOptions
 from .signatures import Signatures
 
@@ -36,6 +37,8 @@ def propagate_atomic(
     dev: VirtualDevice,
     opts: EclOptions,
     num_vertices: int,
+    *,
+    tracer: Tracer = NULL_TRACER,
 ) -> int:
     """Phase 2 with two atomic max operations per edge.  Returns rounds.
 
@@ -50,6 +53,7 @@ def propagate_atomic(
         rounds += 1
         if rounds > bound:
             raise ConvergenceError("propagate_atomic failed to converge")
+        tracer.counter("relaxation-round", engine="atomic")
         sig_in, sig_out = sigs.sig_in, sigs.sig_out
         changed = False
         # u_out <- atomicMax(u_out, v_out)

@@ -5,9 +5,13 @@ maps every vertex to the maximum vertex ID of its strongly connected
 component — the paper's output convention ("the final signature of each
 vertex will be the highest ID among all vertices in the same SCC").
 
-The run is instrumented: pass a :class:`~repro.device.VirtualDevice` (or
-a :class:`~repro.device.DeviceSpec`) to collect kernel-launch / traffic
-counts and an estimated device runtime; omit it to run bare.
+The run is always instrumented: ``device`` defaults to a
+:class:`~repro.device.VirtualDevice` modelling an NVIDIA A100, so every
+call collects kernel-launch / traffic counts and an estimated device
+runtime.  Pass a different :class:`~repro.device.VirtualDevice` (or a
+bare :class:`~repro.device.DeviceSpec`, wrapped automatically) to model
+other hardware; there is no un-instrumented mode.  Pass a
+:class:`~repro.trace.Tracer` to additionally record per-phase spans.
 """
 
 from __future__ import annotations
@@ -21,6 +25,8 @@ from ..device.executor import VirtualDevice
 from ..device.spec import A100, DeviceSpec
 from ..errors import ConvergenceError
 from ..graph.csr import CSRGraph
+from ..results import AlgoResult
+from ..trace import Tracer, ensure_tracer
 from ..types import NO_VERTEX, VERTEX_DTYPE
 from .options import ALL_ON, EclOptions
 from .propagation import BlockPartition, EdgeGrouping, propagate_async, propagate_sync
@@ -30,9 +36,9 @@ from .worklist import DoubleBufferWorklist, phase3_filter
 __all__ = ["EclResult", "ecl_scc"]
 
 
-@dataclass
-class EclResult:
-    """Outcome of one ECL-SCC run.
+@dataclass(eq=False)
+class EclResult(AlgoResult):
+    """Outcome of one ECL-SCC run (extends :class:`~repro.results.AlgoResult`).
 
     Attributes
     ----------
@@ -53,19 +59,20 @@ class EclResult:
         vertices finishing in each outer iteration (diagnostic; the paper
         argues >= 1 SCC per cluster completes per iteration).
     device:
-        the virtual device used, with its counters (None if not requested).
+        the virtual device used, with its counters.
+    trace:
+        the recorded :class:`~repro.trace.Trace` (None without a tracer).
     estimate:
         cost-model runtime breakdown on that device (None without device).
     """
 
-    labels: np.ndarray
-    num_sccs: int
-    outer_iterations: int
-    propagation_rounds: int
-    kernel_launches: int
-    edges_final: int
+    # base fields (labels, num_sccs, device, trace) come from AlgoResult;
+    # the defaulted base fields force defaults here — construct by keyword
+    outer_iterations: int = 0
+    propagation_rounds: int = 0
+    kernel_launches: int = 0
+    edges_final: int = 0
     completed_per_iteration: "list[int]" = field(default_factory=list)
-    device: "VirtualDevice | None" = None
     estimate: "CostBreakdown | None" = None
 
     @property
@@ -80,6 +87,7 @@ def ecl_scc(
     device: "VirtualDevice | DeviceSpec | None" = None,
     randomize_ids: bool = False,
     seed: int = 0,
+    tracer: "Tracer | None" = None,
 ) -> EclResult:
     """Detect all SCCs of *graph* with the ECL-SCC algorithm.
 
@@ -93,6 +101,12 @@ def ecl_scc(
         virtual device to instrument against; a bare
         :class:`~repro.device.DeviceSpec` is wrapped automatically.
         Defaults to an A100 model.
+    tracer:
+        optional :class:`~repro.trace.Tracer`; records one
+        ``outer-iteration`` span per loop iteration with nested
+        ``phase1-init`` / ``phase2-propagate`` / ``phase3-filter``
+        spans, and a ``relaxation-round`` counter per Phase-2 round.
+        The recorded trace is attached as ``result.trace``.
     randomize_ids:
         run the algorithm under a random internal vertex relabelling and
         map the labels back.  ECL-SCC's expected O(log) round counts
@@ -118,12 +132,13 @@ def ecl_scc(
         device = VirtualDevice(A100)
     elif isinstance(device, DeviceSpec):
         device = VirtualDevice(device)
+    tr = ensure_tracer(tracer)
 
     if randomize_ids and graph.num_vertices > 1:
         from ..graph.ops import permute_random
 
         permuted, mapping = permute_random(graph, seed)
-        inner = ecl_scc(permuted, options=opts, device=device)
+        inner = ecl_scc(permuted, options=opts, device=device, tracer=tracer)
         # map back: original vertex v ran as mapping[v]; its component
         # label is a permuted ID, so normalize over original IDs
         from ..baselines.tarjan import normalize_labels_to_max
@@ -144,6 +159,7 @@ def ecl_scc(
             kernel_launches=0,
             edges_final=0,
             device=device,
+            trace=tr.trace if tr.enabled else None,
             estimate=device.estimate(0, 0),
         )
 
@@ -162,42 +178,57 @@ def ecl_scc(
                 f"ECL-SCC exceeded {outer_bound} outer iterations; each"
                 " iteration must complete at least one SCC per cluster"
             )
-        # ---- Phase 1: (re)initialize signatures --------------------------
-        sigs.reinit()
-        device.launch(vertices=n, bytes_per_vertex=16)
+        with tr.span("outer-iteration", index=outer) as outer_span:
+            # ---- Phase 1: (re)initialize signatures ----------------------
+            with tr.span("phase1-init"):
+                sigs.reinit()
+                device.launch(vertices=n, bytes_per_vertex=16)
 
-        # ---- Phase 2: propagate maxima to a fixed point -------------------
-        if wl.num_edges:
-            if opts.atomic_phase2:
-                from .atomic import propagate_atomic
+            # ---- Phase 2: propagate maxima to a fixed point ---------------
+            rounds = 0
+            with tr.span("phase2-propagate", edges=wl.num_edges) as p2:
+                if wl.num_edges:
+                    if opts.atomic_phase2:
+                        from .atomic import propagate_atomic
 
-                rounds = propagate_atomic(sigs, wl.src, wl.dst, device, opts, n)
-            elif opts.async_phase2:
-                bounds = device.partition_edges(
-                    wl.num_edges, persistent=opts.persistent_threads
-                )
-                if not opts.persistent_threads:
-                    # one edge per thread: fixed 512-edge blocks
-                    blocks = -(-wl.num_edges // opts.block_edges)
-                    bounds = np.linspace(0, wl.num_edges, blocks + 1).astype(np.int64)
-                partition = BlockPartition.build(wl.src, wl.dst, bounds)
-                _, rounds = propagate_async(sigs, partition, device, opts, n)
-            else:
-                grouping = EdgeGrouping.build(wl.src, wl.dst)
-                rounds = propagate_sync(sigs, grouping, device, opts, n)
-            total_rounds += rounds
+                        rounds = propagate_atomic(
+                            sigs, wl.src, wl.dst, device, opts, n, tracer=tr
+                        )
+                    elif opts.async_phase2:
+                        bounds = device.partition_edges(
+                            wl.num_edges, persistent=opts.persistent_threads
+                        )
+                        if not opts.persistent_threads:
+                            # one edge per thread: fixed 512-edge blocks
+                            blocks = -(-wl.num_edges // opts.block_edges)
+                            bounds = np.linspace(
+                                0, wl.num_edges, blocks + 1
+                            ).astype(np.int64)
+                        partition = BlockPartition.build(wl.src, wl.dst, bounds)
+                        _, rounds = propagate_async(
+                            sigs, partition, device, opts, n, tracer=tr
+                        )
+                    else:
+                        grouping = EdgeGrouping.build(wl.src, wl.dst)
+                        rounds = propagate_sync(
+                            sigs, grouping, device, opts, n, tracer=tr
+                        )
+                    total_rounds += rounds
+                p2.set(rounds=rounds)
 
-        # ---- completion detection -----------------------------------------
-        done = sigs.completed()
-        newly = done & active
-        labels[newly] = sigs.sig_in[newly]
-        completed_per_iteration.append(int(np.count_nonzero(newly)))
-        active &= ~done
-        device.launch(vertices=n, bytes_per_vertex=16)
+            # ---- completion detection -------------------------------------
+            done = sigs.completed()
+            newly = done & active
+            labels[newly] = sigs.sig_in[newly]
+            completed_per_iteration.append(int(np.count_nonzero(newly)))
+            active &= ~done
+            device.launch(vertices=n, bytes_per_vertex=16)
+            outer_span.set(completed=int(np.count_nonzero(newly)))
 
-        # ---- Phase 3: remove edges that span SCCs -------------------------
-        if wl.num_edges:
-            phase3_filter(wl, sigs, device, opts)
+            # ---- Phase 3: remove edges that span SCCs ---------------------
+            with tr.span("phase3-filter"):
+                if wl.num_edges:
+                    phase3_filter(wl, sigs, device, opts, tracer=tr)
         if not opts.remove_scc_edges and not active.any():
             # baseline termination: all signatures matched (Alg. 1 line 20)
             break
@@ -213,5 +244,6 @@ def ecl_scc(
         edges_final=wl.num_edges,
         completed_per_iteration=completed_per_iteration,
         device=device,
+        trace=tr.trace if tr.enabled else None,
         estimate=device.estimate(n, graph.num_edges),
     )

@@ -24,6 +24,7 @@ from ..device.executor import VirtualDevice
 from ..device.spec import A100, DeviceSpec
 from ..errors import ConvergenceError
 from ..graph.csr import CSRGraph
+from ..trace import Tracer, ensure_tracer
 from ..types import NO_VERTEX, VERTEX_DTYPE
 from .eclscc import EclResult
 
@@ -81,19 +82,23 @@ def minmax_scc(
     graph: CSRGraph,
     *,
     device: "VirtualDevice | DeviceSpec | None" = None,
+    tracer: "Tracer | None" = None,
 ) -> EclResult:
     """ECL-SCC with 2 max + 2 min signatures.  Same result contract as
-    :func:`repro.core.eclscc.ecl_scc` (labels = max ID per component)."""
+    :func:`repro.core.eclscc.ecl_scc` (labels = max ID per component),
+    and the same trace shape when *tracer* is passed."""
     if device is None:
         device = VirtualDevice(A100)
     elif isinstance(device, DeviceSpec):
         device = VirtualDevice(device)
+    tr = ensure_tracer(tracer)
     n = graph.num_vertices
     labels = np.full(n, NO_VERTEX, dtype=VERTEX_DTYPE)
     if n == 0:
         return EclResult(
             labels=labels, num_sccs=0, outer_iterations=0, propagation_rounds=0,
             kernel_launches=0, edges_final=0, device=device,
+            trace=tr.trace if tr.enabled else None,
             estimate=device.estimate(0, 0, signatures=4),
         )
     src, dst = (a.copy() for a in graph.edges())
@@ -108,46 +113,60 @@ def minmax_scc(
         outer += 1
         if outer > n + 2:
             raise ConvergenceError("minmax ECL-SCC failed to converge")
-        quad.reinit()
-        device.launch(vertices=n, bytes_per_vertex=32)
-        if src.size:
-            order_s = np.argsort(src, kind="stable")
-            grp_s, starts_s = np.unique(src[order_s], return_index=True)
-            order_d = np.argsort(dst, kind="stable")
-            grp_d, starts_d = np.unique(dst[order_d], return_index=True)
+        with tr.span("outer-iteration", index=outer) as outer_span:
+            with tr.span("phase1-init"):
+                quad.reinit()
+                device.launch(vertices=n, bytes_per_vertex=32)
             rounds = 0
-            while True:
-                rounds += 1
-                if rounds > n + 2:
-                    raise ConvergenceError("minmax Phase 2 failed to converge")
-                changed = _relax(
-                    quad, src, dst, order_s, starts_s, grp_s, order_d, starts_d, grp_d
-                )
-                device.launch(edges=src.size, bytes_per_edge=80)
-                device.round()
-                if not changed:
-                    break
-            total_rounds += rounds
-        done_max = quad.max_in == quad.max_out
-        done_min = quad.min_in == quad.min_out
-        done = done_max | done_min
-        newly = done & active
-        # prefer the max label; fall back to the (negated) min label
-        lab = np.where(done_max, quad.max_in, -quad.min_in - 1)
-        labels[newly] = lab[newly]
-        completed_per_iteration.append(int(np.count_nonzero(newly)))
-        active &= ~done
-        device.launch(vertices=n, bytes_per_vertex=32)
-        if src.size:
-            keep = (
-                (quad.max_in[src] == quad.max_in[dst])
-                & (quad.max_out[src] == quad.max_out[dst])
-                & (quad.min_in[src] == quad.min_in[dst])
-                & (quad.min_out[src] == quad.min_out[dst])
-            )
-            keep &= ~done[src]
-            device.launch(edges=src.size, bytes_per_edge=80, atomics=int(keep.sum()))
-            src, dst = src[keep], dst[keep]
+            with tr.span("phase2-propagate", edges=int(src.size)) as p2:
+                if src.size:
+                    order_s = np.argsort(src, kind="stable")
+                    grp_s, starts_s = np.unique(src[order_s], return_index=True)
+                    order_d = np.argsort(dst, kind="stable")
+                    grp_d, starts_d = np.unique(dst[order_d], return_index=True)
+                    while True:
+                        rounds += 1
+                        if rounds > n + 2:
+                            raise ConvergenceError(
+                                "minmax Phase 2 failed to converge"
+                            )
+                        tr.counter("relaxation-round", engine="minmax")
+                        changed = _relax(
+                            quad, src, dst,
+                            order_s, starts_s, grp_s, order_d, starts_d, grp_d,
+                        )
+                        device.launch(edges=src.size, bytes_per_edge=80)
+                        device.round()
+                        if not changed:
+                            break
+                    total_rounds += rounds
+                p2.set(rounds=rounds)
+            done_max = quad.max_in == quad.max_out
+            done_min = quad.min_in == quad.min_out
+            done = done_max | done_min
+            newly = done & active
+            # prefer the max label; fall back to the (negated) min label
+            lab = np.where(done_max, quad.max_in, -quad.min_in - 1)
+            labels[newly] = lab[newly]
+            completed_per_iteration.append(int(np.count_nonzero(newly)))
+            active &= ~done
+            device.launch(vertices=n, bytes_per_vertex=32)
+            outer_span.set(completed=int(np.count_nonzero(newly)))
+            with tr.span("phase3-filter"):
+                if src.size:
+                    keep = (
+                        (quad.max_in[src] == quad.max_in[dst])
+                        & (quad.max_out[src] == quad.max_out[dst])
+                        & (quad.min_in[src] == quad.min_in[dst])
+                        & (quad.min_out[src] == quad.min_out[dst])
+                    )
+                    keep &= ~done[src]
+                    device.launch(
+                        edges=src.size, bytes_per_edge=80, atomics=int(keep.sum())
+                    )
+                    tr.counter("edges-kept", int(keep.sum()))
+                    tr.counter("edges-removed", int(src.size - keep.sum()))
+                    src, dst = src[keep], dst[keep]
 
     # normalize: negative (min-identified) codes -> max member ID
     from ..baselines.tarjan import normalize_labels_to_max
@@ -162,5 +181,6 @@ def minmax_scc(
         edges_final=int(src.size),
         completed_per_iteration=completed_per_iteration,
         device=device,
+        trace=tr.trace if tr.enabled else None,
         estimate=device.estimate(n, graph.num_edges, signatures=4),
     )

@@ -29,6 +29,7 @@ import numpy as np
 
 from ..device.executor import VirtualDevice
 from ..errors import ConvergenceError
+from ..trace import NULL_TRACER, Tracer
 from ..types import VERTEX_DTYPE
 from .options import EclOptions
 from .signatures import Signatures
@@ -208,6 +209,8 @@ def propagate_sync(
     dev: VirtualDevice,
     opts: EclOptions,
     num_vertices: int,
+    *,
+    tracer: Tracer = NULL_TRACER,
 ) -> int:
     """Synchronous Phase 2: one launch per global round.  Returns rounds.
 
@@ -225,6 +228,7 @@ def propagate_sync(
     while True:
         rounds += 1
         _bounds_check(rounds, bound, "propagate_sync")
+        tracer.counter("relaxation-round", engine="sync")
         changed = grouping.relax(sigs, compress=opts.path_compression)
         extra_vertex_work = 0
         if opts.path_compression:
@@ -250,6 +254,8 @@ def propagate_async(
     dev: VirtualDevice,
     opts: EclOptions,
     num_vertices: int,
+    *,
+    tracer: Tracer = NULL_TRACER,
 ) -> "tuple[int, int]":
     """Asynchronous Phase 2 (§3.3): block-internal iteration per launch.
 
@@ -295,6 +301,7 @@ def propagate_async(
         while running.any():
             total_rounds += 1
             _bounds_check(total_rounds, bound, "propagate_async rounds")
+            tracer.counter("relaxation-round", engine="async")
             active_edges = int(chunk_sizes[running].sum())
             launch_edge_work += active_edges
             sig_in, sig_out = sigs.sig_in, sigs.sig_out

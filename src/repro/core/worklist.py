@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..device.executor import VirtualDevice
+from ..trace import NULL_TRACER, Tracer
 from .options import EclOptions
 from .signatures import Signatures
 
@@ -44,6 +45,8 @@ def phase3_filter(
     sigs: Signatures,
     dev: VirtualDevice,
     opts: EclOptions,
+    *,
+    tracer: Tracer = NULL_TRACER,
 ) -> "tuple[int, int]":
     """Remove edges that cannot be intra-SCC (Algorithm 1 lines 15-19).
 
@@ -75,5 +78,7 @@ def phase3_filter(
         streamed_bytes=16 * src.size,
         atomics=kept,
     )
+    tracer.counter("edges-kept", kept)
+    tracer.counter("edges-removed", removed)
     wl.replace(src[keep], dst[keep])
     return kept, removed

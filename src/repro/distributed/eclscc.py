@@ -24,6 +24,8 @@ import numpy as np
 
 from ..errors import ConvergenceError
 from ..graph.csr import CSRGraph
+from ..results import AlgoResult
+from ..trace import Tracer, ensure_tracer
 from ..types import NO_VERTEX, VERTEX_DTYPE
 from .cluster import ClusterSpec, VirtualCluster
 from .partition import Partition
@@ -31,15 +33,19 @@ from .partition import Partition
 __all__ = ["DistributedResult", "distributed_ecl_scc"]
 
 
-@dataclass
-class DistributedResult:
-    """Labels plus the cluster's accounting for one distributed run."""
+@dataclass(eq=False)
+class DistributedResult(AlgoResult):
+    """Labels plus the cluster's accounting for one distributed run.
 
-    labels: np.ndarray
-    num_sccs: int
-    outer_iterations: int
-    supersteps: int
-    cluster: VirtualCluster
+    Extends :class:`~repro.results.AlgoResult`; ``device`` stays None
+    (the run is accounted by ``cluster``, not a single device).
+    """
+
+    # base fields (labels, num_sccs, device, trace) come from AlgoResult;
+    # the defaulted base fields force defaults here — construct by keyword
+    outer_iterations: int = 0
+    supersteps: int = 0
+    cluster: "VirtualCluster | None" = None
 
     @property
     def estimated_seconds(self) -> float:
@@ -50,22 +56,31 @@ def distributed_ecl_scc(
     graph: CSRGraph,
     partition: Partition,
     spec: "ClusterSpec | None" = None,
+    *,
+    tracer: "Tracer | None" = None,
 ) -> DistributedResult:
     """Run ECL-SCC as a BSP computation over *partition*.
 
     The result is bit-identical to the shared-memory algorithm (the
     fixed point does not depend on the schedule); the cluster object
-    carries the communication accounting.
+    carries the communication accounting.  With *tracer*, every BSP
+    superstep is one ``superstep`` span (attrs: ``index``, ``kind``)
+    nested in its ``outer-iteration``, and halo traffic is recorded as
+    per-rank ``halo-messages`` counters (attr ``rank``).
     """
     if spec is None:
         spec = ClusterSpec(num_ranks=partition.num_ranks)
     if spec.num_ranks != partition.num_ranks:
         raise ConvergenceError("partition and cluster rank counts differ")
     cluster = VirtualCluster(spec)
+    tr = ensure_tracer(tracer)
     n = graph.num_vertices
     labels = np.full(n, NO_VERTEX, dtype=VERTEX_DTYPE)
     if n == 0:
-        return DistributedResult(labels, 0, 0, 0, cluster)
+        return DistributedResult(
+            labels=labels, num_sccs=0, cluster=cluster,
+            trace=tr.trace if tr.enabled else None,
+        )
 
     src, dst = (a.copy() for a in graph.edges())
     owner = partition.owner
@@ -86,13 +101,15 @@ def distributed_ecl_scc(
         outer += 1
         if outer > n + 2:
             raise ConvergenceError("distributed ECL-SCC failed to converge")
+        outer_span = tr.span("outer-iteration", index=outer)
         sig_in[:] = ident
         sig_out[:] = ident
         # per-rank local edge counts for this iteration's worklist
         edges_per_rank = np.bincount(owner[src], minlength=r) if src.size else np.zeros(r)
         cut = owner[src] != owner[dst]
         # Phase 1 superstep (init is local)
-        cluster.superstep(np.bincount(owner, minlength=r) * 2.0)
+        with tr.span("superstep", index=supersteps, kind="phase1-init"):
+            cluster.superstep(np.bincount(owner, minlength=r) * 2.0)
         supersteps += 1
         # Phase 2: BSP rounds to the fixed point
         rounds = 0
@@ -133,12 +150,18 @@ def distributed_ecl_scc(
             # per cut edge that reads them (16 bytes: two signatures)
             upd_cut = cut & (changed_v[src] | changed_v[dst])
             msgs = np.bincount(owner[src[upd_cut]], minlength=r) + jump_msgs
-            cluster.superstep(
-                edges_per_rank * spec.ops_per_edge
-                + np.bincount(owner, minlength=r) * 4.0,
-                messages=msgs,
-                bytes_out=msgs * 16,
-            )
+            with tr.span(
+                "superstep", index=supersteps, kind="phase2-exchange", round=rounds
+            ):
+                cluster.superstep(
+                    edges_per_rank * spec.ops_per_edge
+                    + np.bincount(owner, minlength=r) * 4.0,
+                    messages=msgs,
+                    bytes_out=msgs * 16,
+                )
+                if tr.enabled:
+                    for rk in np.flatnonzero(msgs):
+                        tr.counter("halo-messages", int(msgs[rk]), rank=int(rk))
             supersteps += 1
             if not changed:
                 break
@@ -152,9 +175,11 @@ def distributed_ecl_scc(
             & (sig_out[src] == sig_out[dst])
             & (sig_in[src] != sig_out[src])
         )
-        cluster.superstep(edges_per_rank * spec.ops_per_edge)
+        with tr.span("superstep", index=supersteps, kind="phase3-filter"):
+            cluster.superstep(edges_per_rank * spec.ops_per_edge)
         supersteps += 1
         src, dst = src[keep], dst[keep]
+        outer_span.close()
 
     return DistributedResult(
         labels=labels,
@@ -162,4 +187,5 @@ def distributed_ecl_scc(
         outer_iterations=outer,
         supersteps=supersteps,
         cluster=cluster,
+        trace=tr.trace if tr.enabled else None,
     )

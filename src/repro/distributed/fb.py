@@ -82,7 +82,7 @@ def distributed_fbtrim(
     n = graph.num_vertices
     labels = np.full(n, NO_VERTEX, dtype=VERTEX_DTYPE)
     if n == 0:
-        return DistributedResult(labels, 0, 0, 0, cluster)
+        return DistributedResult(labels=labels, num_sccs=0, cluster=cluster)
     owner = partition.owner
     r = spec.num_ranks
     gt = graph.transpose()

@@ -1,0 +1,131 @@
+"""JSONL export/import for traces.
+
+One JSON object per line.  Line types (the ``type`` field):
+
+* ``meta``  — at most one, first line: ``{"type": "meta", "meta": {...}}``
+* ``span``  — ``{"type": "span", "id": int, "parent": int|null,
+  "depth": int, "name": str, "t0": float, "t1": float|null,
+  "attrs": {...}}``
+* ``counter`` / ``gauge`` — ``{"type": "counter", "name": str,
+  "value": float, "t": float, "span": int|null, "attrs": {...}}``
+
+``t1`` is ``null`` for spans left open (a crashed run); import maps that
+back to NaN.  The format is append-friendly and diff-friendly: spans are
+written in start order, events in emission order.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import IO, Any, Iterable, Union
+
+from .records import EventRecord, SpanRecord, Trace
+
+__all__ = ["dump_jsonl", "dumps_jsonl", "load_jsonl", "loads_jsonl"]
+
+PathLike = Union[str, Path]
+
+
+def _json_default(value: Any) -> Any:
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    if hasattr(value, "tolist"):  # numpy array
+        return value.tolist()
+    raise TypeError(f"not JSON-serializable: {type(value).__name__}")
+
+
+def _span_obj(s: SpanRecord) -> "dict[str, Any]":
+    return {
+        "type": "span",
+        "id": s.span_id,
+        "parent": s.parent_id,
+        "depth": s.depth,
+        "name": s.name,
+        "t0": s.t_start,
+        "t1": None if math.isnan(s.t_end) else s.t_end,
+        "attrs": s.attrs,
+    }
+
+
+def _event_obj(e: EventRecord) -> "dict[str, Any]":
+    return {
+        "type": e.kind,
+        "name": e.name,
+        "value": e.value,
+        "t": e.t,
+        "span": e.span_id,
+        "attrs": e.attrs,
+    }
+
+
+def _lines(trace: Trace) -> "Iterable[str]":
+    if trace.meta:
+        yield json.dumps(
+            {"type": "meta", "meta": trace.meta}, default=_json_default
+        )
+    for s in trace.spans:
+        yield json.dumps(_span_obj(s), default=_json_default)
+    for e in trace.events:
+        yield json.dumps(_event_obj(e), default=_json_default)
+
+
+def dumps_jsonl(trace: Trace) -> str:
+    """Serialize *trace* to a JSONL string."""
+    return "\n".join(_lines(trace)) + "\n"
+
+
+def dump_jsonl(trace: Trace, path: "PathLike | IO[str]") -> None:
+    """Write *trace* to *path* (a filesystem path or open text stream)."""
+    if hasattr(path, "write"):
+        for line in _lines(trace):
+            path.write(line + "\n")
+    else:
+        Path(path).write_text(dumps_jsonl(trace), encoding="utf-8")
+
+
+def loads_jsonl(text: str) -> Trace:
+    """Parse a JSONL string back into a :class:`Trace`."""
+    trace = Trace()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        raw = raw.strip()
+        if not raw:
+            continue
+        obj = json.loads(raw)
+        kind = obj.get("type")
+        if kind == "meta":
+            trace.meta.update(obj.get("meta", {}))
+        elif kind == "span":
+            trace.spans.append(
+                SpanRecord(
+                    name=obj["name"],
+                    span_id=int(obj["id"]),
+                    parent_id=None if obj["parent"] is None else int(obj["parent"]),
+                    depth=int(obj["depth"]),
+                    t_start=float(obj["t0"]),
+                    t_end=math.nan if obj["t1"] is None else float(obj["t1"]),
+                    attrs=dict(obj.get("attrs", {})),
+                )
+            )
+        elif kind in ("counter", "gauge"):
+            trace.events.append(
+                EventRecord(
+                    name=obj["name"],
+                    kind=kind,
+                    value=float(obj["value"]),
+                    t=float(obj["t"]),
+                    span_id=None if obj.get("span") is None else int(obj["span"]),
+                    attrs=dict(obj.get("attrs", {})),
+                )
+            )
+        else:
+            raise ValueError(f"line {lineno}: unknown record type {kind!r}")
+    return trace
+
+
+def load_jsonl(path: "PathLike | IO[str]") -> Trace:
+    """Read a trace from *path* (a filesystem path or open text stream)."""
+    if hasattr(path, "read"):
+        return loads_jsonl(path.read())
+    return loads_jsonl(Path(path).read_text(encoding="utf-8"))

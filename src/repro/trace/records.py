@@ -1,0 +1,160 @@
+"""Typed trace records and the :class:`Trace` container.
+
+A finished trace is a flat list of :class:`SpanRecord` (in *start*
+order — a parent always precedes its children) plus a flat list of
+:class:`EventRecord` (counters and gauges, in emission order).  Records
+are plain dataclasses so traces compare with ``==``, round-trip through
+JSONL losslessly, and need no tracer machinery to inspect.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+__all__ = ["SpanRecord", "EventRecord", "Trace", "COUNTER", "GAUGE"]
+
+#: event kinds
+COUNTER = "counter"
+GAUGE = "gauge"
+
+
+def _plain(value: Any) -> Any:
+    """Coerce numpy scalars (and similar) to plain Python for JSON."""
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        try:
+            return value.item()
+        except (AttributeError, ValueError):
+            return value
+    return value
+
+
+def plain_attrs(attrs: "dict[str, Any]") -> "dict[str, Any]":
+    """Coerce every attr value to a JSON-representable plain type."""
+    return {k: _plain(v) for k, v in attrs.items()}
+
+
+@dataclass
+class SpanRecord:
+    """One closed (or still-open) span.
+
+    Attributes
+    ----------
+    name:
+        span label, e.g. ``"outer-iteration"`` or ``"phase2-propagate"``.
+    span_id:
+        unique within the trace; assigned in start order.
+    parent_id:
+        enclosing span's id, or ``None`` for a root span.
+    depth:
+        nesting depth (roots are 0).
+    t_start / t_end:
+        tracer-clock timestamps; ``t_end`` is NaN while the span is open.
+    attrs:
+        arbitrary JSON-representable key/value annotations.
+    """
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    depth: int
+    t_start: float
+    t_end: float = math.nan
+    attrs: "dict[str, Any]" = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+    @property
+    def closed(self) -> bool:
+        return not math.isnan(self.t_end)
+
+
+@dataclass
+class EventRecord:
+    """One counter/gauge emission, attributed to the enclosing span."""
+
+    name: str
+    kind: str  # COUNTER | GAUGE
+    value: float
+    t: float
+    span_id: Optional[int] = None
+    attrs: "dict[str, Any]" = field(default_factory=dict)
+
+
+@dataclass
+class Trace:
+    """A finished trace: spans in start order plus counter/gauge events."""
+
+    spans: "list[SpanRecord]" = field(default_factory=list)
+    events: "list[EventRecord]" = field(default_factory=list)
+    meta: "dict[str, Any]" = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def count_spans(self, name: str) -> int:
+        """Number of spans labelled *name*."""
+        return sum(1 for s in self.spans if s.name == name)
+
+    def find_spans(self, name: str) -> "list[SpanRecord]":
+        return [s for s in self.spans if s.name == name]
+
+    def children_of(self, span: SpanRecord) -> "list[SpanRecord]":
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def roots(self) -> "list[SpanRecord]":
+        return [s for s in self.spans if s.parent_id is None]
+
+    def count_events(self, name: str) -> int:
+        """Number of events labelled *name*."""
+        return sum(1 for e in self.events if e.name == name)
+
+    def sum_counter(self, name: str) -> float:
+        """Sum of all counter values labelled *name*."""
+        return float(
+            sum(e.value for e in self.events if e.name == name and e.kind == COUNTER)
+        )
+
+    def span_path(self, span: SpanRecord) -> "tuple[str, ...]":
+        """Name chain from the root down to *span*."""
+        by_id = {s.span_id: s for s in self.spans}
+        names: "list[str]" = []
+        cur: "SpanRecord | None" = span
+        while cur is not None:
+            names.append(cur.name)
+            cur = by_id.get(cur.parent_id) if cur.parent_id is not None else None
+        return tuple(reversed(names))
+
+    def iter_paths(self) -> "Iterator[tuple[tuple[str, ...], SpanRecord]]":
+        for s in self.spans:
+            yield self.span_path(s), s
+
+    # ------------------------------------------------------------------
+    # JSONL convenience (implementation in repro.trace.jsonl)
+    # ------------------------------------------------------------------
+    def to_jsonl(self, path) -> None:
+        """Write this trace to *path* (one JSON object per line)."""
+        from .jsonl import dump_jsonl
+
+        dump_jsonl(self, path)
+
+    def to_jsonl_str(self) -> str:
+        from .jsonl import dumps_jsonl
+
+        return dumps_jsonl(self)
+
+    @classmethod
+    def from_jsonl(cls, path) -> "Trace":
+        """Read a trace previously written by :meth:`to_jsonl`."""
+        from .jsonl import load_jsonl
+
+        return load_jsonl(path)
+
+    @classmethod
+    def from_jsonl_str(cls, text: str) -> "Trace":
+        from .jsonl import loads_jsonl
+
+        return loads_jsonl(text)

@@ -1,0 +1,134 @@
+"""Tests for the unified result API (``repro.results.AlgoResult``) and
+its backward-compatibility shims for the legacy bare-array and
+``(labels, device)`` tuple contracts."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import coloring_scc, gpu_scc, kosaraju_scc, tarjan_scc
+from repro.core import ecl_scc
+from repro.core.eclscc import EclResult
+from repro.distributed import block_partition, distributed_ecl_scc
+from repro.distributed.eclscc import DistributedResult
+from repro.graph import planted_scc_graph, scc_ladder
+from repro.results import AlgoResult, coerce_labels, count_sccs
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return planted_scc_graph([3, 5, 1, 4, 2], extra_dag_edges=6, seed=0)[0]
+
+
+class TestAlgoResultFields:
+    def test_every_entry_point_returns_algoresult(self, graph):
+        part = block_partition(graph, 2)
+        for res in (
+            ecl_scc(graph),
+            tarjan_scc(graph),
+            kosaraju_scc(graph),
+            gpu_scc(graph),
+            coloring_scc(graph),
+            distributed_ecl_scc(graph, part),
+        ):
+            assert isinstance(res, AlgoResult)
+            assert res.num_sccs == count_sccs(res.labels)
+            assert res.trace is None
+
+    def test_subclass_hierarchy(self, graph):
+        assert isinstance(ecl_scc(graph), EclResult)
+        assert issubclass(EclResult, AlgoResult)
+        assert issubclass(DistributedResult, AlgoResult)
+
+    def test_oracles_carry_no_device(self, graph):
+        assert tarjan_scc(graph).device is None
+        assert gpu_scc(graph).device is not None
+
+
+class TestTupleShim:
+    def test_unpack_warns(self, graph):
+        with pytest.warns(DeprecationWarning, match="tuple"):
+            labels, dev = gpu_scc(graph)
+        assert np.array_equal(labels, gpu_scc(graph).labels)
+        assert dev is not None
+
+    def test_positional_index_warns(self, graph):
+        res = gpu_scc(graph)
+        with pytest.warns(DeprecationWarning, match="tuple position"):
+            assert res[0] is res.labels
+        with pytest.warns(DeprecationWarning, match="tuple position"):
+            assert res[1] is res.device
+
+    def test_oracle_integer_index_is_labels(self, graph, recwarn):
+        # oracle results were bare arrays: truth[v] means "label of v"
+        truth = tarjan_scc(graph)
+        assert truth[0] == truth.labels[0]
+        assert truth[1] == truth.labels[1]
+        assert not [w for w in recwarn if w.category is DeprecationWarning]
+
+    def test_array_indexing_passes_through(self, graph):
+        res = gpu_scc(graph)
+        mask = res.labels == res.labels[0]
+        assert np.array_equal(res[mask], res.labels[mask])
+        assert np.array_equal(res[2:5], res.labels[2:5])
+
+
+class TestBareArrayShim:
+    def test_asarray(self, graph):
+        res = tarjan_scc(graph)
+        arr = np.asarray(res)
+        assert arr is not None and arr.dtype == res.labels.dtype
+        assert np.array_equal(arr, res.labels)
+        assert np.asarray(res, dtype=np.float64).dtype == np.float64
+
+    def test_numpy_functions(self, graph):
+        res = tarjan_scc(graph)
+        assert np.unique(res).size == res.num_sccs
+        assert np.array_equal(tarjan_scc(graph), res.labels)
+
+    def test_attribute_delegation_warns(self, graph):
+        res = tarjan_scc(graph)
+        with pytest.warns(DeprecationWarning, match="bare label array"):
+            assert res.tolist() == res.labels.tolist()
+        with pytest.warns(DeprecationWarning):
+            assert res.size == res.labels.size
+
+    def test_missing_attribute_raises(self, graph):
+        with pytest.raises(AttributeError):
+            tarjan_scc(graph).no_such_attribute
+
+    def test_elementwise_equality(self, graph):
+        res = tarjan_scc(graph)
+        eq = res == res.labels
+        assert isinstance(eq, np.ndarray) and eq.all()
+        ne = res != res.labels[0]
+        assert isinstance(ne, np.ndarray)
+        assert np.array_equal(ne, res.labels != res.labels[0])
+
+    def test_result_to_result_equality(self, graph):
+        a, b = tarjan_scc(graph), kosaraju_scc(graph)
+        assert a == b and not (a != b)
+        assert hash(a) != hash(b)  # identity hash, still usable in sets
+
+    def test_coerce_labels(self, graph):
+        res = tarjan_scc(graph)
+        assert coerce_labels(res) is np.asarray(res.labels)
+        bare = np.arange(4)
+        assert coerce_labels(bare) is bare
+
+
+class TestLegacyCallSites:
+    """The exact idioms the old test-suite/call sites used keep passing."""
+
+    def test_verify_against_oracle(self, graph):
+        labels = ecl_scc(graph).labels
+        assert np.array_equal(labels, np.asarray(tarjan_scc(graph)))
+
+    def test_tuple_style_baseline(self):
+        g = scc_ladder(8)
+        with pytest.warns(DeprecationWarning):
+            labels, device = coloring_scc(g)
+        assert count_sccs(labels) == 8
+        assert device.counters.snapshot()
+
+    def test_count_sccs_empty(self):
+        assert count_sccs(np.empty(0, dtype=np.int64)) == 0
