@@ -10,12 +10,24 @@ Every entry point returns an :class:`~repro.results.AlgoResult` (labels,
 num_sccs, device, trace) and accepts ``tracer=`` for per-phase spans;
 the legacy bare-array / ``(labels, device)`` tuple behaviors remain
 available through deprecation shims on the result object.
+
+The shared reach/trim/normalize primitives these codes are composed of
+live in :mod:`repro.engine`; they are re-exported here (and via the
+``.reach`` / ``.trim`` shim modules) for backward compatibility.
 """
 
-from .tarjan import normalize_labels_to_max, tarjan_scc
+from ..engine.primitives import (
+    active_degrees,
+    colored_fb_rounds,
+    frontier_expand,
+    masked_bfs,
+    normalize_labels_to_max,
+    trim1,
+    trim2,
+    trim3,
+)
+from .tarjan import tarjan_scc
 from .kosaraju import kosaraju_scc
-from .trim import active_degrees, trim1, trim2, trim3
-from .reach import colored_fb_rounds, frontier_expand, masked_bfs
 from .fb import fb_scc
 from .fbtrim import fbtrim_scc
 from .gpu_scc import gpu_scc

@@ -26,6 +26,13 @@ import numpy as np
 
 from ..device.executor import VirtualDevice
 from ..device.spec import TITAN_V, DeviceSpec
+from ..engine import (
+    ArrayBackend,
+    charge_relaxation_round,
+    charge_vertex_scan,
+    colored_reach,
+    get_backend,
+)
 from ..errors import ConvergenceError
 from ..graph.csr import CSRGraph
 from ..results import AlgoResult, count_sccs
@@ -39,6 +46,7 @@ def coloring_scc(
     graph: CSRGraph,
     *,
     device: "VirtualDevice | DeviceSpec | None" = None,
+    backend: "ArrayBackend | str | None" = None,
     tracer: "Tracer | None" = None,
 ) -> AlgoResult:
     """Orzan-style coloring SCC.  Labels use the max-member-ID convention
@@ -49,6 +57,7 @@ def coloring_scc(
         device = VirtualDevice(TITAN_V)
     elif isinstance(device, DeviceSpec):
         device = VirtualDevice(device)
+    be = get_backend(backend)
     tr = ensure_tracer(tracer)
     n = graph.num_vertices
     labels = np.full(n, NO_VERTEX, dtype=VERTEX_DTYPE)
@@ -59,7 +68,6 @@ def coloring_scc(
         )
     src, dst = graph.edges()
     gt = graph.transpose()
-    t_indptr, t_indices = gt.indptr, gt.indices
     active = np.ones(n, dtype=bool)
     outer = 0
     while active.any():
@@ -81,44 +89,26 @@ def coloring_scc(
                         )
                     before = color[d]
                     np.maximum.at(color, d, color[s])
-                    device.launch(
-                        edges=s.size, bytes_per_edge=24, streamed_bytes=16 * s.size
-                    )
-                    device.round()
+                    charge_relaxation_round(device, edges=int(s.size))
                     if not np.any(color[d] > before):
                         break
                 cp.set(rounds=rounds)
             # ---- backward sweeps from every root within its color -------
+            # the SCC of root r is the set of vertices with color r that
+            # reach r within the class: a same-color multi-source reverse
+            # traversal, i.e. colored_reach on the memoized transpose
             with tr.span("backward-sweep"):
                 roots = np.flatnonzero(active & (color == np.arange(n)))
-                visited = np.zeros(n, dtype=bool)
-                visited[roots] = True
-                frontier = roots
-                while frontier.size:
-                    # expand along reverse edges staying in the same color
-                    counts = t_indptr[frontier + 1] - t_indptr[frontier]
-                    total = int(counts.sum())
-                    device.launch(
-                        edges=total + int(frontier.size),
-                        vertices=n,
-                        bytes_per_vertex=8,
-                        bytes_per_edge=24,
-                    )
-                    if total == 0:
-                        break
-                    offsets = np.repeat(t_indptr[frontier], counts)
-                    ids = np.arange(total, dtype=VERTEX_DTYPE)
-                    resets = np.repeat(np.cumsum(counts) - counts, counts)
-                    nxt = t_indices[offsets + (ids - resets)]
-                    same = color[nxt] == np.repeat(color[frontier], counts)
-                    ok = same & active[nxt] & ~visited[nxt]
-                    frontier = np.unique(nxt[ok])
-                    visited[frontier] = True
+                visited = colored_reach(gt, roots, color, active, device,
+                                        backend=be)
             # visited vertices form complete SCCs labelled by their color root
             found = visited & active
             labels[found] = color[found]
             active &= ~found
-            device.launch(vertices=n, bytes_per_vertex=8)
+            charge_vertex_scan(
+                device, be, num_vertices=n,
+                worklist_size=int(np.count_nonzero(active)),
+            )
     # colors are root IDs = max ID reaching the SCC; the root is the max
     # *member* too (it reaches itself), so labels are already normalized
     return AlgoResult(

@@ -14,11 +14,19 @@ import numpy as np
 
 from ..device.executor import VirtualDevice
 from ..device.spec import RYZEN_2950X, DeviceSpec
+from ..engine import (
+    ArrayBackend,
+    backward_reach,
+    charge_vertex_scan,
+    forward_reach,
+    get_backend,
+    select_pivot,
+)
+from ..engine.accounting import PAIR_FLAG_BYTES
 from ..graph.csr import CSRGraph
 from ..results import AlgoResult, count_sccs
 from ..trace import Tracer, ensure_tracer
 from ..types import NO_VERTEX, VERTEX_DTYPE
-from .reach import masked_bfs
 
 __all__ = ["fb_scc"]
 
@@ -28,6 +36,7 @@ def fb_scc(
     *,
     device: "VirtualDevice | DeviceSpec | None" = None,
     pivot: str = "max",
+    backend: "ArrayBackend | str | None" = None,
     tracer: "Tracer | None" = None,
 ) -> AlgoResult:
     """Forward-Backward SCC decomposition.
@@ -45,6 +54,7 @@ def fb_scc(
         device = VirtualDevice(RYZEN_2950X)
     elif isinstance(device, DeviceSpec):
         device = VirtualDevice(device)
+    be = get_backend(backend)
     tr = ensure_tracer(tracer)
     n = graph.num_vertices
     labels = np.full(n, NO_VERTEX, dtype=VERTEX_DTYPE)
@@ -53,11 +63,11 @@ def fb_scc(
             labels=labels, num_sccs=0, device=device,
             trace=tr.trace if tr.enabled else None,
         )
-    gt = graph.transpose()
     # task queue of vertex-index arrays (subgraphs); masks are rebuilt per
     # task — the textbook formulation, not the coloring one
     queue: "list[np.ndarray]" = [np.arange(n, dtype=VERTEX_DTYPE)]
     mask = np.zeros(n, dtype=bool)
+    strategy = "max-id" if pivot == "max" else "min-id"
     while queue:
         task = queue.pop()
         if task.size == 0:
@@ -68,14 +78,25 @@ def fb_scc(
         with tr.span("fb-task", size=int(task.size)):
             mask[:] = False
             mask[task] = True
-            p = int(task.max()) if pivot == "max" else int(task.min())
-            fwd, _ = masked_bfs(graph, np.asarray([p]), mask, device)
-            bwd, _ = masked_bfs(gt, np.asarray([p]), mask, device)
+            p = select_pivot(
+                graph, mask, device, strategy=strategy, charge="none"
+            )
+            fwd, _ = forward_reach(
+                graph, np.asarray([p]), mask, device, backend=be, tracer=tr
+            )
+            bwd, _ = backward_reach(
+                graph, np.asarray([p]), mask, device, backend=be, tracer=tr
+            )
             scc = fwd & bwd & mask
             scc_idx = np.flatnonzero(scc)
             labels[scc_idx] = scc_idx.max()
             tr.counter("scc-detected", size=int(scc_idx.size))
-            device.launch(vertices=task.size)
+            # emit the task's SCC labels: a task-sized kernel (the task
+            # queue is already worklist-driven under either backend)
+            charge_vertex_scan(
+                device, be, num_vertices=task.size,
+                worklist_size=task.size, bytes_per_vertex=PAIR_FLAG_BYTES,
+            )
             fwd_only = np.flatnonzero(fwd & ~scc & mask)
             bwd_only = np.flatnonzero(bwd & ~scc & mask)
             rest = np.flatnonzero(mask & ~fwd & ~bwd)

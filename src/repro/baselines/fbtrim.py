@@ -11,12 +11,11 @@ import numpy as np
 
 from ..device.executor import VirtualDevice
 from ..device.spec import RYZEN_2950X, DeviceSpec
+from ..engine import ArrayBackend, colored_fb_rounds, get_backend, trim1, trim2
 from ..graph.csr import CSRGraph
 from ..results import AlgoResult, count_sccs
 from ..trace import Tracer, ensure_tracer
 from ..types import NO_VERTEX, VERTEX_DTYPE
-from .reach import colored_fb_rounds
-from .trim import trim1, trim2
 
 __all__ = ["fbtrim_scc"]
 
@@ -26,6 +25,7 @@ def fbtrim_scc(
     *,
     device: "VirtualDevice | DeviceSpec | None" = None,
     use_trim2: bool = True,
+    backend: "ArrayBackend | str | None" = None,
     tracer: "Tracer | None" = None,
 ) -> AlgoResult:
     """Trim-1 (+ optional Trim-2), then coloring-FB on the remainder.
@@ -36,6 +36,7 @@ def fbtrim_scc(
         device = VirtualDevice(RYZEN_2950X)
     elif isinstance(device, DeviceSpec):
         device = VirtualDevice(device)
+    be = get_backend(backend)
     tr = ensure_tracer(tracer)
     n = graph.num_vertices
     labels = np.full(n, NO_VERTEX, dtype=VERTEX_DTYPE)
@@ -46,13 +47,15 @@ def fbtrim_scc(
             trace=tr.trace if tr.enabled else None,
         )
     with tr.span("trim"):
-        trim1(graph, active, labels, device)
+        trim1(graph, active, labels, device, backend=be, tracer=tr)
         if use_trim2:
-            while trim2(graph, active, labels, device):
-                trim1(graph, active, labels, device)
+            while trim2(graph, active, labels, device, backend=be, tracer=tr):
+                trim1(graph, active, labels, device, backend=be, tracer=tr)
     with tr.span("coloring-fb", remaining=int(active.sum())):
         if active.any():
-            colored_fb_rounds(graph, active, labels, device)
+            colored_fb_rounds(
+                graph, active, labels, device, backend=be, tracer=tr
+            )
     assert not np.any(labels == NO_VERTEX)
     return AlgoResult(
         labels=labels,

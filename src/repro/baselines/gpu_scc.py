@@ -25,12 +25,19 @@ import numpy as np
 
 from ..device.executor import VirtualDevice
 from ..device.spec import TITAN_V, DeviceSpec
+from ..engine import (
+    ArrayBackend,
+    colored_fb_rounds,
+    get_backend,
+    pivot_fb_step,
+    select_pivot,
+    trim1,
+    trim2,
+)
 from ..graph.csr import CSRGraph
 from ..results import AlgoResult, count_sccs
 from ..trace import Tracer, ensure_tracer
 from ..types import NO_VERTEX, VERTEX_DTYPE
-from .reach import colored_fb_rounds, masked_bfs
-from .trim import trim1, trim2
 
 __all__ = ["gpu_scc"]
 
@@ -39,6 +46,7 @@ def gpu_scc(
     graph: CSRGraph,
     *,
     device: "VirtualDevice | DeviceSpec | None" = None,
+    backend: "ArrayBackend | str | None" = None,
     tracer: "Tracer | None" = None,
 ) -> AlgoResult:
     """Li et al.'s GPU SCC algorithm on the virtual device.
@@ -50,6 +58,7 @@ def gpu_scc(
         device = VirtualDevice(TITAN_V)
     elif isinstance(device, DeviceSpec):
         device = VirtualDevice(device)
+    be = get_backend(backend)
     tr = ensure_tracer(tracer)
     n = graph.num_vertices
     labels = np.full(n, NO_VERTEX, dtype=VERTEX_DTYPE)
@@ -62,38 +71,33 @@ def gpu_scc(
 
     # phase 1: iterated Trim-1
     with tr.span("phase1-trim"):
-        trim1(graph, active, labels, device)
+        trim1(graph, active, labels, device, backend=be, tracer=tr)
 
     # phase 2: giant-SCC detection from a high-degree pivot
     with tr.span("phase2-giant-scc"):
         if active.any():
-            deg = graph.out_degree() + graph.in_degree()
-            deg = np.where(active, deg, -1)
-            pivot = int(np.argmax(deg))
-            device.launch(vertices=n, atomics=int(active.sum()))
-            fwd, _ = masked_bfs(graph, np.asarray([pivot]), active, device)
-            bwd, _ = masked_bfs(
-                graph.transpose(), np.asarray([pivot]), active, device
+            pivot = select_pivot(
+                graph, active, device,
+                strategy="max-degree", charge="atomic", backend=be,
             )
-            scc = fwd & bwd & active
-            scc_idx = np.flatnonzero(scc)
-            if scc_idx.size:
-                labels[scc_idx] = scc_idx.max()
-                active[scc_idx] = False
-            device.launch(vertices=n)
+            pivot_fb_step(
+                graph, active, labels, device, pivot, backend=be, tracer=tr
+            )
 
     # phase 3: re-trim (Trim-1 then Trim-2 then Trim-1 again)
     with tr.span("phase3-retrim"):
         if active.any():
-            trim1(graph, active, labels, device)
+            trim1(graph, active, labels, device, backend=be, tracer=tr)
         if active.any():
-            if trim2(graph, active, labels, device):
-                trim1(graph, active, labels, device)
+            if trim2(graph, active, labels, device, backend=be, tracer=tr):
+                trim1(graph, active, labels, device, backend=be, tracer=tr)
 
     # phase 4: coloring-FB over everything that remains
     with tr.span("phase4-coloring-fb", remaining=int(active.sum())):
         if active.any():
-            colored_fb_rounds(graph, active, labels, device)
+            colored_fb_rounds(
+                graph, active, labels, device, backend=be, tracer=tr
+            )
 
     assert not np.any(labels == NO_VERTEX)
     return AlgoResult(

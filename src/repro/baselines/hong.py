@@ -20,13 +20,20 @@ import numpy as np
 
 from ..device.executor import VirtualDevice
 from ..device.spec import XEON_6226R, DeviceSpec
+from ..engine import (
+    ArrayBackend,
+    colored_fb_rounds,
+    get_backend,
+    pivot_fb_step,
+    select_pivot,
+    trim1,
+    trim2,
+)
 from ..graph.csr import CSRGraph
 from ..graph.properties import weakly_connected_components
 from ..results import AlgoResult, count_sccs
 from ..trace import Tracer, ensure_tracer
 from ..types import NO_VERTEX, VERTEX_DTYPE
-from .reach import colored_fb_rounds, masked_bfs
-from .trim import trim1, trim2
 
 __all__ = ["hong_scc"]
 
@@ -35,6 +42,7 @@ def hong_scc(
     graph: CSRGraph,
     *,
     device: "VirtualDevice | DeviceSpec | None" = None,
+    backend: "ArrayBackend | str | None" = None,
     tracer: "Tracer | None" = None,
 ) -> AlgoResult:
     """Hong et al.'s method on the virtual CPU.  Returns an
@@ -44,6 +52,7 @@ def hong_scc(
         device = VirtualDevice(XEON_6226R)
     elif isinstance(device, DeviceSpec):
         device = VirtualDevice(device)
+    be = get_backend(backend)
     tr = ensure_tracer(tracer)
     n = graph.num_vertices
     labels = np.full(n, NO_VERTEX, dtype=VERTEX_DTYPE)
@@ -55,27 +64,20 @@ def hong_scc(
         )
 
     with tr.span("phase1-trim"):
-        trim1(graph, active, labels, device)
+        trim1(graph, active, labels, device, backend=be, tracer=tr)
         if active.any():
-            trim2(graph, active, labels, device)
-            trim1(graph, active, labels, device)
+            trim2(graph, active, labels, device, backend=be, tracer=tr)
+            trim1(graph, active, labels, device, backend=be, tracer=tr)
 
     with tr.span("phase2-giant-scc"):
         if active.any():
-            deg = graph.out_degree() + graph.in_degree()
-            deg = np.where(active, deg, -1)
-            pivot = int(np.argmax(deg))
-            device.serial(n)
-            fwd, _ = masked_bfs(graph, np.asarray([pivot]), active, device)
-            bwd, _ = masked_bfs(
-                graph.transpose(), np.asarray([pivot]), active, device
+            pivot = select_pivot(
+                graph, active, device,
+                strategy="max-degree", charge="serial", backend=be,
             )
-            scc = fwd & bwd & active
-            scc_idx = np.flatnonzero(scc)
-            if scc_idx.size:
-                labels[scc_idx] = scc_idx.max()
-                active[scc_idx] = False
-            device.launch(vertices=n)
+            pivot_fb_step(
+                graph, active, labels, device, pivot, backend=be, tracer=tr
+            )
 
     with tr.span("phase3-wcc-fb", remaining=int(active.sum())):
         if active.any():
@@ -85,7 +87,7 @@ def hong_scc(
             # independent tasks.
             wcc = weakly_connected_components(graph)
             device.launch(edges=graph.num_edges, vertices=n, bytes_per_edge=24)
-            _fb_with_initial_colors(graph, active, labels, device, wcc)
+            _fb_with_initial_colors(graph, active, labels, device, wcc, be)
 
     assert not np.any(labels == NO_VERTEX)
     return AlgoResult(
@@ -102,14 +104,9 @@ def _fb_with_initial_colors(
     labels: np.ndarray,
     dev: VirtualDevice,
     init_colors: np.ndarray,
+    backend: ArrayBackend,
 ) -> None:
     """Coloring-FB seeded with an initial partition (WCC labels)."""
-    # compact the initial colors over active vertices, then reuse the
-    # shared engine by pre-splitting: colored_fb_rounds starts from color
-    # zero, so encode the WCC partition by running it per group would be
-    # wasteful; instead we temporarily relabel through a color offset.
-    from .reach import colored_fb_rounds as _engine  # local alias
-
     # The shared engine initializes its own colors; seeding is equivalent
     # to one extra split round, which we emulate by running the engine on
     # each WCC's vertex set via masking.  WCC counts are small for the
@@ -118,10 +115,10 @@ def _fb_with_initial_colors(
     act_idx = np.flatnonzero(active)
     comps = np.unique(init_colors[act_idx])
     if comps.size > 64:
-        _engine(graph, active, labels, dev)
+        colored_fb_rounds(graph, active, labels, dev, backend=backend)
         return
     for comp in comps:
         sub_active = active & (init_colors == comp)
         if sub_active.any():
-            _engine(graph, sub_active, labels, dev)
+            colored_fb_rounds(graph, sub_active, labels, dev, backend=backend)
             active &= ~(init_colors == comp)

@@ -28,12 +28,20 @@ import numpy as np
 
 from ..device.executor import VirtualDevice
 from ..device.spec import XEON_6226R, DeviceSpec
+from ..engine import (
+    ArrayBackend,
+    colored_fb_rounds,
+    get_backend,
+    pivot_fb_step,
+    select_pivot,
+    trim1,
+    trim2,
+    trim3,
+)
 from ..graph.csr import CSRGraph
 from ..results import AlgoResult, count_sccs
 from ..trace import Tracer, ensure_tracer
 from ..types import NO_VERTEX, VERTEX_DTYPE
-from .reach import colored_fb_rounds, masked_bfs
-from .trim import trim1, trim2, trim3
 
 __all__ = ["ispan_scc"]
 
@@ -46,6 +54,7 @@ def ispan_scc(
     graph: CSRGraph,
     *,
     device: "VirtualDevice | DeviceSpec | None" = None,
+    backend: "ArrayBackend | str | None" = None,
     tracer: "Tracer | None" = None,
 ) -> AlgoResult:
     """iSpan on the virtual CPU.  Returns an
@@ -55,6 +64,7 @@ def ispan_scc(
         device = VirtualDevice(XEON_6226R)
     elif isinstance(device, DeviceSpec):
         device = VirtualDevice(device)
+    be = get_backend(backend)
     tr = ensure_tracer(tracer)
     n = graph.num_vertices
     labels = np.full(n, NO_VERTEX, dtype=VERTEX_DTYPE)
@@ -67,47 +77,37 @@ def ispan_scc(
 
     # phase 1: Trim-1 before the large-SCC search
     with tr.span("phase1-trim"):
-        trim1(graph, active, labels, device)
+        trim1(graph, active, labels, device, backend=be, tracer=tr)
 
     # phase 2: spanning-tree forward/backward from the hub vertex
     with tr.span("phase2-giant-scc"):
         if active.any():
-            deg = graph.out_degree() + graph.in_degree()
-            deg = np.where(active, deg, -1)
-            hub = int(np.argmax(deg))
-            device.serial(n)  # hub selection scan
-            fwd, _ = masked_bfs(
-                graph, np.asarray([hub]), active, device,
-                serial_level_cost=_LEVEL_SERIAL_OPS,
+            hub = select_pivot(
+                graph, active, device,
+                strategy="max-degree", charge="serial", backend=be,
             )
-            bwd, _ = masked_bfs(
-                graph.transpose(), np.asarray([hub]), active, device,
-                serial_level_cost=_LEVEL_SERIAL_OPS,
+            pivot_fb_step(
+                graph, active, labels, device, hub,
+                serial_level_cost=_LEVEL_SERIAL_OPS, backend=be, tracer=tr,
             )
-            scc = fwd & bwd & active
-            scc_idx = np.flatnonzero(scc)
-            if scc_idx.size:
-                labels[scc_idx] = scc_idx.max()
-                active[scc_idx] = False
-            device.launch(vertices=n)
 
     # phase 3: Trim-1, Trim-2, Trim-3
     with tr.span("phase3-retrim"):
         if active.any():
-            trim1(graph, active, labels, device)
+            trim1(graph, active, labels, device, backend=be, tracer=tr)
         if active.any():
-            if trim2(graph, active, labels, device):
-                trim1(graph, active, labels, device)
+            if trim2(graph, active, labels, device, backend=be, tracer=tr):
+                trim1(graph, active, labels, device, backend=be, tracer=tr)
         if active.any():
-            if trim3(graph, active, labels, device):
-                trim1(graph, active, labels, device)
+            if trim3(graph, active, labels, device, backend=be, tracer=tr):
+                trim1(graph, active, labels, device, backend=be, tracer=tr)
 
     # phase 4: task-parallel FB on the residual subgraphs
     with tr.span("phase4-residual-fb", remaining=int(active.sum())):
         if active.any():
             colored_fb_rounds(
                 graph, active, labels, device,
-                serial_level_cost=_LEVEL_SERIAL_OPS,
+                serial_level_cost=_LEVEL_SERIAL_OPS, backend=be, tracer=tr,
             )
 
     assert not np.any(labels == NO_VERTEX)

@@ -20,14 +20,20 @@ import numpy as np
 
 from ..device.executor import VirtualDevice
 from ..device.spec import XEON_6226R, DeviceSpec
+from ..engine import (
+    ArrayBackend,
+    get_backend,
+    pivot_fb_step,
+    select_pivot,
+    trim1,
+    trim2,
+)
 from ..graph.csr import CSRGraph
 from ..graph.ops import induced_subgraph
 from ..results import AlgoResult, count_sccs
 from ..trace import Tracer, ensure_tracer
 from ..types import NO_VERTEX, VERTEX_DTYPE
 from .coloring import coloring_scc
-from .reach import masked_bfs
-from .trim import trim1, trim2
 
 __all__ = ["multistep_scc"]
 
@@ -37,6 +43,7 @@ def multistep_scc(
     *,
     device: "VirtualDevice | DeviceSpec | None" = None,
     use_trim2: bool = True,
+    backend: "ArrayBackend | str | None" = None,
     tracer: "Tracer | None" = None,
 ) -> AlgoResult:
     """Slota et al.'s Multistep method.  Returns an
@@ -46,6 +53,7 @@ def multistep_scc(
         device = VirtualDevice(XEON_6226R)
     elif isinstance(device, DeviceSpec):
         device = VirtualDevice(device)
+    be = get_backend(backend)
     tr = ensure_tracer(tracer)
     n = graph.num_vertices
     labels = np.full(n, NO_VERTEX, dtype=VERTEX_DTYPE)
@@ -58,35 +66,30 @@ def multistep_scc(
     active = np.ones(n, dtype=bool)
     # step 1: trim
     with tr.span("step1-trim"):
-        trim1(graph, active, labels, device)
+        trim1(graph, active, labels, device, backend=be, tracer=tr)
         if use_trim2 and active.any():
-            if trim2(graph, active, labels, device):
-                trim1(graph, active, labels, device)
+            if trim2(graph, active, labels, device, backend=be, tracer=tr):
+                trim1(graph, active, labels, device, backend=be, tracer=tr)
 
     # step 2: one FW-BW from the max-total-degree pivot
     with tr.span("step2-fwbw"):
         if active.any():
-            deg = graph.out_degree() + graph.in_degree()
-            deg = np.where(active, deg, -1)
-            pivot = int(np.argmax(deg))
-            device.serial(n)
-            fwd, _ = masked_bfs(graph, np.asarray([pivot]), active, device)
-            bwd, _ = masked_bfs(
-                graph.transpose(), np.asarray([pivot]), active, device
+            pivot = select_pivot(
+                graph, active, device,
+                strategy="max-degree", charge="serial", backend=be,
             )
-            scc = fwd & bwd & active
-            scc_idx = np.flatnonzero(scc)
-            if scc_idx.size:
-                labels[scc_idx] = scc_idx.max()
-                active[scc_idx] = False
-            device.launch(vertices=n)
-            trim1(graph, active, labels, device)
+            pivot_fb_step(
+                graph, active, labels, device, pivot, backend=be, tracer=tr
+            )
+            trim1(graph, active, labels, device, backend=be, tracer=tr)
 
     # step 3: coloring SCC on the remaining induced subgraph
     with tr.span("step3-coloring", remaining=int(active.sum())):
         if active.any():
             sub, original = induced_subgraph(graph, active)
-            sub_res = coloring_scc(sub, device=device.spec, tracer=tr)
+            sub_res = coloring_scc(
+                sub, device=device.spec, backend=be, tracer=tr
+            )
             device.counters.merge(sub_res.device.counters)
             # `original` is sorted ascending, so the compaction is monotone:
             # the max sub-index of a component maps to its max original ID,

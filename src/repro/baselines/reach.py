@@ -1,185 +1,22 @@
-"""Shared reachability machinery for the FB-family baselines.
+"""Compatibility shim: reachability primitives live in :mod:`repro.engine`.
 
-Two instrumented primitives:
-
-* :func:`masked_bfs` — level-synchronous BFS restricted to an active
-  vertex mask, reporting one kernel launch (GPU) / parallel barrier (CPU)
-  per frontier level, the cost structure that makes BFS-based SCC codes
-  slow on high-diameter meshes.
-
-* :func:`colored_fb_rounds` — the coloring formulation of the
-  Forward-Backward decomposition used by the GPU codes (Barnat et al.,
-  Li et al.): every current partition ("color") selects a pivot by a
-  winning concurrent write, all forward/backward searches of all colors
-  advance together level-synchronously, and each round splits every
-  color into up to four parts (SCC, forward-only, backward-only,
-  neither).  Rounds repeat until every vertex is assigned.
+The instrumented reachability machinery (:func:`masked_bfs`,
+:func:`colored_fb_rounds`, :func:`frontier_expand`) used to be
+implemented here per-baseline; it is now shared by every algorithm via
+:mod:`repro.engine.primitives`.  This module re-exports the engine
+implementations so historical import paths keep working.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from ..engine.primitives import (
+    colored_fb_rounds,
+    colored_reach,
+    frontier_expand,
+    masked_bfs,
+)
 
-from ..device.executor import VirtualDevice
-from ..errors import ConvergenceError
-from ..graph.csr import CSRGraph
-from ..types import NO_VERTEX, VERTEX_DTYPE
+# private alias kept for callers of the pre-engine helper name
+_colored_reach = colored_reach
 
 __all__ = ["masked_bfs", "colored_fb_rounds", "frontier_expand"]
-
-
-def frontier_expand(graph: CSRGraph, frontier: np.ndarray) -> np.ndarray:
-    """All out-neighbours of *frontier* (with duplicates)."""
-    indptr, indices = graph.indptr, graph.indices
-    counts = indptr[frontier + 1] - indptr[frontier]
-    total = int(counts.sum())
-    if total == 0:
-        return np.empty(0, dtype=VERTEX_DTYPE)
-    offsets = np.repeat(indptr[frontier], counts)
-    ids = np.arange(total, dtype=VERTEX_DTYPE)
-    resets = np.repeat(np.cumsum(counts) - counts, counts)
-    return indices[offsets + (ids - resets)]
-
-
-def masked_bfs(
-    graph: CSRGraph,
-    sources: np.ndarray,
-    active: np.ndarray,
-    dev: VirtualDevice,
-    *,
-    serial_level_cost: int = 0,
-) -> "tuple[np.ndarray, int]":
-    """Level-synchronous BFS within ``active``; returns (visited, levels).
-
-    Each level costs one launch/barrier plus the touched edges; callers
-    modelling CPU codes with tiny frontiers pass ``serial_level_cost`` to
-    charge the per-level critical-path overhead.
-    """
-    n = graph.num_vertices
-    visited = np.zeros(n, dtype=bool)
-    sources = np.asarray(sources, dtype=VERTEX_DTYPE).ravel()
-    sources = sources[active[sources]]
-    visited[sources] = True
-    frontier = np.unique(sources)
-    levels = 0
-    while frontier.size:
-        levels += 1
-        nxt = frontier_expand(graph, frontier)
-        # topology-driven level kernel: scan every vertex's status flag,
-        # then expand the frontier's adjacency (Barnat/Li formulation)
-        dev.launch(
-            edges=int(nxt.size) + int(frontier.size),
-            vertices=n,
-            bytes_per_vertex=8,
-            bytes_per_edge=24,
-        )
-        if serial_level_cost:
-            dev.serial(serial_level_cost)
-        if nxt.size == 0:
-            break
-        nxt = nxt[active[nxt] & ~visited[nxt]]
-        frontier = np.unique(nxt)
-        visited[frontier] = True
-    return visited, levels
-
-
-def colored_fb_rounds(
-    graph: CSRGraph,
-    active: np.ndarray,
-    labels: np.ndarray,
-    dev: VirtualDevice,
-    *,
-    max_rounds: "int | None" = None,
-    serial_level_cost: int = 0,
-) -> int:
-    """Run coloring-FB until every active vertex is labelled.
-
-    ``labels`` is updated in place with the max-member-ID of each SCC
-    found; ``active`` is cleared as vertices are assigned.  Returns the
-    number of FB rounds (each internally costs its BFS levels).
-
-    Pivot selection follows Barnat's "winning write": every vertex of a
-    color writes its ID to the color's slot and the maximum wins — one
-    launch, modelled by a segment-max here.
-    """
-    n = graph.num_vertices
-    gt = graph.transpose()
-    color = np.zeros(n, dtype=VERTEX_DTYPE)  # one initial partition
-    rounds = 0
-    bound = max_rounds or (n + 2)
-    while True:
-        act_idx = np.flatnonzero(active)
-        if act_idx.size == 0:
-            return rounds
-        rounds += 1
-        if rounds > bound:
-            raise ConvergenceError("coloring FB exceeded its round bound")
-        # --- pivot per color: winning concurrent write (one launch) ------
-        col = color[act_idx]
-        order = np.argsort(col, kind="stable")
-        col_sorted = col[order]
-        group_starts = np.flatnonzero(
-            np.concatenate([[True], col_sorted[1:] != col_sorted[:-1]])
-        )
-        pivots = np.maximum.reduceat(act_idx[order], group_starts)
-        dev.launch(vertices=act_idx.size, atomics=act_idx.size)
-        # --- forward/backward reach from all pivots simultaneously -------
-        fwd = _colored_reach(graph, pivots, color, active, dev, serial_level_cost)
-        bwd = _colored_reach(gt, pivots, color, active, dev, serial_level_cost)
-        scc = fwd & bwd & active
-        # label each found SCC with its pivot's color-group max (the pivot
-        # IS the max active ID of its color by construction)
-        pivot_of_color = np.full(int(color[act_idx].max()) + 1, NO_VERTEX, dtype=VERTEX_DTYPE)
-        pivot_of_color[col_sorted[group_starts]] = pivots
-        scc_idx = np.flatnonzero(scc)
-        labels[scc_idx] = pivot_of_color[color[scc_idx]]
-        active[scc_idx] = False
-        dev.launch(vertices=act_idx.size)
-        # --- split colors: quadrant encoding then compaction -------------
-        still = np.flatnonzero(active)
-        if still.size == 0:
-            return rounds
-        quad = 2 * fwd[still].astype(np.int64) + bwd[still].astype(np.int64)
-        new_color = color[still] * 4 + quad
-        _, dense = np.unique(new_color, return_inverse=True)
-        color[still] = dense
-        dev.launch(vertices=still.size)
-
-
-def _colored_reach(
-    graph: CSRGraph,
-    pivots: np.ndarray,
-    color: np.ndarray,
-    active: np.ndarray,
-    dev: VirtualDevice,
-    serial_level_cost: int,
-) -> np.ndarray:
-    """Multi-source BFS where expansion stays within the source's color."""
-    n = graph.num_vertices
-    visited = np.zeros(n, dtype=bool)
-    visited[pivots] = True
-    frontier = np.unique(pivots)
-    while frontier.size:
-        indptr, indices = graph.indptr, graph.indices
-        counts = indptr[frontier + 1] - indptr[frontier]
-        total = int(counts.sum())
-        # topology-driven level kernel (see masked_bfs)
-        dev.launch(
-            edges=total + int(frontier.size),
-            vertices=n,
-            bytes_per_vertex=8,
-            bytes_per_edge=24,
-        )
-        if serial_level_cost:
-            dev.serial(serial_level_cost)
-        if total == 0:
-            break
-        offsets = np.repeat(indptr[frontier], counts)
-        ids = np.arange(total, dtype=VERTEX_DTYPE)
-        resets = np.repeat(np.cumsum(counts) - counts, counts)
-        nxt = indices[offsets + (ids - resets)]
-        src_col = np.repeat(color[frontier], counts)
-        ok = active[nxt] & ~visited[nxt] & (color[nxt] == src_col)
-        frontier = np.unique(nxt[ok])
-        visited[frontier] = True
-    return visited

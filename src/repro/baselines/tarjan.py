@@ -22,24 +22,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..engine.primitives import normalize_labels_to_max
 from ..graph.csr import CSRGraph
 from ..results import AlgoResult, count_sccs
 from ..trace import Tracer, ensure_tracer
 from ..types import VERTEX_DTYPE
 
 __all__ = ["tarjan_scc", "normalize_labels_to_max"]
-
-
-def normalize_labels_to_max(labels: np.ndarray) -> np.ndarray:
-    """Map arbitrary SCC labels to the max vertex ID in each component."""
-    labels = np.asarray(labels, dtype=VERTEX_DTYPE)
-    n = labels.size
-    if n == 0:
-        return labels.copy()
-    _, dense = np.unique(labels, return_inverse=True)
-    reps = np.full(int(dense.max()) + 1, -1, dtype=VERTEX_DTYPE)
-    np.maximum.at(reps, dense, np.arange(n, dtype=VERTEX_DTYPE))
-    return reps[dense]
 
 
 def tarjan_scc(

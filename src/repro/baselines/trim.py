@@ -1,224 +1,13 @@
-"""Trim steps: peeling size-1/2/3 SCCs (McLendon, Yuede/iSpan).
+"""Compatibility shim: trim primitives live in :mod:`repro.engine`.
 
-Trim-1 removes vertices with no active in-edges or no active out-edges
-(they are trivial SCCs); it iterates because removals expose new
-candidates — on a deep mesh DAG this takes ~DAG-depth rounds, each a
-kernel launch, which is exactly why trim-based codes lose to ECL-SCC on
-meshes (paper §5.1.1).  Trim-2 removes isolated 2-cycles, Trim-3 small
-triangles (the dominant of Yuede's five patterns), both defined on the
-*active* subgraph.
-
-All steps share the same contract: operate on ``active`` (bool mask) and
-``labels`` in place, labelling removed vertices with the max member ID
-of their small SCC, and report work to the device.
+Trim-1/2/3 peeling (McLendon, Yuede/iSpan) used to be implemented here;
+the shared, device-accounted implementations now live in
+:mod:`repro.engine.primitives`.  This module re-exports them so
+historical import paths keep working.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from ..device.executor import VirtualDevice
-from ..graph.csr import CSRGraph
-from ..types import VERTEX_DTYPE
+from ..engine.primitives import active_degrees, trim1, trim2, trim3
 
 __all__ = ["active_degrees", "trim1", "trim2", "trim3"]
-
-
-def active_degrees(graph: CSRGraph, active: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
-    """(in_deg, out_deg) counting only edges between active vertices."""
-    src, dst = graph.edges()
-    live = active[src] & active[dst]
-    n = graph.num_vertices
-    out_deg = np.bincount(src[live], minlength=n).astype(VERTEX_DTYPE)
-    in_deg = np.bincount(dst[live], minlength=n).astype(VERTEX_DTYPE)
-    return in_deg, out_deg
-
-
-def trim1(
-    graph: CSRGraph,
-    active: np.ndarray,
-    labels: np.ndarray,
-    dev: VirtualDevice,
-    *,
-    max_rounds: "int | None" = None,
-) -> "tuple[int, int]":
-    """Iterated Trim-1.  Returns ``(removed, rounds)``.
-
-    Degree maintenance is decremental (the standard GPU formulation):
-    active degrees are computed once, and removing a vertex decrements
-    its neighbours' counters, so the total edge work is O(E) across all
-    rounds.  What iterates is the per-round *vertex scan* — every round
-    launches a kernel that checks all vertex flags — which is exactly why
-    trim-based codes pay ~DAG-depth launches on deep meshes (§5.1.1).
-    """
-    n = graph.num_vertices
-    removed_total = 0
-    rounds = 0
-    bound = max_rounds or (n + 2)
-    in_deg, out_deg = active_degrees(graph, active)
-    dev.launch(edges=graph.num_edges, bytes_per_edge=16)
-    gt = graph.transpose()
-    frontier = np.flatnonzero(active & ((in_deg == 0) | (out_deg == 0)))
-    dev.launch(vertices=n, bytes_per_vertex=8)
-    rounds = 1
-    while frontier.size:
-        rounds += 1
-        if rounds > bound:  # pragma: no cover - safety net
-            raise RuntimeError("trim1 failed to converge")
-        labels[frontier] = frontier  # a trivial SCC's max member is itself
-        active[frontier] = False
-        removed_total += frontier.size
-        # decrement neighbour degrees along the removed vertices' edges
-        fwd = _expand(graph, frontier)
-        bwd = _expand(gt, frontier)
-        np.subtract.at(in_deg, fwd, 1)
-        np.subtract.at(out_deg, bwd, 1)
-        # per-round kernel: scan all vertex flags, then the decrements
-        dev.launch(vertices=n, bytes_per_vertex=8)
-        dev.launch(edges=int(fwd.size + bwd.size), bytes_per_edge=16)
-        cand = np.unique(np.concatenate([fwd, bwd]))
-        cand = cand[active[cand]]
-        frontier = cand[(in_deg[cand] <= 0) | (out_deg[cand] <= 0)]
-    return removed_total, rounds
-
-
-def _expand(graph: CSRGraph, frontier: np.ndarray) -> np.ndarray:
-    """All out-neighbours of *frontier* (duplicates preserved)."""
-    indptr, indices = graph.indptr, graph.indices
-    counts = indptr[frontier + 1] - indptr[frontier]
-    total = int(counts.sum())
-    if total == 0:
-        return np.empty(0, dtype=VERTEX_DTYPE)
-    offsets = np.repeat(indptr[frontier], counts)
-    ids = np.arange(total, dtype=VERTEX_DTYPE)
-    resets = np.repeat(np.cumsum(counts) - counts, counts)
-    return indices[offsets + (ids - resets)]
-
-
-def trim2(
-    graph: CSRGraph,
-    active: np.ndarray,
-    labels: np.ndarray,
-    dev: VirtualDevice,
-) -> int:
-    """One Trim-2 pass: remove isolated 2-cycles.  Returns removals.
-
-    A pair (u, v) qualifies when u <-> v and neither vertex has any other
-    active in- or out-edge (Fig. 2b of the paper).
-    """
-    in_deg, out_deg = active_degrees(graph, active)
-    src, dst = graph.edges()
-    live = active[src] & active[dst]
-    s, d = src[live], dst[live]
-    dev.launch(edges=graph.num_edges, bytes_per_edge=24)
-    # candidate endpoints: degree exactly 1 in both directions
-    cand = active & (in_deg == 1) & (out_deg == 1)
-    pick = cand[s] & cand[d]
-    s2, d2 = s[pick], d[pick]
-    if s2.size == 0:
-        return 0
-    # reciprocal test via edge-key membership
-    n = max(graph.num_vertices, 1)
-    keys = s2 * np.int64(n) + d2
-    rev = d2 * np.int64(n) + s2
-    recip = np.isin(rev, keys, assume_unique=False)
-    u, v = s2[recip], d2[recip]
-    # each pair appears as both (u, v) and (v, u); keep one orientation
-    once = u < v
-    u, v = u[once], v[once]
-    if u.size == 0:
-        return 0
-    dev.launch(vertices=int(cand.sum()), bytes_per_vertex=16)
-    pair_label = np.maximum(u, v)
-    labels[u] = pair_label
-    labels[v] = pair_label
-    active[u] = False
-    active[v] = False
-    return int(u.size)
-
-
-def trim3(
-    graph: CSRGraph,
-    active: np.ndarray,
-    labels: np.ndarray,
-    dev: VirtualDevice,
-) -> int:
-    """One Trim-3 pass: remove isolated size-3 SCCs (Yuede's 5 patterns).
-
-    There are exactly five strongly connected 3-vertex digraphs up to
-    isomorphism — the plain 3-cycle, the 3-cycle with one, two, or three
-    reverse chords, and the bidirectional path — matching the five
-    patterns of the iSpan paper.  A triple qualifies when it induces one
-    of them *and* none of its members has any other active edge.
-
-    Detection: every qualifying triple contains at least one member
-    adjacent to both others (the middle of a bidirectional path, or any
-    vertex of a 3-cycle), so triples are enumerated from vertices with
-    exactly two distinct active neighbours, then validated for closure
-    (no external edges) and strong connectivity (on 3 vertices: every
-    member has an internal in- and out-edge).  Returns vertices removed.
-    """
-    n = graph.num_vertices
-    src, dst = graph.edges()
-    live = active[src] & active[dst] & (src != dst)
-    s, d = src[live], dst[live]
-    dev.launch(edges=graph.num_edges, bytes_per_edge=24)
-    if s.size == 0:
-        return 0
-    # distinct undirected neighbour pairs (v, w), v != w, both active
-    big = np.int64(max(n, 1))
-    und = np.concatenate([s * big + d, d * big + s])
-    und = np.unique(und)
-    v = und // big
-    w = und % big
-    # vertices with exactly two distinct neighbours seed candidate triples
-    deg = np.bincount(v, minlength=n)
-    seeds = np.flatnonzero(deg == 2)
-    if seeds.size == 0:
-        return 0
-    order = np.argsort(v, kind="stable")
-    starts = np.searchsorted(v[order], seeds)
-    n1 = w[order][starts]
-    n2 = w[order][starts + 1]
-    triple = np.sort(np.stack([seeds, n1, n2], axis=1), axis=1)
-    triple = np.unique(triple, axis=0)
-    a, b, c = triple[:, 0], triple[:, 1], triple[:, 2]
-    ok = (a != b) & (b != c)
-    a, b, c = a[ok], b[ok], c[ok]
-    if a.size == 0:
-        return 0
-    # closure: each member's distinct-neighbour set lies inside the triple
-    # (deg <= 2 plus both neighbours being members implies containment)
-    dir_keys = np.unique(s * big + d)
-
-    def has_edge(x, y):
-        return np.isin(x * big + y, dir_keys)
-
-    e = {}
-    for name, (x, y) in {
-        "ab": (a, b), "ba": (b, a), "bc": (b, c),
-        "cb": (c, b), "ac": (a, c), "ca": (c, a),
-    }.items():
-        e[name] = has_edge(x, y)
-    closed = (deg[a] <= 2) & (deg[b] <= 2) & (deg[c] <= 2)
-    # neighbours of each member must be members: count internal undirected
-    # adjacencies per member and compare with its distinct degree
-    adj_a = (e["ab"] | e["ba"]).astype(np.int64) + (e["ac"] | e["ca"]).astype(np.int64)
-    adj_b = (e["ab"] | e["ba"]).astype(np.int64) + (e["bc"] | e["cb"]).astype(np.int64)
-    adj_c = (e["ac"] | e["ca"]).astype(np.int64) + (e["bc"] | e["cb"]).astype(np.int64)
-    closed &= (adj_a == deg[a]) & (adj_b == deg[b]) & (adj_c == deg[c])
-    # strong connectivity on 3 vertices: internal in- and out-degree >= 1
-    out_a, in_a = e["ab"] | e["ac"], e["ba"] | e["ca"]
-    out_b, in_b = e["ba"] | e["bc"], e["ab"] | e["cb"]
-    out_c, in_c = e["ca"] | e["cb"], e["ac"] | e["bc"]
-    sc = out_a & in_a & out_b & in_b & out_c & in_c
-    pick = closed & sc
-    if not pick.any():
-        return 0
-    a, b, c = a[pick], b[pick], c[pick]
-    label = np.maximum(np.maximum(a, b), c)
-    for arr in (a, b, c):
-        labels[arr] = label
-        active[arr] = False
-    dev.launch(vertices=int(seeds.size), bytes_per_vertex=16)
-    return int(3 * a.size)

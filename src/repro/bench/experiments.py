@@ -20,12 +20,12 @@ import numpy as np
 
 from ..analysis.sccstats import scc_statistics
 from ..baselines.tarjan import tarjan_scc
-from ..core.options import EclOptions, ablation_variants
+from ..core.options import ablation_variants
 from ..device.spec import A100, RYZEN_2950X, TITAN_V, XEON_6226R
 from ..graph.csr import CSRGraph
 from ..graph.ops import replicate
-from ..graph.suite import POWER_LAW_SPECS, powerlaw_suite
-from ..mesh.suite import MeshGroup, large_mesh_suite, small_mesh_suite
+from ..graph.suite import powerlaw_suite
+from ..mesh.suite import large_mesh_suite, small_mesh_suite
 from .formatting import format_seconds, render_series, render_table
 from .runners import RunResult, run_algorithm
 from .throughput import geometric_mean

@@ -37,6 +37,7 @@ from ..baselines import (
 )
 from ..device.executor import VirtualDevice
 from ..device.spec import DeviceSpec
+from ..engine import ArrayBackend
 from ..errors import AlgorithmError
 from ..graph.csr import CSRGraph
 from ..results import AlgoResult
@@ -56,23 +57,39 @@ def _run_oracle(fn: Callable, graph: CSRGraph, spec: DeviceSpec, tracer) -> Algo
     return res
 
 
-#: name -> callable(graph, spec, options, tracer) -> AlgoResult
+#: name -> callable(graph, spec, options, tracer, backend) -> AlgoResult
 _DISPATCH: "dict[str, Callable[..., AlgoResult]]" = {
-    "ecl-scc": lambda g, spec, opts, tr: ecl_scc(
-        g, options=opts, device=spec, tracer=tr
+    "ecl-scc": lambda g, spec, opts, tr, be=None: ecl_scc(
+        g, options=opts, device=spec, backend=be, tracer=tr
     ),
-    "ecl-scc-minmax": lambda g, spec, opts, tr: minmax_scc(
-        g, device=spec, tracer=tr
+    "ecl-scc-minmax": lambda g, spec, opts, tr, be=None: minmax_scc(
+        g, device=spec, backend=be, tracer=tr
     ),
-    "gpu-scc": lambda g, spec, opts, tr: gpu_scc(g, device=spec, tracer=tr),
-    "ispan": lambda g, spec, opts, tr: ispan_scc(g, device=spec, tracer=tr),
-    "hong": lambda g, spec, opts, tr: hong_scc(g, device=spec, tracer=tr),
-    "multistep": lambda g, spec, opts, tr: multistep_scc(g, device=spec, tracer=tr),
-    "coloring": lambda g, spec, opts, tr: coloring_scc(g, device=spec, tracer=tr),
-    "fb": lambda g, spec, opts, tr: fb_scc(g, device=spec, tracer=tr),
-    "fb-trim": lambda g, spec, opts, tr: fbtrim_scc(g, device=spec, tracer=tr),
-    "tarjan": lambda g, spec, opts, tr: _run_oracle(tarjan_scc, g, spec, tr),
-    "kosaraju": lambda g, spec, opts, tr: _run_oracle(kosaraju_scc, g, spec, tr),
+    "gpu-scc": lambda g, spec, opts, tr, be=None: gpu_scc(
+        g, device=spec, backend=be, tracer=tr
+    ),
+    "ispan": lambda g, spec, opts, tr, be=None: ispan_scc(
+        g, device=spec, backend=be, tracer=tr
+    ),
+    "hong": lambda g, spec, opts, tr, be=None: hong_scc(
+        g, device=spec, backend=be, tracer=tr
+    ),
+    "multistep": lambda g, spec, opts, tr, be=None: multistep_scc(
+        g, device=spec, backend=be, tracer=tr
+    ),
+    "coloring": lambda g, spec, opts, tr, be=None: coloring_scc(
+        g, device=spec, backend=be, tracer=tr
+    ),
+    "fb": lambda g, spec, opts, tr, be=None: fb_scc(
+        g, device=spec, backend=be, tracer=tr
+    ),
+    "fb-trim": lambda g, spec, opts, tr, be=None: fbtrim_scc(
+        g, device=spec, backend=be, tracer=tr
+    ),
+    "tarjan": lambda g, spec, opts, tr, be=None: _run_oracle(tarjan_scc, g, spec, tr),
+    "kosaraju": lambda g, spec, opts, tr, be=None: _run_oracle(
+        kosaraju_scc, g, spec, tr
+    ),
 }
 
 ALGORITHM_NAMES = (
@@ -126,6 +143,7 @@ def _execute(
     spec: DeviceSpec,
     options: "EclOptions | None",
     tracer: "Tracer | None" = None,
+    backend: "ArrayBackend | str | None" = None,
 ) -> AlgoResult:
     """One run of *name* on *graph*; returns the algorithm's AlgoResult."""
     try:
@@ -134,7 +152,7 @@ def _execute(
         raise AlgorithmError(
             f"unknown algorithm {name!r}; known: {ALGORITHM_NAMES}"
         ) from None
-    return fn(graph, spec, options, tracer)
+    return fn(graph, spec, options, tracer, backend)
 
 
 def run_algorithm(
@@ -143,6 +161,7 @@ def run_algorithm(
     device: DeviceSpec,
     *,
     options: "EclOptions | None" = None,
+    backend: "ArrayBackend | str | None" = None,
     time_wall: bool = False,
     repeats: int = 9,
     verify: bool = False,
@@ -150,14 +169,18 @@ def run_algorithm(
 ) -> RunResult:
     """Run *algorithm* on *graph* against the *device* model.
 
-    ``time_wall`` additionally measures Python wall time with the
-    median-of-N protocol (each repeat uses a fresh device so counters
-    stay single-run; repeats run untraced so the caller's tracer sees
-    exactly one run).  ``verify`` checks labels against Tarjan (paper
-    §4 methodology) — skipped for the oracles themselves.  ``tracer``
-    records the run's phase spans; the trace is carried on the result.
+    ``backend`` selects the registered :class:`~repro.engine.ArrayBackend`
+    the run's engine primitives account against (default: the dense
+    backend, which reproduces the historical launch costs; the oracles
+    ignore it).  ``time_wall`` additionally measures Python wall time
+    with the median-of-N protocol (each repeat uses a fresh device so
+    counters stay single-run; repeats run untraced so the caller's
+    tracer sees exactly one run).  ``verify`` checks labels against
+    Tarjan (paper §4 methodology) — skipped for the oracles themselves.
+    ``tracer`` records the run's phase spans; the trace is carried on
+    the result.
     """
-    res = _execute(algorithm, graph, device, options, tracer)
+    res = _execute(algorithm, graph, device, options, tracer, backend)
     sigs = _SIGNATURE_ARRAYS.get(algorithm, 1)
     estimate = res.device.estimate(
         graph.num_vertices, graph.num_edges, signatures=sigs
@@ -165,7 +188,7 @@ def run_algorithm(
     wall = None
     if time_wall:
         wall = median_time(
-            lambda: _execute(algorithm, graph, device, options, NULL_TRACER),
+            lambda: _execute(algorithm, graph, device, options, NULL_TRACER, backend),
             repeats=repeats,
         )
     if verify and algorithm not in ("tarjan", "kosaraju"):

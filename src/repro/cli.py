@@ -81,6 +81,12 @@ def _device(name: str):
     return device_by_name(name)
 
 
+def _backend_choices() -> "list[str]":
+    from .engine import backend_names
+
+    return backend_names()
+
+
 # ---------------------------------------------------------------------------
 # subcommands
 # ---------------------------------------------------------------------------
@@ -97,6 +103,7 @@ def _cmd_scc(args: argparse.Namespace) -> int:
         graph,
         args.algo,
         _device(args.device),
+        backend=args.backend,
         time_wall=args.time,
         repeats=args.repeats,
         verify=args.verify,
@@ -163,7 +170,60 @@ def _cmd_gen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_smoke(args: argparse.Namespace) -> int:
+    """Fast cost-model smoke run: 3 codes on a mesh + power-law corpus.
+
+    Writes one JSON document (``--json PATH``; default stdout) with the
+    cost-model estimate and kernel counters per (algorithm, graph) cell.
+    CI uses it to confirm the engine refactor keeps the accounting live.
+    """
+    import json
+
+    from .bench import run_algorithm
+    from .graph.suite import powerlaw_suite
+    from .mesh.suite import small_mesh_suite
+
+    dev = _device(args.device)
+    graphs: "list[tuple[str, object]]" = []
+    for grp in small_mesh_suite(names=["toroid-hex"], num_ordinates=2):
+        graphs.extend(
+            (f"{grp.name}:o{i}", g) for i, g in enumerate(grp.graphs)
+        )
+    for g, _planted in powerlaw_suite(names=["flickr"], scale=1 / 32):
+        graphs.append((g.name or "flickr", g))
+    rows = []
+    for gname, g in graphs:
+        for algo in ("ecl-scc", "ispan", "fb"):
+            res = run_algorithm(g, algo, dev, backend=args.backend, verify=True)
+            rows.append(
+                {
+                    "algorithm": algo,
+                    "graph": gname,
+                    "num_vertices": res.num_vertices,
+                    "num_edges": res.num_edges,
+                    "num_sccs": res.num_sccs,
+                    "model_seconds": res.model_seconds,
+                    "kernel_launches": res.counters.get("kernel_launches", 0),
+                    "bytes_moved": res.counters.get("bytes_moved", 0),
+                }
+            )
+    payload = {
+        "device": dev.name,
+        "backend": args.backend or "dense",
+        "results": rows,
+    }
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.json:
+        Path(args.json).write_text(text + "\n")
+        print(f"smoke results written to {args.json} ({len(rows)} cells)")
+    else:
+        print(text)
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.experiment == "smoke":
+        return _bench_smoke(args)
     from .bench import (
         ablation_figure,
         expanded_meshes,
@@ -274,7 +334,10 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             "num_edges": graph.num_edges,
         }
     )
-    result = run_algorithm(graph, args.algo, _device(args.device), tracer=tracer)
+    result = run_algorithm(
+        graph, args.algo, _device(args.device),
+        backend=args.backend, tracer=tracer,
+    )
     trace = tracer.finish()
     print(f"workload:         {args.workload}"
           f"  (|V|={graph.num_vertices} |E|={graph.num_edges})")
@@ -383,6 +446,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", help="write per-vertex labels to this file")
     p.add_argument("--randomize-ids", action="store_true",
                    help="random internal relabelling (see docs/algorithm.md §6)")
+    p.add_argument("--backend", default=None, choices=_backend_choices(),
+                   help="engine accounting backend (default: dense)")
     p.set_defaults(func=_cmd_scc)
 
     p = sub.add_parser("stats", help="print SCC statistics of a graph file")
@@ -407,8 +472,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "experiment",
         choices=["table1", "table2", "table3", "table5", "table6", "table7",
-                 "fig14", "expanded"],
+                 "fig14", "expanded", "smoke"],
     )
+    p.add_argument("--json", default=None,
+                   help="(smoke) write results to this JSON file")
+    p.add_argument("--device", default="A100",
+                   help="(smoke) device model to estimate against")
+    p.add_argument("--backend", default=None, choices=_backend_choices(),
+                   help="(smoke) engine accounting backend")
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser(
@@ -434,6 +505,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="summarize an existing JSONL trace instead of running")
     p.add_argument("--no-summary", action="store_true",
                    help="skip the span-tree summary")
+    p.add_argument("--backend", default=None, choices=_backend_choices(),
+                   help="engine accounting backend (default: dense)")
     p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("distributed", help="BSP cluster run: ECL vs FB-Trim")

@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..device.executor import VirtualDevice
+from ..engine.accounting import charge_relaxation_round
 from ..errors import ConvergenceError
 from ..trace import NULL_TRACER, Tracer
 from .options import EclOptions
@@ -77,13 +78,8 @@ def propagate_atomic(
             changed |= sigs.pointer_jump()
             changed |= sigs.feedback()
             extra_vertex_work = 2 * num_vertices
-        dev.launch(
-            edges=m,
-            vertices=extra_vertex_work,
-            bytes_per_edge=24,
-            streamed_bytes=16 * m,
-            atomics=2 * m,
+        charge_relaxation_round(
+            dev, edges=m, vertices=extra_vertex_work, atomics=2 * m
         )
-        dev.round()
         if not changed:
             return rounds

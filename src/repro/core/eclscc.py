@@ -23,6 +23,13 @@ import numpy as np
 from ..device.costmodel import CostBreakdown
 from ..device.executor import VirtualDevice
 from ..device.spec import A100, DeviceSpec
+from ..engine import (
+    ArrayBackend,
+    charge_vertex_scan,
+    get_backend,
+    normalize_labels_to_max,
+)
+from ..engine.accounting import SIGNATURE_PAIR_BYTES
 from ..errors import ConvergenceError
 from ..graph.csr import CSRGraph
 from ..results import AlgoResult
@@ -58,6 +65,10 @@ class EclResult(AlgoResult):
     completed_per_iteration:
         vertices finishing in each outer iteration (diagnostic; the paper
         argues >= 1 SCC per cluster completes per iteration).
+    permutation_seed:
+        the RNG seed of the internal vertex relabelling when the run used
+        ``randomize_ids=True`` (None otherwise) — enough to reproduce the
+        exact permutation via :func:`repro.graph.ops.permute_random`.
     device:
         the virtual device used, with its counters.
     trace:
@@ -73,6 +84,7 @@ class EclResult(AlgoResult):
     kernel_launches: int = 0
     edges_final: int = 0
     completed_per_iteration: "list[int]" = field(default_factory=list)
+    permutation_seed: "int | None" = None
     estimate: "CostBreakdown | None" = None
 
     @property
@@ -85,6 +97,7 @@ def ecl_scc(
     *,
     options: "EclOptions | None" = None,
     device: "VirtualDevice | DeviceSpec | None" = None,
+    backend: "ArrayBackend | str | None" = None,
     randomize_ids: bool = False,
     seed: int = 0,
     tracer: "Tracer | None" = None,
@@ -101,6 +114,11 @@ def ecl_scc(
         virtual device to instrument against; a bare
         :class:`~repro.device.DeviceSpec` is wrapped automatically.
         Defaults to an A100 model.
+    backend:
+        :class:`~repro.engine.ArrayBackend` (or registered name) the
+        vertex-scan accounting sweeps against; overrides
+        ``options.backend``.  The default dense backend reproduces the
+        historical full-array launch costs bit-for-bit.
     tracer:
         optional :class:`~repro.trace.Tracer`; records one
         ``outer-iteration`` span per loop iteration with nested
@@ -132,19 +150,21 @@ def ecl_scc(
         device = VirtualDevice(A100)
     elif isinstance(device, DeviceSpec):
         device = VirtualDevice(device)
+    be = get_backend(backend if backend is not None else opts.backend)
     tr = ensure_tracer(tracer)
 
     if randomize_ids and graph.num_vertices > 1:
         from ..graph.ops import permute_random
 
         permuted, mapping = permute_random(graph, seed)
-        inner = ecl_scc(permuted, options=opts, device=device, tracer=tracer)
+        inner = ecl_scc(
+            permuted, options=opts, device=device, backend=be,
+            seed=seed, tracer=tracer,
+        )
         # map back: original vertex v ran as mapping[v]; its component
         # label is a permuted ID, so normalize over original IDs
-        from ..baselines.tarjan import normalize_labels_to_max
-
-        labels = normalize_labels_to_max(inner.labels[mapping])
-        inner.labels = labels
+        inner.labels = normalize_labels_to_max(inner.labels[mapping])
+        inner.permutation_seed = seed
         return inner
 
     n = graph.num_vertices
@@ -182,7 +202,11 @@ def ecl_scc(
             # ---- Phase 1: (re)initialize signatures ----------------------
             with tr.span("phase1-init"):
                 sigs.reinit()
-                device.launch(vertices=n, bytes_per_vertex=16)
+                charge_vertex_scan(
+                    device, be, num_vertices=n,
+                    worklist_size=int(np.count_nonzero(active)),
+                    bytes_per_vertex=SIGNATURE_PAIR_BYTES,
+                )
 
             # ---- Phase 2: propagate maxima to a fixed point ---------------
             rounds = 0
@@ -196,14 +220,12 @@ def ecl_scc(
                         )
                     elif opts.async_phase2:
                         bounds = device.partition_edges(
-                            wl.num_edges, persistent=opts.persistent_threads
+                            wl.num_edges,
+                            persistent=opts.persistent_threads,
+                            block_edges=None
+                            if opts.persistent_threads
+                            else opts.block_edges,
                         )
-                        if not opts.persistent_threads:
-                            # one edge per thread: fixed 512-edge blocks
-                            blocks = -(-wl.num_edges // opts.block_edges)
-                            bounds = np.linspace(
-                                0, wl.num_edges, blocks + 1
-                            ).astype(np.int64)
                         partition = BlockPartition.build(wl.src, wl.dst, bounds)
                         _, rounds = propagate_async(
                             sigs, partition, device, opts, n, tracer=tr
@@ -221,8 +243,12 @@ def ecl_scc(
             newly = done & active
             labels[newly] = sigs.sig_in[newly]
             completed_per_iteration.append(int(np.count_nonzero(newly)))
+            scanned = int(np.count_nonzero(active))
             active &= ~done
-            device.launch(vertices=n, bytes_per_vertex=16)
+            charge_vertex_scan(
+                device, be, num_vertices=n, worklist_size=scanned,
+                bytes_per_vertex=SIGNATURE_PAIR_BYTES,
+            )
             outer_span.set(completed=int(np.count_nonzero(newly)))
 
             # ---- Phase 3: remove edges that span SCCs ---------------------

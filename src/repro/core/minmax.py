@@ -22,11 +22,24 @@ import numpy as np
 
 from ..device.executor import VirtualDevice
 from ..device.spec import A100, DeviceSpec
+from ..engine import (
+    ArrayBackend,
+    charge_edge_filter,
+    charge_relaxation_round,
+    charge_vertex_scan,
+    get_backend,
+    normalize_labels_to_max,
+    scc_edge_filter_mask,
+)
+from ..engine.accounting import QUAD_SIGNATURE_EDGE_BYTES
 from ..errors import ConvergenceError
 from ..graph.csr import CSRGraph
 from ..trace import Tracer, ensure_tracer
 from ..types import NO_VERTEX, VERTEX_DTYPE
 from .eclscc import EclResult
+
+#: four signature arrays touched per vertex in init/completion scans
+_QUAD_VERTEX_BYTES = 32
 
 __all__ = ["minmax_scc"]
 
@@ -82,6 +95,7 @@ def minmax_scc(
     graph: CSRGraph,
     *,
     device: "VirtualDevice | DeviceSpec | None" = None,
+    backend: "ArrayBackend | str | None" = None,
     tracer: "Tracer | None" = None,
 ) -> EclResult:
     """ECL-SCC with 2 max + 2 min signatures.  Same result contract as
@@ -91,6 +105,7 @@ def minmax_scc(
         device = VirtualDevice(A100)
     elif isinstance(device, DeviceSpec):
         device = VirtualDevice(device)
+    be = get_backend(backend)
     tr = ensure_tracer(tracer)
     n = graph.num_vertices
     labels = np.full(n, NO_VERTEX, dtype=VERTEX_DTYPE)
@@ -116,7 +131,11 @@ def minmax_scc(
         with tr.span("outer-iteration", index=outer) as outer_span:
             with tr.span("phase1-init"):
                 quad.reinit()
-                device.launch(vertices=n, bytes_per_vertex=32)
+                charge_vertex_scan(
+                    device, be, num_vertices=n,
+                    worklist_size=int(np.count_nonzero(active)),
+                    bytes_per_vertex=_QUAD_VERTEX_BYTES,
+                )
             rounds = 0
             with tr.span("phase2-propagate", edges=int(src.size)) as p2:
                 if src.size:
@@ -135,8 +154,11 @@ def minmax_scc(
                             quad, src, dst,
                             order_s, starts_s, grp_s, order_d, starts_d, grp_d,
                         )
-                        device.launch(edges=src.size, bytes_per_edge=80)
-                        device.round()
+                        charge_relaxation_round(
+                            device, edges=int(src.size),
+                            bytes_per_edge=QUAD_SIGNATURE_EDGE_BYTES,
+                            streamed=False,
+                        )
                         if not changed:
                             break
                     total_rounds += rounds
@@ -149,28 +171,37 @@ def minmax_scc(
             lab = np.where(done_max, quad.max_in, -quad.min_in - 1)
             labels[newly] = lab[newly]
             completed_per_iteration.append(int(np.count_nonzero(newly)))
+            scanned = int(np.count_nonzero(active))
             active &= ~done
-            device.launch(vertices=n, bytes_per_vertex=32)
+            charge_vertex_scan(
+                device, be, num_vertices=n, worklist_size=scanned,
+                bytes_per_vertex=_QUAD_VERTEX_BYTES,
+            )
             outer_span.set(completed=int(np.count_nonzero(newly)))
             with tr.span("phase3-filter"):
                 if src.size:
                     keep = (
-                        (quad.max_in[src] == quad.max_in[dst])
-                        & (quad.max_out[src] == quad.max_out[dst])
-                        & (quad.min_in[src] == quad.min_in[dst])
-                        & (quad.min_out[src] == quad.min_out[dst])
+                        scc_edge_filter_mask(
+                            quad.max_in, quad.max_out, src, dst,
+                            drop_completed=False,
+                        )
+                        & scc_edge_filter_mask(
+                            quad.min_in, quad.min_out, src, dst,
+                            drop_completed=False,
+                        )
+                        & ~done[src]
                     )
-                    keep &= ~done[src]
-                    device.launch(
-                        edges=src.size, bytes_per_edge=80, atomics=int(keep.sum())
+                    kept = int(np.count_nonzero(keep))
+                    charge_edge_filter(
+                        device, edges=int(src.size), kept=kept,
+                        bytes_per_edge=QUAD_SIGNATURE_EDGE_BYTES,
+                        streamed=False,
                     )
-                    tr.counter("edges-kept", int(keep.sum()))
-                    tr.counter("edges-removed", int(src.size - keep.sum()))
+                    tr.counter("edges-kept", kept)
+                    tr.counter("edges-removed", int(src.size - kept))
                     src, dst = src[keep], dst[keep]
 
     # normalize: negative (min-identified) codes -> max member ID
-    from ..baselines.tarjan import normalize_labels_to_max
-
     labels = normalize_labels_to_max(labels)
     return EclResult(
         labels=labels,

@@ -46,6 +46,12 @@ class EclOptions:
     max_rounds:
         safety bound on Phase-2 relaxation rounds per outer iteration;
         the theoretical maximum is O(longest path) <= |V| rounds.
+    backend:
+        name of the registered :class:`~repro.engine.ArrayBackend` the
+        run's primitives account against (``"dense"`` reproduces the
+        historical full-array sweeps; ``"frontier"`` models worklist
+        kernels).  Validated when the run resolves it via
+        :func:`~repro.engine.get_backend`.
     """
 
     async_phase2: bool = True
@@ -59,6 +65,7 @@ class EclOptions:
     block_edges: int = 512
     max_outer_iterations: int = 0  # 0 = auto (|V| + 2)
     max_rounds: int = 0  # 0 = auto (|V| + 2)
+    backend: str = "dense"
 
     def __post_init__(self) -> None:
         if self.block_edges < 1:

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..device.executor import VirtualDevice
+from ..engine.accounting import charge_relaxation_round
 from ..errors import ConvergenceError
 from ..trace import NULL_TRACER, Tracer
 from ..types import VERTEX_DTYPE
@@ -235,15 +236,12 @@ def propagate_sync(
             changed |= sigs.pointer_jump()
             changed |= sigs.feedback(grouping.touched)
             extra_vertex_work = num_vertices + grouping.touched.size
-        dev.launch(
+        charge_relaxation_round(
+            dev,
             edges=grouping.num_edges,
             vertices=extra_vertex_work,
-            bytes_per_edge=24,  # signature gathers/stores (random)
-            streamed_bytes=16 * grouping.num_edges,  # contiguous (src, dst)
-            atomics=0,
             blocks=blocks,
         )
-        dev.round()
         if not changed:
             return rounds
 
@@ -401,13 +399,11 @@ def propagate_async(
                     running[rb[~alive_sub]] = False
                 else:
                     running[:] = False
-        dev.launch(
+        charge_relaxation_round(
+            dev,
             edges=launch_edge_work,
             vertices=launch_vertex_work,
-            bytes_per_edge=24,  # signature gathers/stores (random)
-            streamed_bytes=16 * launch_edge_work,  # contiguous (src, dst)
             blocks=nblocks,
         )
-        dev.round()
         if not launch_changed:
             return launches, total_rounds

@@ -14,6 +14,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..device.executor import VirtualDevice
+from ..engine.accounting import charge_edge_filter
+from ..engine.primitives import scc_edge_filter_mask
 from ..trace import NULL_TRACER, Tracer
 from .options import EclOptions
 from .signatures import Signatures
@@ -64,20 +66,14 @@ def phase3_filter(
     Returns ``(kept, removed)``.
     """
     src, dst = wl.src, wl.dst
-    sig_in, sig_out = sigs.sig_in, sigs.sig_out
-    keep = (sig_in[src] == sig_in[dst]) & (sig_out[src] == sig_out[dst])
-    if opts.remove_scc_edges:
-        # u finished + signatures equal implies v finished in the same SCC
-        keep &= sig_in[src] != sig_out[src]
+    keep = scc_edge_filter_mask(
+        sigs.sig_in, sigs.sig_out, src, dst,
+        drop_completed=opts.remove_scc_edges,
+    )
     kept = int(np.count_nonzero(keep))
     removed = src.size - kept
     # one pass over the worklist; an atomic slot request per kept edge
-    dev.launch(
-        edges=src.size,
-        bytes_per_edge=24,
-        streamed_bytes=16 * src.size,
-        atomics=kept,
-    )
+    charge_edge_filter(dev, edges=src.size, kept=kept)
     tracer.counter("edges-kept", kept)
     tracer.counter("edges-removed", removed)
     wl.replace(src[keep], dst[keep])

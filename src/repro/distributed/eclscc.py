@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..engine.primitives import scc_edge_filter_mask
 from ..errors import ConvergenceError
 from ..graph.csr import CSRGraph
 from ..results import AlgoResult
@@ -170,11 +171,7 @@ def distributed_ecl_scc(
         newly = done & active
         labels[newly] = sig_in[newly]
         active &= ~done
-        keep = (
-            (sig_in[src] == sig_in[dst])
-            & (sig_out[src] == sig_out[dst])
-            & (sig_in[src] != sig_out[src])
-        )
+        keep = scc_edge_filter_mask(sig_in, sig_out, src, dst)
         with tr.span("superstep", index=supersteps, kind="phase3-filter"):
             cluster.superstep(edges_per_rank * spec.ops_per_edge)
         supersteps += 1

@@ -12,10 +12,10 @@ structure ECL-SCC's O(log) rounds avoid (see
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
+from ..engine import get_backend
+from ..engine.primitives import frontier_expand
 from ..errors import ConvergenceError
 from ..graph.csr import CSRGraph
 from ..types import NO_VERTEX, VERTEX_DTYPE
@@ -41,21 +41,16 @@ def _bsp_reach(
     visited[sources] = True
     frontier = np.unique(sources)
     levels = 0
-    indptr, indices = graph.indptr, graph.indices
+    be = get_backend(None)
     while frontier.size:
         levels += 1
-        counts = indptr[frontier + 1] - indptr[frontier]
-        total = int(counts.sum())
+        nxt, counts = be.expand_with_counts(graph, frontier)
         expander_ops = np.bincount(
             owner[frontier], weights=counts.astype(np.float64), minlength=r
         ) * cluster.spec.ops_per_edge
-        if total == 0:
+        if nxt.size == 0:
             cluster.superstep(expander_ops + 1.0)
             break
-        offsets = np.repeat(indptr[frontier], counts)
-        ids = np.arange(total, dtype=VERTEX_DTYPE)
-        resets = np.repeat(np.cumsum(counts) - counts, counts)
-        nxt = indices[offsets + (ids - resets)]
         crossing = owner[np.repeat(frontier, counts)] != owner[nxt]
         msgs = np.bincount(
             owner[np.repeat(frontier, counts)[crossing]], minlength=r
@@ -103,8 +98,8 @@ def distributed_fbtrim(
         labels[frontier] = frontier
         active[frontier] = False
         # decrements along the removed vertices' edges
-        fwd = _expand(graph, frontier)
-        bwd = _expand(gt, frontier)
+        fwd = frontier_expand(graph, frontier)
+        bwd = frontier_expand(gt, frontier)
         np.subtract.at(in_deg, fwd, 1)
         np.subtract.at(out_deg, bwd, 1)
         ops = np.bincount(owner, minlength=r).astype(np.float64)  # flag scan
@@ -161,15 +156,3 @@ def distributed_fbtrim(
         supersteps=supersteps,
         cluster=cluster,
     )
-
-
-def _expand(graph: CSRGraph, frontier: np.ndarray) -> np.ndarray:
-    indptr, indices = graph.indptr, graph.indices
-    counts = indptr[frontier + 1] - indptr[frontier]
-    total = int(counts.sum())
-    if total == 0:
-        return np.empty(0, dtype=VERTEX_DTYPE)
-    offsets = np.repeat(indptr[frontier], counts)
-    ids = np.arange(total, dtype=VERTEX_DTYPE)
-    resets = np.repeat(np.cumsum(counts) - counts, counts)
-    return indices[offsets + (ids - resets)]

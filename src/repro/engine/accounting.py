@@ -1,0 +1,168 @@
+"""Device accounting rules for the engine primitives.
+
+Historically every baseline hand-placed its own ``device.launch(...)``
+calls, so byte conventions and sweep widths drifted between algorithms.
+This module is now the *only* place that translates a primitive-level
+event ("one BFS level", "one degree pass", "one status-flag scan") into
+:class:`~repro.device.executor.VirtualDevice` counter updates — every
+algorithm's counters are derived from the same rules, and a backend can
+change the modelled kernel organization in exactly one place.
+
+Byte conventions (uniform across all algorithms, see
+``docs/performance_model.md``):
+
+* ``STATUS_FLAG_BYTES`` (8)   — read+write of one per-vertex status flag;
+* ``ADJACENCY_EDGE_BYTES`` (24) — (src, dst) pair plus one 8-byte
+  signature/flag gather per edge;
+* ``DEGREE_EDGE_BYTES`` (16)  — (src, dst) pair for a counting pass;
+* ``PAIR_FLAG_BYTES`` (16)    — two status flags (pair/triple removal).
+"""
+
+from __future__ import annotations
+
+from ..device.executor import VirtualDevice
+from .backend import ArrayBackend
+
+__all__ = [
+    "STATUS_FLAG_BYTES",
+    "ADJACENCY_EDGE_BYTES",
+    "DEGREE_EDGE_BYTES",
+    "PAIR_FLAG_BYTES",
+    "SIGNATURE_PAIR_BYTES",
+    "QUAD_SIGNATURE_EDGE_BYTES",
+    "charge_frontier_level",
+    "charge_degree_pass",
+    "charge_vertex_scan",
+    "charge_winning_write",
+    "charge_serial_scan",
+    "charge_relaxation_round",
+    "charge_edge_filter",
+]
+
+#: read+write of one per-vertex status flag.
+STATUS_FLAG_BYTES = 8
+#: (src, dst) pair plus one 8-byte signature/flag access per edge.
+ADJACENCY_EDGE_BYTES = 24
+#: (src, dst) pair for a degree-counting pass.
+DEGREE_EDGE_BYTES = 16
+#: two status flags per vertex (trim-2/trim-3 pair checks, init).
+PAIR_FLAG_BYTES = 16
+#: one in+out signature pair (ECL-SCC vertex kernels).
+SIGNATURE_PAIR_BYTES = 16
+#: a 4-signature (min+max) edge relaxation: two pairs read + store.
+QUAD_SIGNATURE_EDGE_BYTES = 80
+
+
+def charge_frontier_level(
+    dev: VirtualDevice,
+    backend: ArrayBackend,
+    *,
+    num_vertices: int,
+    frontier_size: int,
+    expanded_edges: int,
+    serial_ops: int = 0,
+) -> None:
+    """One level of a (multi-source) frontier traversal.
+
+    The kernel reads every status flag the backend sweeps, then expands
+    the frontier's adjacency.  ``serial_ops`` charges the per-level
+    critical path of CPU codes with tiny frontiers (iSpan's Rsync loop
+    control) to the device's serial counter.
+    """
+    dev.launch(
+        edges=int(expanded_edges) + int(frontier_size),
+        vertices=backend.sweep_vertices(num_vertices, frontier_size),
+        bytes_per_vertex=STATUS_FLAG_BYTES,
+        bytes_per_edge=ADJACENCY_EDGE_BYTES,
+    )
+    if serial_ops:
+        dev.serial(serial_ops)
+
+
+def charge_degree_pass(
+    dev: VirtualDevice,
+    *,
+    edges: int,
+    bytes_per_edge: int = DEGREE_EDGE_BYTES,
+) -> None:
+    """One edge-centric counting/candidate pass (degrees, pair scans)."""
+    dev.launch(edges=int(edges), bytes_per_edge=bytes_per_edge)
+
+
+def charge_vertex_scan(
+    dev: VirtualDevice,
+    backend: ArrayBackend,
+    *,
+    num_vertices: int,
+    worklist_size: int,
+    bytes_per_vertex: int = STATUS_FLAG_BYTES,
+) -> None:
+    """One vertex-state kernel (flag scan, label assign, split)."""
+    dev.launch(
+        vertices=backend.sweep_vertices(num_vertices, worklist_size),
+        bytes_per_vertex=bytes_per_vertex,
+    )
+
+
+def charge_winning_write(
+    dev: VirtualDevice,
+    backend: ArrayBackend,
+    *,
+    num_vertices: int,
+    candidates: int,
+) -> None:
+    """Pivot selection by concurrent winning write (one atomic each)."""
+    dev.launch(
+        vertices=backend.sweep_vertices(num_vertices, candidates),
+        atomics=int(candidates),
+    )
+
+
+def charge_serial_scan(dev: VirtualDevice, ops: int) -> None:
+    """A host-side / critical-path scan (CPU pivot selection)."""
+    dev.serial(int(ops))
+
+
+def charge_relaxation_round(
+    dev: VirtualDevice,
+    *,
+    edges: int,
+    vertices: int = 0,
+    blocks: "int | None" = None,
+    atomics: int = 0,
+    bytes_per_edge: int = ADJACENCY_EDGE_BYTES,
+    streamed: bool = True,
+) -> None:
+    """One signature-relaxation launch over an edge worklist.
+
+    Worklist ``(src, dst)`` pairs stream contiguously (unless the
+    engine re-gathers them, ``streamed=False``); signature
+    gathers/stores are irregular.  Used by every Phase-2 engine (sync,
+    async, atomic, minmax).
+    """
+    dev.launch(
+        edges=int(edges),
+        vertices=int(vertices),
+        bytes_per_edge=bytes_per_edge,
+        streamed_bytes=PAIR_FLAG_BYTES * int(edges) if streamed else 0,
+        blocks=blocks,
+        atomics=atomics,
+    )
+    dev.round()
+
+
+def charge_edge_filter(
+    dev: VirtualDevice,
+    *,
+    edges: int,
+    kept: int,
+    bytes_per_edge: int = ADJACENCY_EDGE_BYTES,
+    streamed: bool = True,
+) -> None:
+    """One worklist-compaction pass (one atomic slot claim per survivor)."""
+    dev.launch(
+        edges=int(edges),
+        bytes_per_edge=bytes_per_edge,
+        streamed_bytes=PAIR_FLAG_BYTES * int(edges) if streamed else 0,
+        atomics=int(kept),
+    )

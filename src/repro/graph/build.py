@@ -101,7 +101,7 @@ def scipy_scc(graph: CSRGraph) -> np.ndarray:
     """SCC labels via SciPy's compiled Tarjan, max-member normalized."""
     from scipy.sparse import csgraph
 
-    from ..baselines.tarjan import normalize_labels_to_max
+    from ..engine.primitives import normalize_labels_to_max
 
     if graph.num_vertices == 0:
         return np.empty(0, dtype=VERTEX_DTYPE)

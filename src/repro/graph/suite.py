@@ -134,7 +134,6 @@ def build_powerlaw(name: str, scale: "float | None" = None, seed: int = 0) -> "t
     # --- assign vertices to levels --------------------------------------
     # layout: [pre-levels ...] [giant level] [post-levels ...]
     pre_levels = extra_levels // 2
-    post_levels = extra_levels - pre_levels
     level_sizes: "list[int]" = []
     if extra_levels:
         base = periphery // extra_levels
@@ -185,7 +184,6 @@ def build_powerlaw(name: str, scale: "float | None" = None, seed: int = 0) -> "t
             edges_used += chords
 
     # --- size-2 SCCs: reciprocal pairs inside periphery levels ----------
-    pair_members = np.empty(0, dtype=VERTEX_DTYPE)
     if size2 > 0 and periphery >= 2:
         # take pairs from the first periphery block(s); both ends same level
         periph_ids = np.concatenate(
@@ -205,7 +203,6 @@ def build_powerlaw(name: str, scale: "float | None" = None, seed: int = 0) -> "t
         pa, pb = cand_a[:take], cand_b[:take]
         srcs.extend([pa, pb])
         dsts.extend([pb, pa])
-        pair_members = np.concatenate([pa, pb])
         edges_used += 2 * take
         size2 = take
     else:

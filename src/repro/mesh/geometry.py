@@ -136,7 +136,6 @@ def _max_points(mesh: Mesh, ppd: int) -> int:
 def _normals_for_count(
     mesh: Mesh, faces: FaceSet, sel: np.ndarray, count: int, ppd: int
 ) -> np.ndarray:
-    base = mesh.base_points
     nodes = faces.nodes[sel]
     if count == 2:
         return _edge_normals(mesh, faces, sel, nodes[:, :2], ppd)

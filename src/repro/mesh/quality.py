@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..types import FLOAT_DTYPE, VERTEX_DTYPE
+from ..types import VERTEX_DTYPE
 from .core import Mesh
 from .elements import FACES, ElementType
 

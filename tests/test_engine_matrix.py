@@ -1,8 +1,15 @@
-"""Systematic engine-equivalence matrix.
+"""Systematic engine-equivalence matrices.
 
 Every Phase-2 engine (sync / async / atomic) under every combination of
 path compression and persistent threads must produce identical labels on
 a shared corpus — the strongest regression net for the propagation code.
+
+The backend x algorithm matrix below extends the net across the shared
+``repro.engine`` primitive layer: every algorithm must produce Tarjan's
+labels under every registered accounting backend, and under the default
+dense backend the kernel-launch counts must stay bit-identical to the
+golden counts captured on the pre-engine tree (an A100 run over the same
+corpus) — any accidental change to the accounting shows up here.
 """
 
 import itertools
@@ -11,7 +18,10 @@ import numpy as np
 import pytest
 
 from repro.baselines import tarjan_scc
+from repro.bench.runners import _DISPATCH
 from repro.core import EclOptions, ecl_scc
+from repro.device.spec import A100
+from repro.engine import backend_names
 from repro.graph import permute_random, cycle_graph
 
 ENGINES = ("sync", "async", "atomic")
@@ -46,6 +56,48 @@ def test_engines_with_randomized_ids(engine, random_graphs):
         assert np.array_equal(res.labels, tarjan_scc(g))
 
 
+# kernel-launch counts per (algorithm, corpus graph) captured before the
+# engine refactor (A100; corpus = corpus_small() + corpus_random())
+GOLDEN_LAUNCHES = {
+    "ecl-scc": [0, 2, 2, 4, 5, 7, 5, 5, 5, 5, 7, 5, 10, 7, 15, 10, 12, 12,
+                12, 10, 12, 12, 12, 10, 10, 12, 10],
+    "ecl-scc-minmax": [0, 2, 2, 4, 5, 5, 5, 5, 6, 20, 14, 5, 16, 13, 21, 18,
+                       20, 14, 14, 23, 18, 15, 19, 17, 17, 14, 17],
+    "gpu-scc": [0, 4, 4, 6, 8, 4, 8, 8, 10, 38, 12, 8, 55, 10, 38, 36, 54,
+                25, 65, 23, 61, 24, 54, 30, 50, 25, 55],
+    "ispan": [0, 4, 4, 5, 7, 4, 7, 7, 9, 37, 12, 7, 55, 10, 38, 31, 54, 24,
+              65, 22, 56, 23, 54, 29, 50, 24, 55],
+    "hong": [0, 4, 4, 8, 6, 4, 10, 10, 12, 40, 12, 10, 52, 10, 38, 36, 52,
+             27, 61, 25, 59, 26, 54, 40, 57, 27, 55],
+    "multistep": [0, 4, 4, 8, 6, 4, 10, 10, 12, 40, 12, 10, 20, 10, 26, 34,
+                  35, 27, 36, 25, 31, 26, 42, 31, 39, 27, 42],
+    "coloring": [0, 3, 3, 3, 5, 3, 5, 5, 7, 35, 3, 5, 5, 3, 13, 25, 24, 23,
+                 25, 28, 20, 23, 31, 23, 18, 25, 33],
+    "fb": [0, 0, 12, 0, 5, 4, 5, 5, 7, 35, 60, 5, 50, 85, 34, 38, 48, 32,
+           49, 59, 49, 37, 45, 49, 54, 43, 51],
+    "fb-trim": [0, 5, 5, 7, 7, 5, 9, 9, 11, 39, 13, 9, 64, 11, 32, 35, 42,
+                26, 44, 23, 49, 28, 57, 38, 46, 28, 44],
+}
+
+
+@pytest.mark.parametrize("backend", backend_names())
+@pytest.mark.parametrize("algorithm", sorted(GOLDEN_LAUNCHES))
+def test_backend_algorithm_matrix(algorithm, backend, all_graphs):
+    """Labels match Tarjan under every backend; launch counts match the
+    pre-refactor goldens under the default dense backend."""
+    golden = GOLDEN_LAUNCHES[algorithm]
+    assert len(golden) == len(all_graphs), "corpus drifted; recapture goldens"
+    fn = _DISPATCH[algorithm]
+    for i, g in enumerate(all_graphs):
+        res = fn(g, A100, None, None, backend)
+        assert np.array_equal(res.labels, tarjan_scc(g).labels), (
+            algorithm, backend, i,
+        )
+        if backend == "dense":
+            launches = res.device.counters.kernel_launches
+            assert launches == golden[i], (algorithm, i, launches, golden[i])
+
+
 class TestRandomizeIds:
     def test_labels_refer_to_original_ids(self):
         g = cycle_graph(12)
@@ -65,6 +117,21 @@ class TestRandomizeIds:
         b = ecl_scc(g, randomize_ids=True, seed=7)
         assert a.propagation_rounds == b.propagation_rounds
         assert np.array_equal(a.labels, b.labels)
+
+    def test_permutation_seed_round_trip(self):
+        from repro.engine import normalize_labels_to_max
+
+        g, _ = permute_random(cycle_graph(64), seed=0)
+        res = ecl_scc(g, randomize_ids=True, seed=7)
+        assert res.permutation_seed == 7
+        assert ecl_scc(g).permutation_seed is None
+        # the recorded seed is enough to reproduce the exact run: rebuild
+        # the permutation, run unrandomized, and map the labels back
+        permuted, mapping = permute_random(g, res.permutation_seed)
+        inner = ecl_scc(permuted)
+        assert np.array_equal(
+            normalize_labels_to_max(inner.labels[mapping]), res.labels
+        )
 
     def test_trivial_graphs(self):
         from repro.graph import CSRGraph
