@@ -20,7 +20,8 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.device` — virtual GPU/CPU specs, counters, cost model;
 * :mod:`repro.sweep` — the downstream transport-sweep application;
 * :mod:`repro.bench` — the paper's tables/figures as runnable experiments;
-* :mod:`repro.trace` — structured tracing (nested spans, counters, JSONL).
+* :mod:`repro.trace` — structured tracing (nested spans, counters, JSONL);
+* :mod:`repro.faults` — fault injection, checkpoint/restart, self-healing.
 
 Every ``*_scc`` entry point returns an :class:`~repro.results.AlgoResult`
 (or a subclass) and accepts an optional ``tracer=`` keyword; see
@@ -29,6 +30,7 @@ Every ``*_scc`` entry point returns an :class:`~repro.results.AlgoResult`
 
 from .core.eclscc import EclResult, ecl_scc
 from .core.options import EclOptions
+from .faults.plan import FaultPlan
 from .graph.csr import CSRGraph
 from .graph.edgelist import EdgeList
 from .baselines.tarjan import tarjan_scc
@@ -44,6 +46,7 @@ __all__ = [
     "EclResult",
     "ecl_scc",
     "EclOptions",
+    "FaultPlan",
     "count_sccs",
     "Trace",
     "Tracer",

@@ -39,6 +39,7 @@ from ..device.executor import VirtualDevice
 from ..device.spec import DeviceSpec
 from ..engine import ArrayBackend
 from ..errors import AlgorithmError
+from ..faults.plan import FaultPlan
 from ..graph.csr import CSRGraph
 from ..results import AlgoResult
 from ..trace import NULL_TRACER, Trace, Tracer
@@ -125,6 +126,8 @@ class RunResult:
     counters: "dict[str, int]"
     labels: np.ndarray
     trace: Optional[Trace] = None
+    status: str = "clean"
+    fault_report: Optional[object] = None
 
     @property
     def model_throughput_mvs(self) -> float:
@@ -144,6 +147,7 @@ def _execute(
     options: "EclOptions | None",
     tracer: "Tracer | None" = None,
     backend: "ArrayBackend | str | None" = None,
+    faults: "FaultPlan | None" = None,
 ) -> AlgoResult:
     """One run of *name* on *graph*; returns the algorithm's AlgoResult."""
     try:
@@ -152,6 +156,19 @@ def _execute(
         raise AlgorithmError(
             f"unknown algorithm {name!r}; known: {ALGORITHM_NAMES}"
         ) from None
+    if faults is not None:
+        # only ECL-SCC's monotone re-sweeping loops give injected faults
+        # sound recovery semantics; the one-shot BFS baselines would
+        # silently return wrong labels under the same perturbations
+        if name != "ecl-scc":
+            raise AlgorithmError(
+                f"fault injection is only supported for 'ecl-scc', not"
+                f" {name!r}"
+            )
+        return ecl_scc(
+            graph, options=options, device=spec, backend=backend,
+            tracer=tracer, faults=faults,
+        )
     return fn(graph, spec, options, tracer, backend)
 
 
@@ -166,6 +183,7 @@ def run_algorithm(
     repeats: int = 9,
     verify: bool = False,
     tracer: "Tracer | None" = None,
+    faults: "FaultPlan | None" = None,
 ) -> RunResult:
     """Run *algorithm* on *graph* against the *device* model.
 
@@ -178,9 +196,12 @@ def run_algorithm(
     tracer sees exactly one run).  ``verify`` checks labels against
     Tarjan (paper §4 methodology) — skipped for the oracles themselves.
     ``tracer`` records the run's phase spans; the trace is carried on
-    the result.
+    the result.  ``faults`` injects a :class:`~repro.faults.FaultPlan`
+    (``ecl-scc`` only — the baselines have no sound recovery
+    semantics); the outcome lands in ``RunResult.status`` /
+    ``RunResult.fault_report``.
     """
-    res = _execute(algorithm, graph, device, options, tracer, backend)
+    res = _execute(algorithm, graph, device, options, tracer, backend, faults)
     sigs = _SIGNATURE_ARRAYS.get(algorithm, 1)
     estimate = res.device.estimate(
         graph.num_vertices, graph.num_edges, signatures=sigs
@@ -188,7 +209,9 @@ def run_algorithm(
     wall = None
     if time_wall:
         wall = median_time(
-            lambda: _execute(algorithm, graph, device, options, NULL_TRACER, backend),
+            lambda: _execute(
+                algorithm, graph, device, options, NULL_TRACER, backend, faults
+            ),
             repeats=repeats,
         )
     if verify and algorithm not in ("tarjan", "kosaraju"):
@@ -205,4 +228,6 @@ def run_algorithm(
         counters=res.device.counters.snapshot(),
         labels=res.labels,
         trace=res.trace,
+        status=res.status,
+        fault_report=res.fault_report,
     )

@@ -9,6 +9,8 @@ Run as ``python -m repro`` (or ``python -m repro.cli``).  Subcommands:
 * ``bench``    — regenerate one of the paper's tables/figures;
 * ``trace``    — run one algorithm with the structured tracer and print
   a span/counter summary (optionally dumping the trace as JSONL);
+* ``chaos``    — run ECL-SCC under a seeded fault plan (repro.faults)
+  and report the injected faults, recoveries, and cost overhead;
 * ``devices``  — list the virtual device models;
 * ``sweep``    — run the full RTE pipeline (mesh -> SCC -> schedule ->
   model transport solve) and report per-ordinate results.
@@ -354,6 +356,146 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chaos_plan(args: argparse.Namespace):
+    """Resolve the ``chaos`` subcommand's ``--plan`` argument.
+
+    Accepts the two presets (``monotone``, ``chaos``) or a path to a
+    JSON file produced by :meth:`FaultPlan.to_json`.
+    """
+    from .faults import FaultPlan
+
+    spec = args.plan
+    if spec == "monotone":
+        return FaultPlan.monotone(args.seed)
+    if spec == "chaos":
+        return FaultPlan.chaos(args.seed)
+    if Path(spec).exists():
+        return FaultPlan.from_json(Path(spec).read_text())
+    raise SystemExit(
+        f"unknown fault plan {spec!r}: not 'monotone', 'chaos', or a JSON file"
+    )
+
+
+def _chaos_smoke(args: argparse.Namespace) -> int:
+    """Fast chaos smoke: clean vs faulted ECL-SCC on 3 corpus graphs.
+
+    For each graph, runs a fault-free baseline plus the ``monotone`` and
+    ``chaos`` presets, verifies every run against Tarjan, checks that
+    monotone plans leave the labels bit-identical to the clean run, and
+    writes one JSON document (``--json PATH``; default stdout) with the
+    estimated-seconds overhead per cell.  CI uses it to confirm fault
+    injection and recovery stay live and correctly charged.
+    """
+    import json
+
+    from .bench import run_algorithm
+    from .faults import FaultPlan
+    from .graph.suite import powerlaw_suite
+    from .mesh.suite import small_mesh_suite
+
+    dev = _device(args.device)
+    graphs: "list[tuple[str, object]]" = []
+    for grp in small_mesh_suite(names=["toroid-hex"], num_ordinates=2):
+        graphs.extend(
+            (f"{grp.name}:o{i}", g) for i, g in enumerate(grp.graphs)
+        )
+    for g, _planted in powerlaw_suite(names=["flickr"], scale=1 / 32):
+        graphs.append((g.name or "flickr", g))
+    plans = [
+        ("monotone", FaultPlan.monotone(args.seed)),
+        ("chaos", FaultPlan.chaos(args.seed)),
+    ]
+    rows = []
+    for gname, g in graphs:
+        clean = run_algorithm(g, "ecl-scc", dev, backend=args.backend, verify=True)
+        rows.append(
+            {
+                "graph": gname,
+                "plan": "none",
+                "status": clean.status,
+                "model_seconds": clean.model_seconds,
+                "overhead": 1.0,
+                "faults_injected": 0,
+                "recoveries": 0,
+            }
+        )
+        for pname, plan in plans:
+            res = run_algorithm(
+                g, "ecl-scc", dev, backend=args.backend, verify=True, faults=plan
+            )
+            if pname == "monotone" and not np.array_equal(
+                res.labels, clean.labels
+            ):
+                raise SystemExit(
+                    f"monotone plan changed labels on {gname}"
+                )
+            rep = res.fault_report
+            rows.append(
+                {
+                    "graph": gname,
+                    "plan": pname,
+                    "status": res.status,
+                    "model_seconds": res.model_seconds,
+                    "overhead": res.model_seconds / clean.model_seconds,
+                    "faults_injected": rep.faults_injected,
+                    "recoveries": rep.recoveries,
+                }
+            )
+    payload = {
+        "device": dev.name,
+        "backend": args.backend or "dense",
+        "seed": args.seed,
+        "results": rows,
+    }
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.json:
+        Path(args.json).write_text(text + "\n")
+        print(f"chaos results written to {args.json} ({len(rows)} cells)")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    if args.workload == "smoke":
+        return _chaos_smoke(args)
+    from .bench import run_algorithm
+    from .trace import Tracer
+
+    plan = _chaos_plan(args)
+    graph = _trace_workload(args)
+    tracer = Tracer(meta={"workload": args.workload, "plan": plan.to_dict()})
+    clean = run_algorithm(
+        graph, "ecl-scc", _device(args.device), backend=args.backend, verify=True
+    )
+    res = run_algorithm(
+        graph, "ecl-scc", _device(args.device),
+        backend=args.backend, verify=True, tracer=tracer, faults=plan,
+    )
+    rep = res.fault_report
+    print(f"workload:         {args.workload}"
+          f"  (|V|={graph.num_vertices} |E|={graph.num_edges})")
+    print(f"plan:             {args.plan} (seed {plan.seed})")
+    print(f"status:           {res.status}")
+    print(f"SCCs:             {res.num_sccs} (verified against Tarjan)")
+    print(f"labels match clean run: {np.array_equal(res.labels, clean.labels)}")
+    print(f"faults injected:  {rep.faults_injected}")
+    for kind, count in sorted(rep.counts.items()):
+        print(f"  {kind:24s} {count}")
+    print(f"recoveries:       {rep.recoveries}"
+          f"  (checkpoints saved {rep.checkpoints_saved},"
+          f" restores {rep.restores}, heal passes {rep.heal_passes})")
+    print(f"model runtime:    {res.model_seconds:.6f} s"
+          f"  (clean {clean.model_seconds:.6f} s,"
+          f" overhead x{res.model_seconds / clean.model_seconds:.3f})")
+    if args.jsonl:
+        from .trace import dump_jsonl
+
+        dump_jsonl(tracer.finish(), args.jsonl)
+        print(f"trace written to  {args.jsonl}")
+    return 0
+
+
 def _cmd_distributed(args: argparse.Namespace) -> int:
     from .distributed import (
         block_partition,
@@ -508,6 +650,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", default=None, choices=_backend_choices(),
                    help="engine accounting backend (default: dense)")
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "chaos", help="run ECL-SCC under a seeded fault plan"
+    )
+    p.add_argument(
+        "workload",
+        nargs="?",
+        default="smoke",
+        help="'smoke' (3-graph CI matrix), a graph file, power-law name,"
+        " or generator spec (cycle:N | ladder:RUNGS | gnm:N:M);"
+        " default smoke",
+    )
+    p.add_argument("--plan", default="chaos",
+                   help="'monotone', 'chaos', or a FaultPlan JSON file")
+    p.add_argument("--seed", type=int, default=0,
+                   help="fault plan RNG seed (presets only)")
+    p.add_argument("--device", default="A100",
+                   help="Titan V | A100 | Ryzen 2950X | Xeon 6226R")
+    p.add_argument("--format", default="auto",
+                   choices=["auto", "mtx", "edges", "dimacs", "npz"])
+    p.add_argument("--scale", type=float, default=None,
+                   help="power-law workload scale factor")
+    p.add_argument("--json", default=None,
+                   help="(smoke) write results to this JSON file")
+    p.add_argument("--jsonl", help="write the faulted run's trace to JSONL")
+    p.add_argument("--backend", default=None, choices=_backend_choices(),
+                   help="engine accounting backend (default: dense)")
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("distributed", help="BSP cluster run: ECL vs FB-Trim")
     p.add_argument("graph")

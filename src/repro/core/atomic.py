@@ -53,7 +53,15 @@ def propagate_atomic(
     while True:
         rounds += 1
         if rounds > bound:
-            raise ConvergenceError("propagate_atomic failed to converge")
+            raise ConvergenceError(
+                "propagate_atomic failed to converge",
+                iterations=rounds - 1,
+                sig_in=sigs.sig_in.copy(),
+                sig_out=sigs.sig_out.copy(),
+                active_count=int(
+                    np.count_nonzero(sigs.sig_in != sigs.sig_out)
+                ),
+            )
         tracer.counter("relaxation-round", engine="atomic")
         sig_in, sig_out = sigs.sig_in, sigs.sig_out
         changed = False

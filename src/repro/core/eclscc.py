@@ -16,7 +16,7 @@ other hardware; there is no un-instrumented mode.  Pass a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -31,6 +31,9 @@ from ..engine import (
 )
 from ..engine.accounting import SIGNATURE_PAIR_BYTES
 from ..errors import ConvergenceError
+from ..faults.inject import FaultInjector
+from ..faults.plan import FaultPlan
+from ..faults.recovery import CheckpointStore, heal_labels
 from ..graph.csr import CSRGraph
 from ..results import AlgoResult
 from ..trace import Tracer, ensure_tracer
@@ -101,6 +104,7 @@ def ecl_scc(
     randomize_ids: bool = False,
     seed: int = 0,
     tracer: "Tracer | None" = None,
+    faults: "FaultPlan | None" = None,
 ) -> EclResult:
     """Detect all SCCs of *graph* with the ECL-SCC algorithm.
 
@@ -134,6 +138,15 @@ def ecl_scc(
         ``benchmarks/test_ext_id_ordering.py``.  Costs one O(V+E)
         shuffle; labels returned refer to the *original* IDs (still
         max-member normalized).
+    faults:
+        optional :class:`~repro.faults.FaultPlan`; overrides
+        ``options.faults``.  The run injects the plan's seeded faults
+        (signature regressions during Phase 2, crash/restart of the
+        outer loop, bit-flips in the harvested labels) and recovers via
+        checkpoints and verification-guarded self-healing.  The outcome
+        is summarized in ``result.status`` / ``result.fault_report``;
+        every fault and recovery action is also a trace event and is
+        charged to the device cost model.
 
     Notes
     -----
@@ -146,6 +159,7 @@ def ecl_scc(
     recorded labels.
     """
     opts = options or ALL_ON
+    plan = faults if faults is not None else opts.faults
     if device is None:
         device = VirtualDevice(A100)
     elif isinstance(device, DeviceSpec):
@@ -159,7 +173,7 @@ def ecl_scc(
         permuted, mapping = permute_random(graph, seed)
         inner = ecl_scc(
             permuted, options=opts, device=device, backend=be,
-            seed=seed, tracer=tracer,
+            seed=seed, tracer=tracer, faults=plan,
         )
         # map back: original vertex v ran as mapping[v]; its component
         # label is a permuted ID, so normalize over original IDs
@@ -191,13 +205,43 @@ def ecl_scc(
     total_rounds = 0
     outer_bound = opts.outer_bound(n)
 
+    injector: "FaultInjector | None" = None
+    store: "CheckpointStore | None" = None
+    if plan is not None:
+        injector = FaultInjector(plan, tracer=tr)
+        store = CheckpointStore(plan.checkpoint_every, injector=injector)
+
     while active.any():
+        # checkpoint at the top of the iteration (0 = genesis), so the
+        # counter copy predates this iteration's charges — restoring and
+        # re-executing then recharges the exact same sequence
+        if store is not None and store.due(outer):
+            store.save(
+                outer=outer, labels=labels, active=active, wl=wl,
+                total_rounds=total_rounds,
+                completed_per_iteration=completed_per_iteration,
+                device=device,
+            )
         outer += 1
         if outer > outer_bound:
             raise ConvergenceError(
                 f"ECL-SCC exceeded {outer_bound} outer iterations; each"
-                " iteration must complete at least one SCC per cluster"
+                " iteration must complete at least one SCC per cluster",
+                iterations=outer - 1,
+                labels=labels.copy(),
+                sig_in=sigs.sig_in.copy(),
+                sig_out=sigs.sig_out.copy(),
+                active_count=int(np.count_nonzero(active)),
             )
+        if injector is not None and injector.crash_due(outer):
+            ckpt = store.restore(
+                labels=labels, active=active, wl=wl, device=device,
+                crashed_at=outer,
+            )
+            outer = ckpt.outer
+            total_rounds = ckpt.total_rounds
+            completed_per_iteration[:] = ckpt.completed_per_iteration
+            continue
         with tr.span("outer-iteration", index=outer) as outer_span:
             # ---- Phase 1: (re)initialize signatures ----------------------
             with tr.span("phase1-init"):
@@ -215,9 +259,11 @@ def ecl_scc(
                     if opts.atomic_phase2:
                         from .atomic import propagate_atomic
 
-                        rounds = propagate_atomic(
-                            sigs, wl.src, wl.dst, device, opts, n, tracer=tr
-                        )
+                        def run_phase2() -> int:
+                            return propagate_atomic(
+                                sigs, wl.src, wl.dst, device, opts, n,
+                                tracer=tr,
+                            )
                     elif opts.async_phase2:
                         bounds = device.partition_edges(
                             wl.num_edges,
@@ -227,14 +273,28 @@ def ecl_scc(
                             else opts.block_edges,
                         )
                         partition = BlockPartition.build(wl.src, wl.dst, bounds)
-                        _, rounds = propagate_async(
-                            sigs, partition, device, opts, n, tracer=tr
-                        )
+
+                        def run_phase2() -> int:
+                            _, r = propagate_async(
+                                sigs, partition, device, opts, n, tracer=tr
+                            )
+                            return r
                     else:
                         grouping = EdgeGrouping.build(wl.src, wl.dst)
-                        rounds = propagate_sync(
-                            sigs, grouping, device, opts, n, tracer=tr
-                        )
+
+                        def run_phase2() -> int:
+                            return propagate_sync(
+                                sigs, grouping, device, opts, n, tracer=tr
+                            )
+
+                    rounds = run_phase2()
+                    if injector is not None:
+                        # stale reads / lost updates regress signatures
+                        # toward the phase-start snapshot; monotone
+                        # max-propagation re-converges to the same fixed
+                        # point, charged as real extra rounds
+                        while injector.perturb_propagation(sigs, outer):
+                            rounds += run_phase2()
                     total_rounds += rounds
                 p2.set(rounds=rounds)
 
@@ -260,6 +320,23 @@ def ecl_scc(
             break
 
     assert not np.any(labels == NO_VERTEX), "every vertex must be labelled"
+    status = "clean"
+    report = None
+    if injector is not None:
+        if plan.bitflips:
+            flipped = injector.flip_label_bits(labels, n)
+            if flipped.size:
+                # verification-guarded self-healing: find the vertex set
+                # violating the max-propagation fixed-point invariant and
+                # re-solve it as an induced subgraph (charged to `device`)
+                with tr.span("self-heal", flipped=int(flipped.size)):
+                    heal_labels(
+                        graph, labels, device=device,
+                        options=replace(opts, faults=None), backend=be,
+                        injector=injector,
+                    )
+        status = injector.status()
+        report = injector.report
     num_sccs = int(np.unique(labels).size)
     return EclResult(
         labels=labels,
@@ -272,4 +349,6 @@ def ecl_scc(
         device=device,
         trace=tr.trace if tr.enabled else None,
         estimate=device.estimate(n, graph.num_edges),
+        status=status,
+        fault_report=report,
     )

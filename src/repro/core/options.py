@@ -8,8 +8,12 @@ ablation benchmark flips these flags one at a time.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 from ..errors import AlgorithmError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults -> core)
+    from ..faults.plan import FaultPlan
 
 __all__ = ["EclOptions", "ALL_ON", "ALL_OFF", "ablation_variants"]
 
@@ -52,6 +56,11 @@ class EclOptions:
         historical full-array sweeps; ``"frontier"`` models worklist
         kernels).  Validated when the run resolves it via
         :func:`~repro.engine.get_backend`.
+    faults:
+        optional :class:`~repro.faults.FaultPlan`; when set, the run
+        injects the plan's seeded faults and engages the recovery
+        machinery (checkpoint/restart, verification-guarded healing).
+        ``None`` (the default) is a fault-free run.
     """
 
     async_phase2: bool = True
@@ -66,6 +75,7 @@ class EclOptions:
     max_outer_iterations: int = 0  # 0 = auto (|V| + 2)
     max_rounds: int = 0  # 0 = auto (|V| + 2)
     backend: str = "dense"
+    faults: "FaultPlan | None" = None
 
     def __post_init__(self) -> None:
         if self.block_edges < 1:

@@ -195,12 +195,23 @@ class BlockPartition:
         return self.grouping.num_edges
 
 
-def _bounds_check(rounds: int, bound: int, where: str) -> None:
+def _bounds_check(
+    rounds: int, bound: int, where: str, sigs: "Signatures | None" = None
+) -> None:
     if rounds > bound:
+        payload: "dict[str, object]" = {"iterations": rounds - 1}
+        if sigs is not None:
+            # attach progress so callers can degrade instead of losing the run
+            payload.update(
+                sig_in=sigs.sig_in.copy(),
+                sig_out=sigs.sig_out.copy(),
+                active_count=int(np.count_nonzero(sigs.sig_in != sigs.sig_out)),
+            )
         raise ConvergenceError(
             f"{where} exceeded its round bound ({bound}); this indicates a bug"
             " in the propagation engine (max-propagation must converge in"
-            " <= |V| rounds)"
+            " <= |V| rounds)",
+            **payload,
         )
 
 
@@ -228,7 +239,7 @@ def propagate_sync(
         blocks = min(blocks, dev.grid_blocks(persistent=True))
     while True:
         rounds += 1
-        _bounds_check(rounds, bound, "propagate_sync")
+        _bounds_check(rounds, bound, "propagate_sync", sigs)
         tracer.counter("relaxation-round", engine="sync")
         changed = grouping.relax(sigs, compress=opts.path_compression)
         extra_vertex_work = 0
@@ -291,14 +302,14 @@ def propagate_async(
     m = g.num_edges
     while True:
         launches += 1
-        _bounds_check(launches, bound, "propagate_async launches")
+        _bounds_check(launches, bound, "propagate_async launches", sigs)
         running = np.ones(nblocks, dtype=bool)
         launch_changed = False
         launch_edge_work = 0
         launch_vertex_work = 0
         while running.any():
             total_rounds += 1
-            _bounds_check(total_rounds, bound, "propagate_async rounds")
+            _bounds_check(total_rounds, bound, "propagate_async rounds", sigs)
             tracer.counter("relaxation-round", engine="async")
             active_edges = int(chunk_sizes[running].sum())
             launch_edge_work += active_edges

@@ -31,19 +31,38 @@ __all__ = ["ClusterSpec", "VirtualCluster"]
 
 @dataclass(frozen=True)
 class ClusterSpec:
-    """Parameters of the virtual cluster."""
+    """Parameters of the virtual cluster.
+
+    ``stragglers`` is an optional per-rank slowdown factor (>= 1.0, one
+    entry per rank): rank *i*'s local compute takes ``stragglers[i]``
+    times longer.  Because a BSP superstep waits for the slowest rank,
+    stragglers stretch the critical path — and they give the retry
+    machinery its principled timeout floor (a retry cannot observe
+    failure faster than the slowest surviving rank computes).
+    """
 
     num_ranks: int
     rank_device: DeviceSpec = XEON_6226R
     alpha_us: float = 2.0          # per-message latency
     beta_gbs: float = 10.0         # per-rank network bandwidth
     ops_per_edge: float = 10.0     # matches the CPU cost model convention
+    stragglers: "tuple[float, ...] | None" = None
 
     def __post_init__(self) -> None:
         if self.num_ranks < 1:
             raise DeviceError(f"num_ranks must be >= 1, got {self.num_ranks}")
         if self.alpha_us <= 0 or self.beta_gbs <= 0:
             raise DeviceError("alpha and beta must be positive")
+        if self.stragglers is not None:
+            factors = tuple(float(f) for f in self.stragglers)
+            if len(factors) != self.num_ranks:
+                raise DeviceError(
+                    f"stragglers needs one factor per rank"
+                    f" ({self.num_ranks}), got {len(factors)}"
+                )
+            if any(f < 1.0 for f in factors):
+                raise DeviceError("straggler factors must be >= 1.0")
+            object.__setattr__(self, "stragglers", factors)
 
 
 @dataclass
@@ -57,6 +76,9 @@ class VirtualCluster:
     bandwidth_seconds: float = 0.0
     total_messages: int = 0
     total_bytes: int = 0
+    retry_supersteps: int = 0
+    backoff_seconds: float = 0.0
+    last_superstep_seconds: float = 0.0
     _rank_ops: "np.ndarray | None" = field(default=None, repr=False)
 
     def superstep(
@@ -70,23 +92,50 @@ class VirtualCluster:
 
         ``local_ops`` is per-rank operation counts (length ``num_ranks``
         or a scalar applied to all); ``messages``/``bytes_out`` likewise.
+        Negative counts are a caller bug, not a valid superstep, and
+        raise :class:`~repro.errors.DeviceError`.
         """
         r = self.spec.num_ranks
         ops = np.broadcast_to(np.asarray(local_ops, dtype=np.float64), (r,))
         msg = np.broadcast_to(np.asarray(messages, dtype=np.float64), (r,))
         byt = np.broadcast_to(np.asarray(bytes_out, dtype=np.float64), (r,))
+        for name, arr in (("local_ops", ops), ("messages", msg), ("bytes_out", byt)):
+            if arr.size and float(arr.min()) < 0:
+                raise DeviceError(
+                    f"superstep {name} must be >= 0, got min {arr.min()}"
+                )
+        if self.spec.stragglers is not None:
+            ops = ops * np.asarray(self.spec.stragglers, dtype=np.float64)
         dev = self.spec.rank_device
         rank_speed = dev.lanes * dev.clock_ghz * 1e9 * dev.ipc
         self.supersteps += 1
-        self.compute_seconds += float(ops.max()) / rank_speed
-        self.latency_seconds += float(msg.max()) * self.spec.alpha_us * 1e-6
-        self.bandwidth_seconds += float(byt.max()) / (self.spec.beta_gbs * 1e9)
+        step_compute = float(ops.max()) / rank_speed
+        step_latency = float(msg.max()) * self.spec.alpha_us * 1e-6
+        step_bandwidth = float(byt.max()) / (self.spec.beta_gbs * 1e9)
+        self.compute_seconds += step_compute
+        self.latency_seconds += step_latency
+        self.bandwidth_seconds += step_bandwidth
+        self.last_superstep_seconds = step_compute + step_latency + step_bandwidth
         self.total_messages += int(msg.sum())
         self.total_bytes += int(byt.sum())
 
+    def charge_retry(self, wait_seconds: float) -> None:
+        """Account one failed-superstep retry: the backoff wait stalls the
+        whole BSP machine (every rank sits at the barrier), so it adds
+        directly to the critical path."""
+        if wait_seconds < 0:
+            raise DeviceError(f"retry wait must be >= 0, got {wait_seconds}")
+        self.retry_supersteps += 1
+        self.backoff_seconds += float(wait_seconds)
+
     @property
     def estimated_seconds(self) -> float:
-        return self.compute_seconds + self.latency_seconds + self.bandwidth_seconds
+        return (
+            self.compute_seconds
+            + self.latency_seconds
+            + self.bandwidth_seconds
+            + self.backoff_seconds
+        )
 
     def summary(self) -> "dict[str, float | int]":
         return {
@@ -95,6 +144,8 @@ class VirtualCluster:
             "compute_s": self.compute_seconds,
             "latency_s": self.latency_seconds,
             "bandwidth_s": self.bandwidth_seconds,
+            "retry_supersteps": self.retry_supersteps,
+            "backoff_s": self.backoff_seconds,
             "total_messages": self.total_messages,
             "total_bytes": self.total_bytes,
             "estimated_s": self.estimated_seconds,

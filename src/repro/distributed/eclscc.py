@@ -23,7 +23,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..engine.primitives import scc_edge_filter_mask
-from ..errors import ConvergenceError
+from ..errors import ConvergenceError, RankLossError
+from ..faults.inject import FaultInjector
+from ..faults.plan import FaultPlan
+from ..faults.recovery import backoff_seconds
 from ..graph.csr import CSRGraph
 from ..results import AlgoResult
 from ..trace import Tracer, ensure_tracer
@@ -59,6 +62,7 @@ def distributed_ecl_scc(
     spec: "ClusterSpec | None" = None,
     *,
     tracer: "Tracer | None" = None,
+    faults: "FaultPlan | None" = None,
 ) -> DistributedResult:
     """Run ECL-SCC as a BSP computation over *partition*.
 
@@ -68,6 +72,18 @@ def distributed_ecl_scc(
     superstep is one ``superstep`` span (attrs: ``index``, ``kind``)
     nested in its ``outer-iteration``, and halo traffic is recorded as
     per-rank ``halo-messages`` counters (attr ``rank``).
+
+    With *faults*, the plan's cluster-layer faults perturb the exchange
+    supersteps: dropped/delayed boundary updates are regressed and
+    re-propagated in later rounds (monotone — labels unchanged; drops
+    charge re-sent messages), duplicated messages charge extra traffic,
+    and a rank crash triggers bounded superstep retry with exponential
+    backoff (charged to the alpha-beta model via
+    :meth:`~repro.distributed.cluster.VirtualCluster.charge_retry`).  A
+    permanent rank loss either fails over — survivors absorb the dead
+    rank's work, ``result.status == "degraded"`` — or raises
+    :class:`~repro.errors.RankLossError` with a structured payload when
+    ``plan.failover`` is off.
     """
     if spec is None:
         spec = ClusterSpec(num_ranks=partition.num_ranks)
@@ -75,16 +91,20 @@ def distributed_ecl_scc(
         raise ConvergenceError("partition and cluster rank counts differ")
     cluster = VirtualCluster(spec)
     tr = ensure_tracer(tracer)
+    injector = FaultInjector(faults, tracer=tr) if faults is not None else None
     n = graph.num_vertices
     labels = np.full(n, NO_VERTEX, dtype=VERTEX_DTYPE)
     if n == 0:
         return DistributedResult(
             labels=labels, num_sccs=0, cluster=cluster,
             trace=tr.trace if tr.enabled else None,
+            fault_report=injector.report if injector else None,
         )
 
     src, dst = (a.copy() for a in graph.edges())
     owner = partition.owner
+    if injector is not None:
+        owner = owner.copy()  # failover may reassign the dead rank's work
     r = spec.num_ranks
     # boundary vertices: endpoints of cut edges, grouped by owner; a
     # signature update of a boundary vertex must be shipped to every rank
@@ -112,13 +132,26 @@ def distributed_ecl_scc(
         with tr.span("superstep", index=supersteps, kind="phase1-init"):
             cluster.superstep(np.bincount(owner, minlength=r) * 2.0)
         supersteps += 1
-        # Phase 2: BSP rounds to the fixed point
+        # Phase 2: BSP rounds to the fixed point.  Injected message
+        # faults regress updates and so add recovery rounds; the safety
+        # bound grows by the plan's cluster fault budget to match.
+        rounds_bound = (n + 2) * (
+            1 + (faults.max_cluster_faults if faults is not None else 0)
+        )
         rounds = 0
         while True:
             rounds += 1
-            if rounds > n + 2:
-                raise ConvergenceError("distributed Phase 2 failed to converge")
+            if rounds > rounds_bound:
+                raise ConvergenceError(
+                    "distributed Phase 2 failed to converge",
+                    iterations=rounds - 1,
+                    labels=labels.copy(),
+                    sig_in=sig_in.copy(),
+                    sig_out=sig_out.copy(),
+                    active_count=int(np.count_nonzero(active)),
+                )
             # local relax (Jacobi over all edges; sources' ranks do the work)
+            prev_in, prev_out = sig_in, sig_out
             new_out = sig_out.copy()
             np.maximum.at(new_out, src, sig_out[dst])
             new_in = sig_in.copy()
@@ -151,6 +184,39 @@ def distributed_ecl_scc(
             # per cut edge that reads them (16 bytes: two signatures)
             upd_cut = cut & (changed_v[src] | changed_v[dst])
             msgs = np.bincount(owner[src[upd_cut]], minlength=r) + jump_msgs
+            extra_msgs = 0
+            if injector is not None:
+                # message faults perturb this exchange: drops/delays
+                # regress the victims' published updates (the receivers
+                # never see them this round — monotone, recomputed
+                # later), dups and drop re-sends charge extra traffic
+                boundary = np.zeros(n, dtype=bool)
+                boundary[src[cut]] = True
+                boundary[dst[cut]] = True
+                perturb = injector.perturb_exchange(
+                    supersteps, np.flatnonzero(changed_v & boundary)
+                )
+                if perturb.injected:
+                    v = perturb.regress
+                    if v.size:
+                        sig_in[v] = prev_in[v]
+                        sig_out[v] = prev_out[v]
+                    extra_msgs = perturb.extra_messages
+                    changed = True  # regressed updates must re-propagate
+                if injector.rank_crash_due(supersteps):
+                    recovered = _retry_crashed_rank(
+                        injector, cluster, faults, supersteps
+                    )
+                    if not recovered:
+                        owner, edges_per_rank, cut = _fail_over(
+                            injector, faults, owner, src, dst, r,
+                            supersteps=supersteps, labels=labels,
+                            outer=outer,
+                        )
+            if extra_msgs:
+                spread = np.full(r, extra_msgs // r, dtype=msgs.dtype)
+                spread[: extra_msgs % r] += 1
+                msgs = msgs + spread
             with tr.span(
                 "superstep", index=supersteps, kind="phase2-exchange", round=rounds
             ):
@@ -185,4 +251,73 @@ def distributed_ecl_scc(
         supersteps=supersteps,
         cluster=cluster,
         trace=tr.trace if tr.enabled else None,
+        status=injector.status() if injector is not None else "clean",
+        fault_report=injector.report if injector is not None else None,
     )
+
+
+def _retry_crashed_rank(
+    injector: FaultInjector,
+    cluster: VirtualCluster,
+    plan: FaultPlan,
+    superstep: int,
+) -> bool:
+    """Bounded retry of a crashed rank's superstep.  True once recovered.
+
+    Attempt *k* waits ``backoff_base_us * 2**k``, floored by the
+    straggler-adjusted duration of the last superstep; each wait stalls
+    the whole BSP machine and is charged to the alpha-beta model.
+    """
+    dead = plan.rank_crash_rank % cluster.spec.num_ranks
+    for attempt in range(plan.max_retries):
+        wait = backoff_seconds(
+            plan, attempt, floor_s=cluster.last_superstep_seconds
+        )
+        cluster.charge_retry(wait)
+        injector.record_retry(superstep, dead, attempt, wait)
+        if attempt + 1 >= plan.rank_recover_after:
+            return True
+    return False
+
+
+def _fail_over(
+    injector: FaultInjector,
+    plan: FaultPlan,
+    owner: np.ndarray,
+    src: np.ndarray,
+    dst: np.ndarray,
+    r: int,
+    *,
+    supersteps: int,
+    labels: np.ndarray,
+    outer: int,
+):
+    """Redistribute a permanently-lost rank's vertices across survivors.
+
+    Raises :class:`~repro.errors.RankLossError` (with the partial state
+    attached) when failover is disabled or no survivor exists.  Returns
+    the updated ``(owner, edges_per_rank, cut)``.
+    """
+    dead = plan.rank_crash_rank % r
+    if not plan.failover or r <= 1:
+        raise RankLossError(
+            f"rank {dead} lost permanently after {plan.max_retries}"
+            " failed retries and failover is disabled",
+            rank=dead,
+            superstep=supersteps,
+            retries=plan.max_retries,
+            labels=labels.copy(),
+            iterations=outer,
+            fault_report=injector.report,
+        )
+    survivors = np.array([k for k in range(r) if k != dead], dtype=owner.dtype)
+    victims = np.flatnonzero(owner == dead)
+    owner[victims] = survivors[np.arange(victims.size) % survivors.size]
+    injector.record_failover(supersteps, dead)
+    edges_per_rank = (
+        np.bincount(owner[src], minlength=r).astype(np.float64)
+        if src.size
+        else np.zeros(r)
+    )
+    cut = owner[src] != owner[dst]
+    return owner, edges_per_rank, cut

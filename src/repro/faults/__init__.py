@@ -1,0 +1,37 @@
+"""Deterministic fault injection and recovery (chaos testing).
+
+The paper's robustness claim — monotone max-propagation tolerates racy,
+unsynchronized signature updates — becomes *testable* here: a seeded
+:class:`FaultPlan` describes what goes wrong, a :class:`FaultInjector`
+makes every fault decision at a well-defined seam (engine Phase-2
+propagation, label harvest, cluster exchange supersteps), and the
+recovery machinery (checkpoint/restart, bounded superstep retry,
+verification-guarded self-healing) absorbs the non-monotone kinds.
+Run summaries surface as ``result.status`` / ``result.fault_report``;
+see ``docs/robustness.md`` and the ``repro chaos`` CLI.
+"""
+
+from .inject import ExchangePerturbation, FaultEvent, FaultInjector, FaultReport
+from .plan import CORRUPTING_FAULT_KINDS, MONOTONE_FAULT_KINDS, FaultPlan
+from .recovery import (
+    MAX_HEAL_PASSES,
+    Checkpoint,
+    CheckpointStore,
+    backoff_seconds,
+    heal_labels,
+)
+
+__all__ = [
+    "FaultPlan",
+    "MONOTONE_FAULT_KINDS",
+    "CORRUPTING_FAULT_KINDS",
+    "FaultEvent",
+    "FaultReport",
+    "FaultInjector",
+    "ExchangePerturbation",
+    "Checkpoint",
+    "CheckpointStore",
+    "backoff_seconds",
+    "heal_labels",
+    "MAX_HEAL_PASSES",
+]

@@ -1,0 +1,263 @@
+"""Declarative, seeded fault plans.
+
+A :class:`FaultPlan` describes *what* may go wrong during a run — which
+fault sites fire, at what rates, and with what recovery knobs — without
+saying anything about *when* in wall-clock terms: every random decision
+is drawn from a ``numpy`` generator seeded by ``plan.seed``, so the same
+plan on the same graph produces the same fault sequence, bit for bit.
+Plans are plain frozen dataclasses and round-trip through JSON
+(:meth:`FaultPlan.to_json` / :meth:`FaultPlan.from_json`), which is what
+the ``repro chaos`` CLI loads.
+
+Fault sites (see ``docs/robustness.md`` for the full fault model):
+
+* **Engine layer** (ECL-SCC Phase 2) — ``stale_read_rate`` and
+  ``lost_update_rate`` regress sampled signatures back to their
+  phase-start snapshot, modelling the paper's non-atomic races: a stale
+  read or a dropped write can only leave a signature at an *older valid*
+  value, and the phase-start snapshot (identity) dominates every milder
+  staleness.  These faults are **monotone**: max-propagation re-converges
+  to the same fixed point, so final labels are provably unchanged.
+* **Corruption** — ``bitflips`` flips random bits in the final
+  ``v_in``/``v_out``-derived labels, modelling memory corruption.  These
+  are *not* monotone and must be caught by the verification-guarded
+  self-healing loop (:mod:`repro.faults.recovery`).
+* **Crash/restart** — ``crash_iteration`` kills the outer loop once at
+  that iteration; recovery restores the last periodic checkpoint
+  (cadence ``checkpoint_every``).
+* **Cluster layer** (:class:`~repro.distributed.cluster.VirtualCluster`
+  supersteps) — ``message_drop_rate`` / ``message_dup_rate`` /
+  ``message_delay_rate`` perturb the boundary exchange, and
+  ``rank_crash_superstep`` crashes one rank, recovered by bounded
+  superstep retry with exponential backoff and (optionally) failover.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, fields, replace
+
+import numpy as np
+
+from ..errors import FaultPlanError
+
+__all__ = ["FaultPlan", "MONOTONE_FAULT_KINDS", "CORRUPTING_FAULT_KINDS"]
+
+#: fault kinds that can never change final labels (only delay convergence).
+MONOTONE_FAULT_KINDS = (
+    "stale-read",
+    "lost-update",
+    "message-drop",
+    "message-dup",
+    "message-delay",
+)
+
+#: fault kinds that corrupt or lose state and require explicit recovery.
+CORRUPTING_FAULT_KINDS = ("bit-flip", "crash", "rank-crash")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One deterministic chaos scenario (all decisions seeded, no clock).
+
+    Attributes
+    ----------
+    seed:
+        seed of the plan's private ``numpy`` RNG; two runs with the same
+        plan inject the identical fault sequence.
+    stale_read_rate:
+        probability, per propagation epoch, that a stale-read fault
+        regresses a sampled vertex set's signatures to the phase-start
+        snapshot (monotone; labels provably unchanged).
+    lost_update_rate:
+        like ``stale_read_rate`` but modelling dropped signature writes.
+    victim_fraction:
+        fraction of eligible vertices a regression fault hits
+        (at least one vertex when the fault fires).
+    bitflips:
+        number of single-bit corruptions injected into the final labels
+        (caught and repaired by the verification guard).
+    crash_iteration:
+        outer iteration at which the engine run crashes once (None = no
+        crash); recovery restores the latest checkpoint.
+    checkpoint_every:
+        checkpoint cadence in outer iterations (>= 1).
+    message_drop_rate / message_dup_rate / message_delay_rate:
+        per-exchange-superstep probabilities of dropping, duplicating,
+        or delaying boundary-signature messages (drops charge a re-send;
+        dups charge extra traffic; all three are monotone).
+    rank_crash_superstep:
+        global superstep index at which ``rank_crash_rank`` crashes
+        (None = no rank crash).
+    rank_crash_rank:
+        which rank crashes.
+    rank_recover_after:
+        failed retry attempts before the rank comes back; if it exceeds
+        ``max_retries`` the loss is permanent (failover or
+        :class:`~repro.errors.RankLossError`).
+    max_retries:
+        bounded superstep retry attempts for a crashed rank.
+    backoff_base_us:
+        base of the exponential retry backoff (attempt k waits
+        ``backoff_base_us * 2**k`` microseconds, floored by the
+        straggler-adjusted duration of the last superstep — the
+        principled timeout basis).
+    failover:
+        after a permanent rank loss, redistribute the dead rank's work
+        across survivors (status ``"degraded"``) instead of raising.
+    max_engine_faults / max_cluster_faults:
+        hard budgets on injected faults so every faulted run terminates.
+    """
+
+    seed: int = 0
+    # --- engine (Phase-2 race) faults ---------------------------------
+    stale_read_rate: float = 0.0
+    lost_update_rate: float = 0.0
+    victim_fraction: float = 0.1
+    # --- corruption + crash/restart -----------------------------------
+    bitflips: int = 0
+    crash_iteration: "int | None" = None
+    checkpoint_every: int = 1
+    # --- cluster (superstep) faults -----------------------------------
+    message_drop_rate: float = 0.0
+    message_dup_rate: float = 0.0
+    message_delay_rate: float = 0.0
+    rank_crash_superstep: "int | None" = None
+    rank_crash_rank: int = 0
+    rank_recover_after: int = 1
+    # --- recovery knobs ------------------------------------------------
+    max_retries: int = 3
+    backoff_base_us: float = 50.0
+    failover: bool = True
+    max_engine_faults: int = 16
+    max_cluster_faults: int = 16
+
+    def __post_init__(self) -> None:
+        for name in (
+            "stale_read_rate",
+            "lost_update_rate",
+            "message_drop_rate",
+            "message_dup_rate",
+            "message_delay_rate",
+        ):
+            v = getattr(self, name)
+            if not (0.0 <= v <= 1.0):
+                raise FaultPlanError(f"{name} must be in [0, 1], got {v}")
+        if not (0.0 < self.victim_fraction <= 1.0):
+            raise FaultPlanError(
+                f"victim_fraction must be in (0, 1], got {self.victim_fraction}"
+            )
+        if self.bitflips < 0:
+            raise FaultPlanError(f"bitflips must be >= 0, got {self.bitflips}")
+        if self.checkpoint_every < 1:
+            raise FaultPlanError(
+                f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
+            )
+        for name in ("max_retries", "rank_recover_after"):
+            if getattr(self, name) < 1:
+                raise FaultPlanError(f"{name} must be >= 1")
+        if self.backoff_base_us <= 0:
+            raise FaultPlanError("backoff_base_us must be positive")
+        for name in ("max_engine_faults", "max_cluster_faults"):
+            if getattr(self, name) < 0:
+                raise FaultPlanError(f"{name} must be >= 0")
+        for name in ("crash_iteration", "rank_crash_superstep"):
+            v = getattr(self, name)
+            if v is not None and v < 1:
+                raise FaultPlanError(f"{name} must be >= 1 or None, got {v}")
+        if self.rank_crash_rank < 0:
+            raise FaultPlanError("rank_crash_rank must be >= 0")
+
+    # ------------------------------------------------------------------
+    @property
+    def is_monotone(self) -> bool:
+        """True when the plan contains only label-preserving fault kinds."""
+        return (
+            self.bitflips == 0
+            and self.crash_iteration is None
+            and self.rank_crash_superstep is None
+        )
+
+    @property
+    def has_engine_faults(self) -> bool:
+        return (
+            self.stale_read_rate > 0
+            or self.lost_update_rate > 0
+            or self.bitflips > 0
+            or self.crash_iteration is not None
+        )
+
+    @property
+    def has_cluster_faults(self) -> bool:
+        return (
+            self.message_drop_rate > 0
+            or self.message_dup_rate > 0
+            or self.message_delay_rate > 0
+            or self.rank_crash_superstep is not None
+        )
+
+    def rng(self) -> np.random.Generator:
+        """A fresh generator seeded by ``self.seed`` (the only RNG used)."""
+        return np.random.default_rng(self.seed)
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        return replace(self, seed=seed)
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> "dict[str, object]":
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: "dict[str, object]") -> "FaultPlan":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise FaultPlanError(
+                f"unknown FaultPlan fields: {sorted(unknown)}; known: {sorted(known)}"
+            )
+        return cls(**data)
+
+    def to_json(self, *, indent: "int | None" = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(f"fault plan is not valid JSON: {exc}") from None
+        if not isinstance(data, dict):
+            raise FaultPlanError("fault plan JSON must be an object")
+        return cls.from_dict(data)
+
+    # ------------------------------------------------------------------
+    # presets
+    # ------------------------------------------------------------------
+    @classmethod
+    def monotone(cls, seed: int = 0, *, rate: float = 0.3) -> "FaultPlan":
+        """The paper's race model: stale reads + lost updates only."""
+        return cls(
+            seed=seed,
+            stale_read_rate=rate,
+            lost_update_rate=rate,
+            message_drop_rate=rate / 2,
+            message_dup_rate=rate / 2,
+            message_delay_rate=rate / 2,
+        )
+
+    @classmethod
+    def chaos(cls, seed: int = 0) -> "FaultPlan":
+        """Everything at once: races, corruption, crashes."""
+        return cls(
+            seed=seed,
+            stale_read_rate=0.25,
+            lost_update_rate=0.25,
+            bitflips=2,
+            crash_iteration=2,
+            message_drop_rate=0.2,
+            message_dup_rate=0.2,
+            message_delay_rate=0.2,
+            rank_crash_superstep=3,
+        )

@@ -1,0 +1,224 @@
+"""Checkpoint/restart, retry backoff, and verification-guarded healing.
+
+Three recovery mechanisms, matched to the three corrupting fault kinds
+of :mod:`repro.faults.plan`:
+
+* **Checkpoint/restart** (engine crashes) — :class:`CheckpointStore`
+  snapshots the ECL-SCC outer-loop state (labels, active mask, edge
+  worklist, round totals, device counters) every ``checkpoint_every``
+  iterations.  A crash restores the latest snapshot and the loop
+  re-executes from there.  Counter restoration discards the wasted
+  work's charges, and the re-executed iterations recharge identically,
+  so a crashed-and-restored run reproduces the fault-free run's labels
+  *and* counter snapshot bit for bit (the restore itself is charged to
+  ``counters.notes``, which :meth:`~repro.device.KernelCounters.snapshot`
+  excludes by design).
+* **Bounded retry with exponential backoff** (rank crashes) —
+  :func:`backoff_seconds` computes attempt *k*'s wait as
+  ``backoff_base_us * 2**k``, floored by the straggler-adjusted duration
+  of the last superstep (the principled timeout basis: a retry cannot
+  observe failure faster than the slowest surviving rank computes).
+* **Verification-guarded self-healing** (bit flips) —
+  :func:`heal_labels` asks :func:`repro.analysis.verify.fixed_point_offenders`
+  for the vertex set on which the labelling is *not* a fixed point of
+  max-propagation, re-runs ECL-SCC on the induced offender subgraph, and
+  repeats until the invariant holds.  The offender set is always a union
+  of complete true SCCs (see ``docs/robustness.md`` §4), so healing the
+  induced subgraph in isolation is sound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..device.counters import KernelCounters
+from ..errors import FaultError
+from .inject import FaultInjector
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointStore",
+    "backoff_seconds",
+    "heal_labels",
+    "MAX_HEAL_PASSES",
+]
+
+#: self-healing gives up (raises FaultError) after this many passes.
+MAX_HEAL_PASSES = 3
+
+
+def _copy_counters(counters: KernelCounters) -> KernelCounters:
+    return replace(counters, notes=dict(counters.notes))
+
+
+@dataclass
+class Checkpoint:
+    """One frozen outer-loop state (taken at the *top* of an iteration)."""
+
+    outer: int                       # iterations fully completed
+    labels: np.ndarray
+    active: np.ndarray
+    wl_src: np.ndarray
+    wl_dst: np.ndarray
+    wl_generation: int
+    total_rounds: int
+    completed_per_iteration: "list[int]"
+    counters: KernelCounters
+
+    @property
+    def nbytes(self) -> int:
+        return (
+            self.labels.nbytes
+            + self.active.nbytes
+            + self.wl_src.nbytes
+            + self.wl_dst.nbytes
+        )
+
+
+class CheckpointStore:
+    """Holds the latest checkpoint of one ECL-SCC run.
+
+    The driver saves at the top of every iteration where
+    :meth:`due` is true (plus a genesis checkpoint before iteration 1, so
+    a crash is always recoverable), and restores on
+    :meth:`FaultInjector.crash_due`.  Saves are charged to the device as
+    a streamed copy-out of the checkpointed arrays; because the counter
+    copy inside the checkpoint is taken *before* that charge, restoring
+    and re-executing reproduces the exact same charge sequence.
+    """
+
+    def __init__(self, cadence: int, *, injector: "FaultInjector | None" = None):
+        self.cadence = max(1, int(cadence))
+        self.injector = injector
+        self._latest: "Checkpoint | None" = None
+
+    def due(self, outer_completed: int) -> bool:
+        """True when a checkpoint should be taken after *outer_completed*
+        iterations (0 = genesis, always saved)."""
+        return outer_completed % self.cadence == 0
+
+    def save(self, *, outer, labels, active, wl, total_rounds,
+             completed_per_iteration, device) -> Checkpoint:
+        ckpt = Checkpoint(
+            outer=int(outer),
+            labels=labels.copy(),
+            active=active.copy(),
+            wl_src=wl.src.copy(),
+            wl_dst=wl.dst.copy(),
+            wl_generation=wl.generation,
+            total_rounds=int(total_rounds),
+            completed_per_iteration=list(completed_per_iteration),
+            counters=_copy_counters(device.counters),
+        )
+        self._latest = ckpt
+        # copy-out of the checkpointed state: sequential streaming traffic
+        device.counters.launch(
+            vertices=labels.size, bytes_per_vertex=0,
+            streamed_bytes=ckpt.nbytes,
+        )
+        device.counters.note("faults:checkpoint_bytes", float(ckpt.nbytes))
+        if self.injector is not None:
+            self.injector.record_checkpoint(ckpt.outer, ckpt.nbytes)
+        return ckpt
+
+    @property
+    def latest(self) -> "Checkpoint | None":
+        return self._latest
+
+    def restore(self, *, labels, active, wl, device, crashed_at: int) -> Checkpoint:
+        """Roll run state back to the latest checkpoint (in place).
+
+        Device counters are *replaced* by the checkpoint's copy: the
+        crashed iterations' charges are discarded and will be recharged
+        by re-execution.  The restore's own copy-in traffic goes to
+        ``counters.notes`` only, keeping counter snapshots bit-identical
+        with a fault-free run of the same plan.
+        """
+        ckpt = self._latest
+        if ckpt is None:
+            raise FaultError("no checkpoint available to restore")
+        labels[:] = ckpt.labels
+        active[:] = ckpt.active
+        wl.src = ckpt.wl_src.copy()
+        wl.dst = ckpt.wl_dst.copy()
+        wl.generation = ckpt.wl_generation
+        device.counters = _copy_counters(ckpt.counters)
+        device.counters.note("faults:restore_bytes", float(ckpt.nbytes))
+        if self.injector is not None:
+            self.injector.record_restore(crashed_at, ckpt.outer)
+        return ckpt
+
+
+def backoff_seconds(plan, attempt: int, *, floor_s: float = 0.0) -> float:
+    """Wait before retry *attempt* (0-based): exponential, floored.
+
+    The floor is the straggler-adjusted duration of the last superstep —
+    a retry cannot detect failure faster than the slowest surviving rank
+    finishes its local compute.
+    """
+    return max(plan.backoff_base_us * 1e-6 * (2.0 ** attempt), floor_s)
+
+
+def heal_labels(
+    graph,
+    labels: np.ndarray,
+    *,
+    device,
+    options=None,
+    backend=None,
+    injector: "FaultInjector | None" = None,
+    tracer=None,
+    max_passes: int = MAX_HEAL_PASSES,
+) -> np.ndarray:
+    """Repair *labels* in place until they verify as an SCC fixed point.
+
+    Each pass computes the offender set (vertices whose labelling
+    violates the max-propagation fixed-point invariant), re-runs ECL-SCC
+    fault-free on the induced offender subgraph, and writes the repaired
+    labels back.  Raises :class:`~repro.errors.FaultError` if the
+    invariant still fails after ``max_passes`` passes (which would
+    indicate a healing bug, not an injected fault — the offender set is
+    a union of complete SCCs, so one pass normally suffices).
+    """
+    from ..analysis.verify import fixed_point_offenders
+    from ..core.eclscc import ecl_scc  # lazy: core.eclscc imports repro.faults
+
+    for _ in range(max_passes):
+        offenders = fixed_point_offenders(graph, labels)
+        if offenders.size == 0:
+            return labels
+        sub = _induced_subgraph(graph, offenders)
+        heal_dev = type(device)(device.spec)
+        sub_res = ecl_scc(
+            sub, options=options, device=heal_dev, backend=backend,
+            tracer=tracer,
+        )
+        labels[offenders] = offenders[sub_res.labels]
+        device.counters.merge(heal_dev.counters)
+        device.counters.note("faults:heal_vertices", float(offenders.size))
+        if injector is not None:
+            injector.record_heal(int(offenders.size), int(offenders.size))
+    offenders = fixed_point_offenders(graph, labels)
+    if offenders.size:
+        raise FaultError(
+            f"self-healing did not converge after {max_passes} passes;"
+            f" {offenders.size} vertices still violate the fixed-point"
+            " invariant"
+        )
+    return labels
+
+
+def _induced_subgraph(graph, vertices: np.ndarray):
+    """Induced subgraph on ascending *vertices*, renumbered 0..k-1."""
+    from ..graph.csr import CSRGraph
+
+    n = graph.num_vertices
+    inv = np.full(n, -1, dtype=np.int64)
+    inv[vertices] = np.arange(vertices.size, dtype=np.int64)
+    src, dst = graph.edges()
+    keep = (inv[src] >= 0) & (inv[dst] >= 0)
+    return CSRGraph.from_edges(
+        inv[src[keep]], inv[dst[keep]], int(vertices.size)
+    )

@@ -76,12 +76,22 @@ class AlgoResult:
     trace:
         the :class:`~repro.trace.Trace` recorded by the ``tracer=``
         argument, or None when tracing was off.
+    status:
+        ``"clean"`` (no faults observed), ``"recovered"`` (faults were
+        injected and absorbed; labels verified), or ``"degraded"``
+        (permanent loss absorbed by failover).  Always ``"clean"``
+        when no :class:`~repro.faults.FaultPlan` was active.
+    fault_report:
+        the run's :class:`~repro.faults.FaultReport` (every injected
+        fault and recovery action), or None without a fault plan.
     """
 
     labels: np.ndarray
     num_sccs: int
     device: Optional[Any] = None
     trace: Optional[Any] = None
+    status: str = "clean"
+    fault_report: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # legacy (labels, device) tuple contract

@@ -12,13 +12,18 @@ from repro.core import EclOptions, ecl_scc
 from repro.errors import (
     AlgorithmError,
     ConvergenceError,
+    DeviceError,
+    FaultError,
+    FaultPlanError,
     GraphFormatError,
     MeshError,
+    RankLossError,
     ReproError,
     VerificationError,
 )
 from repro.graph import CSRGraph, EdgeList, cycle_graph
 from repro.mesh import Mesh, ElementType
+from repro.types import NO_VERTEX
 
 
 class TestGraphInputs:
@@ -61,6 +66,88 @@ class TestAlgorithmGuards:
     def test_options_reject_nonsense(self):
         with pytest.raises(AlgorithmError):
             EclOptions(block_edges=-3)
+
+
+class TestFaultPayloads:
+    """Failure exceptions carry structured state, not just messages."""
+
+    def test_convergence_error_payload(self):
+        g = cycle_graph(50)
+        opts = EclOptions(max_rounds=2, async_phase2=False, path_compression=False)
+        with pytest.raises(ConvergenceError) as exc:
+            ecl_scc(g, options=opts)
+        err = exc.value
+        assert err.iterations == 2
+        assert err.sig_in is not None and err.sig_in.size == 50
+        assert err.sig_out is not None and err.sig_out.size == 50
+        assert 0 < err.active_count <= 50
+        state = err.partial_state()
+        assert state["iterations"] == 2
+        assert state["active_count"] == err.active_count
+
+    def test_convergence_error_outer_loop_payload(self):
+        g = cycle_graph(30)
+        opts = EclOptions(max_outer_iterations=1, remove_scc_edges=False,
+                          path_compression=False, async_phase2=False,
+                          max_rounds=3)
+        with pytest.raises(ConvergenceError) as exc:
+            ecl_scc(g, options=opts)
+        # either bound may trip first; both must attach progress
+        assert exc.value.iterations is not None
+
+    def test_atomic_engine_attaches_payload(self):
+        g = cycle_graph(40)
+        opts = EclOptions(atomic_phase2=True, max_rounds=2,
+                          path_compression=False)
+        with pytest.raises(ConvergenceError) as exc:
+            ecl_scc(g, options=opts)
+        assert exc.value.iterations == 2
+        assert exc.value.sig_in is not None
+
+    def test_partial_labels_are_no_vertex_where_unknown(self):
+        g = cycle_graph(20)
+        opts = EclOptions(max_rounds=1, async_phase2=False,
+                          path_compression=False)
+        with pytest.raises(ConvergenceError) as exc:
+            ecl_scc(g, options=opts)
+        labels = exc.value.labels
+        if labels is not None:
+            assert (labels == NO_VERTEX).all()  # nothing completed yet
+
+    def test_fault_plan_error_is_typed(self):
+        from repro import FaultPlan
+
+        with pytest.raises(FaultPlanError):
+            FaultPlan(stale_read_rate=2.0)
+        assert issubclass(FaultPlanError, FaultError)
+        assert issubclass(FaultPlanError, ValueError)
+        assert issubclass(RankLossError, FaultError)
+        assert issubclass(FaultError, ReproError)
+
+    def test_negative_superstep_is_device_error(self):
+        from repro.distributed.cluster import ClusterSpec, VirtualCluster
+
+        cluster = VirtualCluster(ClusterSpec(num_ranks=3))
+        with pytest.raises(DeviceError):
+            cluster.superstep([1.0, 2.0, -3.0])
+
+    def test_rank_loss_error_payload(self):
+        from repro import FaultPlan
+        from repro.distributed import block_partition, distributed_ecl_scc
+        from repro.graph import random_gnm
+
+        g = random_gnm(30, 90, seed=5)
+        plan = FaultPlan(
+            seed=0, rank_crash_superstep=1, rank_recover_after=5,
+            max_retries=2, failover=False,
+        )
+        with pytest.raises(RankLossError) as exc:
+            distributed_ecl_scc(g, block_partition(g, 3), faults=plan)
+        err = exc.value
+        assert err.rank == 0
+        assert err.retries == 2
+        assert err.labels is not None
+        assert err.fault_report is not None
 
 
 class TestMeshInputs:
