@@ -23,7 +23,7 @@ import numpy as np
 from ..analysis.verify import verify_labels
 from ..core.eclscc import ecl_scc
 from ..core.minmax import minmax_scc
-from ..core.options import EclOptions
+from ..core.options import EclOptions, engine_options
 from ..baselines import (
     coloring_scc,
     fb_scc,
@@ -179,6 +179,7 @@ def run_algorithm(
     *,
     options: "EclOptions | None" = None,
     backend: "ArrayBackend | str | None" = None,
+    engine: "str | None" = None,
     time_wall: bool = False,
     repeats: int = 9,
     verify: bool = False,
@@ -190,7 +191,13 @@ def run_algorithm(
     ``backend`` selects the registered :class:`~repro.engine.ArrayBackend`
     the run's engine primitives account against (default: the dense
     backend, which reproduces the historical launch costs; the oracles
-    ignore it).  ``time_wall`` additionally measures Python wall time
+    ignore it).  ``engine`` selects ECL-SCC's Phase-2 engine by name
+    (``"sync"`` / ``"async"`` / ``"atomic"`` / ``"frontier"``, applied on
+    top of ``options`` via
+    :func:`~repro.core.options.engine_options`); only ``ecl-scc``
+    has multiple Phase-2 engines, so passing it for any other algorithm
+    raises :class:`~repro.errors.AlgorithmError`.
+    ``time_wall`` additionally measures Python wall time
     with the median-of-N protocol (each repeat uses a fresh device so
     counters stay single-run; repeats run untraced so the caller's
     tracer sees exactly one run).  ``verify`` checks labels against
@@ -201,6 +208,13 @@ def run_algorithm(
     semantics); the outcome lands in ``RunResult.status`` /
     ``RunResult.fault_report``.
     """
+    if engine is not None:
+        if algorithm != "ecl-scc":
+            raise AlgorithmError(
+                f"engine selection is only supported for 'ecl-scc', not"
+                f" {algorithm!r}"
+            )
+        options = engine_options(engine, options)
     res = _execute(algorithm, graph, device, options, tracer, backend, faults)
     sigs = _SIGNATURE_ARRAYS.get(algorithm, 1)
     estimate = res.device.estimate(

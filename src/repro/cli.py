@@ -106,6 +106,7 @@ def _cmd_scc(args: argparse.Namespace) -> int:
         args.algo,
         _device(args.device),
         backend=args.backend,
+        engine=args.engine,
         time_wall=args.time,
         repeats=args.repeats,
         verify=args.verify,
@@ -178,6 +179,13 @@ def _bench_smoke(args: argparse.Namespace) -> int:
     Writes one JSON document (``--json PATH``; default stdout) with the
     cost-model estimate and kernel counters per (algorithm, graph) cell.
     CI uses it to confirm the engine refactor keeps the accounting live.
+
+    With ``--baseline PATH`` the run additionally compares against a
+    previously-written smoke JSON: ``num_sccs`` must match exactly on
+    every shared (algorithm, graph) cell, and ecl-scc ``model_seconds``
+    must not regress by more than ``--tolerance`` (default 5%) on any
+    graph.  A violation prints the offending cells and exits nonzero —
+    the CI bench-regression gate.
     """
     import json
 
@@ -193,10 +201,15 @@ def _bench_smoke(args: argparse.Namespace) -> int:
         )
     for g, _planted in powerlaw_suite(names=["flickr"], scale=1 / 32):
         graphs.append((g.name or "flickr", g))
+    engine = getattr(args, "engine", None)
     rows = []
     for gname, g in graphs:
         for algo in ("ecl-scc", "ispan", "fb"):
-            res = run_algorithm(g, algo, dev, backend=args.backend, verify=True)
+            res = run_algorithm(
+                g, algo, dev, backend=args.backend,
+                engine=engine if algo == "ecl-scc" else None,
+                verify=True,
+            )
             rows.append(
                 {
                     "algorithm": algo,
@@ -212,6 +225,7 @@ def _bench_smoke(args: argparse.Namespace) -> int:
     payload = {
         "device": dev.name,
         "backend": args.backend or "dense",
+        "engine": engine or "default",
         "results": rows,
     }
     text = json.dumps(payload, indent=2, sort_keys=True)
@@ -220,6 +234,58 @@ def _bench_smoke(args: argparse.Namespace) -> int:
         print(f"smoke results written to {args.json} ({len(rows)} cells)")
     else:
         print(text)
+    baseline = getattr(args, "baseline", None)
+    if baseline:
+        return _bench_compare(rows, baseline, getattr(args, "tolerance", 0.05))
+    return 0
+
+
+def _bench_compare(rows: "list[dict]", baseline: str, tolerance: float) -> int:
+    """Gate the smoke rows against a committed baseline JSON.
+
+    ``num_sccs`` must match exactly on every shared cell (an engine or
+    backend must never change *what* is computed); ecl-scc
+    ``model_seconds`` must not exceed baseline x (1 + tolerance) on any
+    graph.  Returns 0 on pass, 1 on violation.
+    """
+    import json
+
+    base = json.loads(Path(baseline).read_text())
+    base_rows = {(r["algorithm"], r["graph"]): r for r in base["results"]}
+    failures = []
+    print(f"\ncomparison vs {baseline}"
+          f" (tolerance +{tolerance:.0%} on ecl-scc model_seconds):")
+    print(f"  {'graph':<16s} {'base ms':>9s} {'new ms':>9s} {'ratio':>6s}"
+          f" {'bytes':>6s} {'launches':>13s}")
+    for row in rows:
+        key = (row["algorithm"], row["graph"])
+        b = base_rows.get(key)
+        if b is None:
+            continue
+        if row["num_sccs"] != b["num_sccs"]:
+            failures.append(
+                f"{key}: num_sccs {row['num_sccs']} !="
+                f" baseline {b['num_sccs']}"
+            )
+        if row["algorithm"] != "ecl-scc":
+            continue
+        ratio = row["model_seconds"] / b["model_seconds"]
+        byte_ratio = row["bytes_moved"] / max(b["bytes_moved"], 1)
+        print(f"  {row['graph']:<16s} {b['model_seconds'] * 1e3:9.3f}"
+              f" {row['model_seconds'] * 1e3:9.3f} {ratio:6.2f}"
+              f" {byte_ratio:6.2f} {b['kernel_launches']:>5d} ->"
+              f" {row['kernel_launches']:<5d}")
+        if ratio > 1.0 + tolerance:
+            failures.append(
+                f"{key}: model_seconds regressed x{ratio:.3f}"
+                f" (> +{tolerance:.0%})"
+            )
+    if failures:
+        print("bench-regression gate: FAIL")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("bench-regression gate: pass")
     return 0
 
 
@@ -338,7 +404,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     )
     result = run_algorithm(
         graph, args.algo, _device(args.device),
-        backend=args.backend, tracer=tracer,
+        backend=args.backend, engine=args.engine, tracer=tracer,
     )
     trace = tracer.finish()
     print(f"workload:         {args.workload}"
@@ -405,9 +471,12 @@ def _chaos_smoke(args: argparse.Namespace) -> int:
         ("monotone", FaultPlan.monotone(args.seed)),
         ("chaos", FaultPlan.chaos(args.seed)),
     ]
+    engine = getattr(args, "engine", None)
     rows = []
     for gname, g in graphs:
-        clean = run_algorithm(g, "ecl-scc", dev, backend=args.backend, verify=True)
+        clean = run_algorithm(
+            g, "ecl-scc", dev, backend=args.backend, engine=engine, verify=True
+        )
         rows.append(
             {
                 "graph": gname,
@@ -421,7 +490,8 @@ def _chaos_smoke(args: argparse.Namespace) -> int:
         )
         for pname, plan in plans:
             res = run_algorithm(
-                g, "ecl-scc", dev, backend=args.backend, verify=True, faults=plan
+                g, "ecl-scc", dev, backend=args.backend, engine=engine,
+                verify=True, faults=plan,
             )
             if pname == "monotone" and not np.array_equal(
                 res.labels, clean.labels
@@ -466,11 +536,13 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     graph = _trace_workload(args)
     tracer = Tracer(meta={"workload": args.workload, "plan": plan.to_dict()})
     clean = run_algorithm(
-        graph, "ecl-scc", _device(args.device), backend=args.backend, verify=True
+        graph, "ecl-scc", _device(args.device), backend=args.backend,
+        engine=args.engine, verify=True,
     )
     res = run_algorithm(
         graph, "ecl-scc", _device(args.device),
-        backend=args.backend, verify=True, tracer=tracer, faults=plan,
+        backend=args.backend, engine=args.engine, verify=True,
+        tracer=tracer, faults=plan,
     )
     rep = res.fault_report
     print(f"workload:         {args.workload}"
@@ -590,6 +662,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="random internal relabelling (see docs/algorithm.md §6)")
     p.add_argument("--backend", default=None, choices=_backend_choices(),
                    help="engine accounting backend (default: dense)")
+    p.add_argument("--engine", default=None,
+                   choices=["sync", "async", "atomic", "frontier"],
+                   help="ecl-scc Phase-2 engine (default: options default)")
     p.set_defaults(func=_cmd_scc)
 
     p = sub.add_parser("stats", help="print SCC statistics of a graph file")
@@ -622,6 +697,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="(smoke) device model to estimate against")
     p.add_argument("--backend", default=None, choices=_backend_choices(),
                    help="(smoke) engine accounting backend")
+    p.add_argument("--engine", default=None,
+                   choices=["sync", "async", "atomic", "frontier"],
+                   help="(smoke) ecl-scc Phase-2 engine")
+    p.add_argument("--baseline", default=None,
+                   help="(smoke) compare against this smoke JSON and gate:"
+                   " exact num_sccs, bounded ecl-scc model_seconds")
+    p.add_argument("--tolerance", type=float, default=0.05,
+                   help="(smoke) allowed ecl-scc model_seconds regression"
+                   " vs --baseline (default 0.05 = +5%%)")
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser(
@@ -649,6 +733,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the span-tree summary")
     p.add_argument("--backend", default=None, choices=_backend_choices(),
                    help="engine accounting backend (default: dense)")
+    p.add_argument("--engine", default=None,
+                   choices=["sync", "async", "atomic", "frontier"],
+                   help="ecl-scc Phase-2 engine (default: options default)")
     p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser(
@@ -677,6 +764,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jsonl", help="write the faulted run's trace to JSONL")
     p.add_argument("--backend", default=None, choices=_backend_choices(),
                    help="engine accounting backend (default: dense)")
+    p.add_argument("--engine", default=None,
+                   choices=["sync", "async", "atomic", "frontier"],
+                   help="ecl-scc Phase-2 engine (default: options default)")
     p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("distributed", help="BSP cluster run: ECL vs FB-Trim")

@@ -7,10 +7,23 @@ Typical use::
     result.labels        # per-vertex SCC labels (max member ID)
 """
 
-from .options import ALL_OFF, ALL_ON, EclOptions, ablation_variants
+from .options import (
+    ALL_OFF,
+    ALL_ON,
+    ENGINE_NAMES,
+    EclOptions,
+    ablation_variants,
+    engine_options,
+)
 from .signatures import Signatures
-from .propagation import BlockPartition, EdgeGrouping, propagate_async, propagate_sync
-from .worklist import DoubleBufferWorklist, phase3_filter
+from .propagation import (
+    BlockPartition,
+    EdgeGrouping,
+    propagate_async,
+    propagate_frontier,
+    propagate_sync,
+)
+from .worklist import DoubleBufferWorklist, VertexFrontier, phase3_filter
 from .eclscc import EclResult, ecl_scc
 from .reference import ecl_scc_reference
 from .minmax import minmax_scc
@@ -20,12 +33,16 @@ __all__ = [
     "ALL_ON",
     "EclOptions",
     "ablation_variants",
+    "engine_options",
+    "ENGINE_NAMES",
     "Signatures",
     "BlockPartition",
     "EdgeGrouping",
     "propagate_async",
+    "propagate_frontier",
     "propagate_sync",
     "DoubleBufferWorklist",
+    "VertexFrontier",
     "phase3_filter",
     "EclResult",
     "ecl_scc",

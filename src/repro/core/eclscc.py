@@ -39,7 +39,13 @@ from ..results import AlgoResult
 from ..trace import Tracer, ensure_tracer
 from ..types import NO_VERTEX, VERTEX_DTYPE
 from .options import ALL_ON, EclOptions
-from .propagation import BlockPartition, EdgeGrouping, propagate_async, propagate_sync
+from .propagation import (
+    BlockPartition,
+    EdgeGrouping,
+    propagate_async,
+    propagate_frontier,
+    propagate_sync,
+)
 from .signatures import Signatures
 from .worklist import DoubleBufferWorklist, phase3_filter
 
@@ -204,6 +210,12 @@ def ecl_scc(
     outer = 0
     total_rounds = 0
     outer_bound = opts.outer_bound(n)
+    use_frontier = opts.engine == "frontier"
+    # cross-iteration invalidation set of the frontier engine: vertices
+    # whose signatures must be re-initialized and re-propagated this
+    # iteration (everything on iteration 1; afterwards the still-active
+    # vertices plus the endpoints of the edges Phase 3 removed)
+    invalidated = np.ones(n, dtype=bool) if use_frontier else None
 
     injector: "FaultInjector | None" = None
     store: "CheckpointStore | None" = None
@@ -221,6 +233,8 @@ def ecl_scc(
                 total_rounds=total_rounds,
                 completed_per_iteration=completed_per_iteration,
                 device=device,
+                sigs=sigs if use_frontier else None,
+                invalidated=invalidated,
             )
         outer += 1
         if outer > outer_bound:
@@ -237,6 +251,8 @@ def ecl_scc(
             ckpt = store.restore(
                 labels=labels, active=active, wl=wl, device=device,
                 crashed_at=outer,
+                sigs=sigs if use_frontier else None,
+                invalidated=invalidated,
             )
             outer = ckpt.outer
             total_rounds = ckpt.total_rounds
@@ -245,18 +261,70 @@ def ecl_scc(
         with tr.span("outer-iteration", index=outer) as outer_span:
             # ---- Phase 1: (re)initialize signatures ----------------------
             with tr.span("phase1-init"):
-                sigs.reinit()
-                charge_vertex_scan(
-                    device, be, num_vertices=n,
-                    worklist_size=int(np.count_nonzero(active)),
-                    bytes_per_vertex=SIGNATURE_PAIR_BYTES,
-                )
+                if use_frontier:
+                    # partial re-init: completed vertices keep their
+                    # (label:label) fixed-point pairs — they are never
+                    # read again (all their worklist edges are gone or
+                    # already quiescent), so re-deriving them is waste
+                    inv_ids = np.flatnonzero(invalidated)
+                    sigs.reinit(inv_ids)
+                    if not wl.num_edges:
+                        # no Phase-2 compaction launch to fuse into
+                        charge_vertex_scan(
+                            device, be, num_vertices=n,
+                            worklist_size=int(inv_ids.size),
+                            bytes_per_vertex=SIGNATURE_PAIR_BYTES,
+                        )
+                    # else: the re-init write is charged inside the
+                    # Phase-2 seed-compaction launch (same flag sweep)
+                else:
+                    sigs.reinit()
+                    charge_vertex_scan(
+                        device, be, num_vertices=n,
+                        worklist_size=int(np.count_nonzero(active)),
+                        bytes_per_vertex=SIGNATURE_PAIR_BYTES,
+                    )
 
             # ---- Phase 2: propagate maxima to a fixed point ---------------
             rounds = 0
             with tr.span("phase2-propagate", edges=wl.num_edges) as p2:
                 if wl.num_edges:
-                    if opts.atomic_phase2:
+                    if use_frontier:
+                        grouping = EdgeGrouping.build(wl.src, wl.dst)
+                        in_wl = np.zeros(n, dtype=bool)
+                        in_wl[grouping.touched] = True
+
+                        def run_frontier(
+                            seed_ids: np.ndarray, reinit: int = 0
+                        ) -> int:
+                            _, r = propagate_frontier(
+                                sigs, grouping, device, opts, n,
+                                seed=seed_ids, backend=be, reinit=reinit,
+                                tracer=tr,
+                            )
+                            return r
+
+                        rounds = run_frontier(
+                            np.flatnonzero(invalidated & in_wl),
+                            reinit=int(inv_ids.size),
+                        )
+                        if injector is not None:
+                            # regressed vertices are the only ones below
+                            # their fixed point, so they alone re-seed
+                            # the worklist (diffed against a pre-perturb
+                            # snapshot; monotone re-convergence)
+                            while True:
+                                snap_in = sigs.sig_in.copy()
+                                snap_out = sigs.sig_out.copy()
+                                if not injector.perturb_propagation(sigs, outer):
+                                    break
+                                regressed = np.flatnonzero(
+                                    (sigs.sig_in != snap_in)
+                                    | (sigs.sig_out != snap_out)
+                                )
+                                rounds += run_frontier(regressed)
+                        total_rounds += rounds
+                    elif opts.atomic_phase2:
                         from .atomic import propagate_atomic
 
                         def run_phase2() -> int:
@@ -287,15 +355,16 @@ def ecl_scc(
                                 sigs, grouping, device, opts, n, tracer=tr
                             )
 
-                    rounds = run_phase2()
-                    if injector is not None:
-                        # stale reads / lost updates regress signatures
-                        # toward the phase-start snapshot; monotone
-                        # max-propagation re-converges to the same fixed
-                        # point, charged as real extra rounds
-                        while injector.perturb_propagation(sigs, outer):
-                            rounds += run_phase2()
-                    total_rounds += rounds
+                    if not use_frontier:
+                        rounds = run_phase2()
+                        if injector is not None:
+                            # stale reads / lost updates regress signatures
+                            # toward the phase-start snapshot; monotone
+                            # max-propagation re-converges to the same fixed
+                            # point, charged as real extra rounds
+                            while injector.perturb_propagation(sigs, outer):
+                                rounds += run_phase2()
+                        total_rounds += rounds
                 p2.set(rounds=rounds)
 
             # ---- completion detection -------------------------------------
@@ -313,7 +382,18 @@ def ecl_scc(
 
             # ---- Phase 3: remove edges that span SCCs ---------------------
             with tr.span("phase3-filter"):
-                if wl.num_edges:
+                if use_frontier:
+                    # next iteration re-initializes the still-unfinished
+                    # vertices plus every endpoint of a removed edge (a
+                    # dropped edge is the only event that can lower a
+                    # vertex's next fixed point)
+                    invalidated = active.copy()
+                    if wl.num_edges:
+                        phase3_filter(
+                            wl, sigs, device, opts, tracer=tr,
+                            invalidate=invalidated,
+                        )
+                elif wl.num_edges:
                     phase3_filter(wl, sigs, device, opts, tracer=tr)
         if not opts.remove_scc_edges and not active.any():
             # baseline termination: all signatures matched (Alg. 1 line 20)

@@ -15,7 +15,17 @@ from ..errors import AlgorithmError
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults -> core)
     from ..faults.plan import FaultPlan
 
-__all__ = ["EclOptions", "ALL_ON", "ALL_OFF", "ablation_variants"]
+__all__ = [
+    "EclOptions",
+    "ALL_ON",
+    "ALL_OFF",
+    "ENGINE_NAMES",
+    "ablation_variants",
+    "engine_options",
+]
+
+#: Phase-2 engine names accepted by :func:`engine_options` and ``--engine``.
+ENGINE_NAMES = ("sync", "async", "atomic", "frontier")
 
 
 @dataclass(frozen=True)
@@ -48,8 +58,20 @@ class EclOptions:
         is |V| (each iteration finishes >= 1 SCC).  Exceeding it raises
         :class:`~repro.errors.ConvergenceError`.
     max_rounds:
-        safety bound on Phase-2 relaxation rounds per outer iteration;
-        the theoretical maximum is O(longest path) <= |V| rounds.
+        safety bound on Phase-2 relaxation rounds per outer iteration.
+        The auto value (``3|V| + 16``) covers every engine's worst case:
+        the sync engine needs at most ``|V| + 1`` global rounds, but the
+        async engine's block-local iteration counts *local* rounds — a
+        value crossing a block boundary only advances at the next launch,
+        so its cross-launch total can reach ``~|V| + #launches``.
+    frontier_phase2:
+        Phase 2 runs as a persistent vertex-worklist kernel with
+        *cross-iteration frontier reuse*: after Phase 3 removes edges,
+        the next outer iteration re-initializes and re-propagates only
+        the invalidated vertices (unfinished vertices plus endpoints of
+        removed edges) instead of re-relaxing every surviving edge to
+        quiescence.  Overrides ``async_phase2``; ``atomic_phase2`` takes
+        precedence over both.
     backend:
         name of the registered :class:`~repro.engine.ArrayBackend` the
         run's primitives account against (``"dense"`` reproduces the
@@ -71,9 +93,10 @@ class EclOptions:
     #: the atomic-free engine; overrides ``async_phase2``.  For the
     #: atomic-vs-atomic-free ablation (benchmarks/test_ext_atomic.py).
     atomic_phase2: bool = False
+    frontier_phase2: bool = False
     block_edges: int = 512
     max_outer_iterations: int = 0  # 0 = auto (|V| + 2)
-    max_rounds: int = 0  # 0 = auto (|V| + 2)
+    max_rounds: int = 0  # 0 = auto (3|V| + 16, see docstring)
     backend: str = "dense"
     faults: "FaultPlan | None" = None
 
@@ -88,7 +111,24 @@ class EclOptions:
         return self.max_outer_iterations or (num_vertices + 2)
 
     def rounds_bound(self, num_vertices: int) -> int:
-        return self.max_rounds or (num_vertices + 2)
+        """Phase-2 round bound honored by *every* engine.
+
+        ``max_rounds`` wins when set; the auto value ``3|V| + 16`` is the
+        shared engine-safe ceiling (the async engine's cross-launch round
+        total can exceed ``|V| + 2`` — see the ``max_rounds`` docs).
+        """
+        return self.max_rounds or (3 * num_vertices + 16)
+
+    @property
+    def engine(self) -> str:
+        """Name of the Phase-2 engine these options select."""
+        if self.atomic_phase2:
+            return "atomic"
+        if self.frontier_phase2:
+            return "frontier"
+        if self.async_phase2:
+            return "async"
+        return "sync"
 
     def disabling(self, flag: str) -> "EclOptions":
         """Copy with one optimization turned off (ablation helper)."""
@@ -112,6 +152,27 @@ ALL_OFF = EclOptions(
     path_compression=False,
     persistent_threads=False,
 )
+
+
+def engine_options(engine: str, base: "EclOptions | None" = None) -> EclOptions:
+    """Options selecting a named Phase-2 *engine*, from *base* (default ALL_ON).
+
+    The engine is an orthogonal axis to ``backend``: the backend decides
+    what vertex scans cost, the engine decides how Phase 2 reaches its
+    fixed point (``sync`` = one launch per global round, ``async`` =
+    block-local iteration, ``atomic`` = the rejected two-atomic-max
+    variant, ``frontier`` = persistent worklist with cross-iteration
+    frontier reuse).
+    """
+    if engine not in ENGINE_NAMES:
+        raise AlgorithmError(f"unknown engine {engine!r}; known: {ENGINE_NAMES}")
+    base = ALL_ON if base is None else base
+    return replace(
+        base,
+        async_phase2=(engine == "async"),
+        atomic_phase2=(engine == "atomic"),
+        frontier_phase2=(engine == "frontier"),
+    )
 
 
 def ablation_variants() -> "dict[str, EclOptions]":

@@ -1,6 +1,6 @@
 """Phase 2 of ECL-SCC: maximum-signature propagation to a fixed point.
 
-Two engines implement the paper's two kernel organizations:
+Three engines implement the modelled kernel organizations:
 
 * :func:`propagate_sync` — one kernel launch per global relaxation round
   (the baseline organization; Fig. 14's "no async" bar).
@@ -11,6 +11,18 @@ Two engines implement the paper's two kernel organizations:
   because max-propagation is monotonic and we re-sweep until a global
   fixed point, any interleaving yields the same result (the paper's
   "resilient to temporary priority inversions" argument).
+* :func:`propagate_frontier` — a persistent vertex-worklist kernel in
+  the style of iSpan/GPU-SCC worklist codes: only edges incident to
+  vertices whose signatures changed are re-relaxed, and the driver seeds
+  each outer iteration from the *invalidated* vertices only
+  (cross-iteration frontier reuse) instead of re-relaxing every
+  surviving edge to quiescence.
+
+All engines converge to the same unique fixed point: max-propagation is
+monotone, every engine terminates only when no plain relaxation can make
+progress, and the fixed point of a monotone join semilattice iteration
+is schedule-independent — which is why labels are bit-identical across
+engines.
 
 Vectorization: a relaxation round is a *segment maximum* — for every
 vertex, the max of candidate values over its incident worklist edges.  We
@@ -28,14 +40,28 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..device.executor import VirtualDevice
-from ..engine.accounting import charge_relaxation_round
+from ..engine.accounting import (
+    charge_frontier_compaction,
+    charge_frontier_launch,
+    charge_frontier_round,
+    charge_relaxation_round,
+)
+from ..engine.backend import ArrayBackend
+from ..engine.primitives import build_vertex_incidence, incident_edges
 from ..errors import ConvergenceError
 from ..trace import NULL_TRACER, Tracer
 from ..types import VERTEX_DTYPE
 from .options import EclOptions
 from .signatures import Signatures
+from .worklist import VertexFrontier
 
-__all__ = ["EdgeGrouping", "BlockPartition", "propagate_sync", "propagate_async"]
+__all__ = [
+    "EdgeGrouping",
+    "BlockPartition",
+    "propagate_sync",
+    "propagate_async",
+    "propagate_frontier",
+]
 
 
 @dataclass(frozen=True)
@@ -290,7 +316,10 @@ def propagate_async(
     converged or not, so large persistent-thread chunks buy fewer
     launches with more total edge work.
     """
-    bound = 3 * num_vertices + 16  # crawl worst case: a value walks the graph
+    # the shared engine-safe bound: a value crossing a block boundary only
+    # advances at the next launch, so cross-launch round totals can reach
+    # ~|V| + #launches (see EclOptions.max_rounds); max_rounds overrides.
+    bound = opts.rounds_bound(num_vertices)
     launches = 0
     total_rounds = 0
     g = partition.grouping
@@ -299,6 +328,11 @@ def propagate_async(
     bounds = partition.bounds
     chunk_sizes = partition.chunk_sizes
     nblocks = partition.num_blocks
+    # persistent grids never exceed the resident-block count, regardless of
+    # how the caller partitioned the worklist (same clamp as propagate_sync)
+    grid = nblocks
+    if opts.persistent_threads:
+        grid = min(grid, dev.grid_blocks(persistent=True))
     m = g.num_edges
     while True:
         launches += 1
@@ -414,7 +448,128 @@ def propagate_async(
             dev,
             edges=launch_edge_work,
             vertices=launch_vertex_work,
-            blocks=nblocks,
+            blocks=grid,
         )
         if not launch_changed:
             return launches, total_rounds
+
+
+def propagate_frontier(
+    sigs: Signatures,
+    grouping: EdgeGrouping,
+    dev: VirtualDevice,
+    opts: EclOptions,
+    num_vertices: int,
+    *,
+    seed: np.ndarray,
+    backend: ArrayBackend,
+    reinit: int = 0,
+    tracer: Tracer = NULL_TRACER,
+) -> "tuple[int, int]":
+    """Frontier Phase 2: persistent vertex worklist seeded by *seed*.
+
+    Returns ``(launches, rounds)``.
+
+    Model: one kernel compacts the invalidation flags into a vertex
+    worklist (one atomic slot claim per seed vertex), then a single
+    persistent kernel drains it — each in-kernel round gathers the edges
+    incident to the current frontier, scatter-maxes both signature
+    directions over exactly those edges, applies pointer jumping and
+    signature feedback restricted to the touched endpoints, and enqueues
+    every vertex whose signature rose into the next frontier
+    (double-buffered, :class:`~repro.core.worklist.VertexFrontier`).
+    The kernel exits when the frontier drains.
+
+    Correctness: an edge not incident to any changed vertex relaxes to
+    the values it already has, so skipping it cannot miss progress; an
+    empty frontier therefore certifies plain-relaxation quiescence, and
+    monotone max-propagation has a unique, schedule-independent fixed
+    point — labels are bit-identical to the dense engines.  ``seed``
+    must contain every vertex whose signature differs from its dense
+    re-initialized state (the driver passes the invalidated set:
+    unfinished vertices plus removed-edge endpoints).
+
+    Accounting: the seed compaction is one backend-swept launch, fused
+    with the driver's partial Phase-1 re-init (``reinit`` invalidated
+    vertices write their identity pair in the same sweep — both passes
+    read the same invalidation flags, so a real kernel does them
+    together); the drain is *one* launch whose per-round work
+    (active-adjacent edges only, racy scatter-max, next-frontier
+    enqueues) is charged as in-kernel traffic without further launches —
+    this is what makes the engine win on launch-dominated mesh graphs.
+    """
+    bound = opts.rounds_bound(num_vertices)
+    src, dst = grouping.src, grouping.dst
+    indptr, edge_ids = build_vertex_incidence(src, dst, num_vertices)
+    frontier = VertexFrontier.seeded(seed, num_vertices)
+    charge_frontier_compaction(
+        dev, backend, num_vertices=num_vertices, frontier_size=frontier.size,
+        reinit=reinit,
+    )
+    launches = 1
+    if frontier.size == 0:
+        # the host sees an empty worklist and skips the drain launch
+        return launches, 0
+    blocks = dev.blocks_for(max(grouping.num_edges, frontier.size))
+    if opts.persistent_threads:
+        blocks = min(blocks, dev.grid_blocks(persistent=True))
+    charge_frontier_launch(dev, blocks=blocks)
+    launches += 1
+    rounds = 0
+    sig_in, sig_out = sigs.sig_in, sigs.sig_out
+    while frontier.size:
+        rounds += 1
+        _bounds_check(rounds, bound, "propagate_frontier", sigs)
+        tracer.counter("relaxation-round", engine="frontier")
+        idx = incident_edges(indptr, edge_ids, frontier.vertices)
+        changed_v = np.zeros(num_vertices, dtype=bool)
+        s, d = src[idx], dst[idx]
+        # scatter-max relax over the active-adjacent edges only
+        cand = sig_out[d]
+        if opts.path_compression:
+            cand = sig_out[cand]
+        before = sig_out[s]
+        np.maximum.at(sig_out, s, cand)
+        w = s[sig_out[s] > before]
+        changed_v[w] = True
+        cand = sig_in[s]
+        if opts.path_compression:
+            cand = sig_in[cand]
+        before = sig_in[d]
+        np.maximum.at(sig_in, d, cand)
+        w = d[sig_in[d] > before]
+        changed_v[w] = True
+        compress_work = 0
+        if opts.path_compression and idx.size:
+            e = np.concatenate([s, d])
+            # pointer doubling restricted to the active endpoints
+            ji = sig_in[sig_in[e]]
+            upd = ji > sig_in[e]
+            sig_in[e[upd]] = ji[upd]
+            changed_v[e[upd]] = True
+            jo = sig_out[sig_out[e]]
+            upd = jo > sig_out[e]
+            sig_out[e[upd]] = jo[upd]
+            changed_v[e[upd]] = True
+            # feedback restricted to the active endpoints
+            in_t = sig_in[e]
+            out_t = sig_out[e]
+            before = sig_in[out_t]
+            np.maximum.at(sig_in, out_t, in_t)
+            upd = sig_in[out_t] > before
+            changed_v[out_t[upd]] = True
+            before = sig_out[in_t]
+            np.maximum.at(sig_out, in_t, out_t)
+            upd = sig_out[in_t] > before
+            changed_v[in_t[upd]] = True
+            compress_work = 2 * e.size
+        enqueues = int(np.count_nonzero(changed_v))
+        charge_frontier_round(
+            dev,
+            edges=idx.size,
+            frontier_size=frontier.size,
+            vertices=compress_work,
+            enqueues=enqueues,
+        )
+        frontier.advance(changed_v)
+    return launches, rounds

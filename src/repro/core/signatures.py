@@ -41,11 +41,22 @@ class Signatures:
             np.arange(num_vertices, dtype=VERTEX_DTYPE),
         )
 
-    def reinit(self) -> None:
-        """In-place Phase-1 re-initialization (avoids reallocating)."""
-        n = self.sig_in.size
-        self.sig_in[:] = np.arange(n, dtype=VERTEX_DTYPE)
-        self.sig_out[:] = np.arange(n, dtype=VERTEX_DTYPE)
+    def reinit(self, vertices: "np.ndarray | None" = None) -> None:
+        """In-place Phase-1 re-initialization (avoids reallocating).
+
+        With *vertices*, only that subset returns to its identity
+        signature — the frontier engine's partial re-init, which leaves
+        completed vertices' (label:label) pairs untouched (they are at
+        their fixed point already; re-deriving them is pure waste).
+        """
+        if vertices is None:
+            n = self.sig_in.size
+            self.sig_in[:] = np.arange(n, dtype=VERTEX_DTYPE)
+            self.sig_out[:] = np.arange(n, dtype=VERTEX_DTYPE)
+        else:
+            ids = np.asarray(vertices).astype(VERTEX_DTYPE, copy=False)
+            self.sig_in[ids] = ids
+            self.sig_out[ids] = ids
 
     def completed(self) -> np.ndarray:
         """Boolean mask of vertices whose signatures match (SCC identified)."""

@@ -15,17 +15,23 @@ import numpy as np
 
 from ..device.executor import VirtualDevice
 from ..engine.accounting import charge_edge_filter
+from ..errors import AlgorithmError
 from ..engine.primitives import scc_edge_filter_mask
 from ..trace import NULL_TRACER, Tracer
 from .options import EclOptions
 from .signatures import Signatures
 
-__all__ = ["DoubleBufferWorklist", "phase3_filter"]
+__all__ = ["DoubleBufferWorklist", "VertexFrontier", "phase3_filter"]
 
 
 @dataclass
 class DoubleBufferWorklist:
-    """Front/back edge-buffer pair; ``swap`` exchanges them in O(1)."""
+    """Front/back edge-buffer pair; ``swap`` exchanges them in O(1).
+
+    ``generation`` counts compaction passes actually executed — it bumps
+    exactly once per :meth:`replace` and never for a skipped pass (an
+    already-empty worklist has nothing to compact).
+    """
 
     src: np.ndarray
     dst: np.ndarray
@@ -36,9 +42,52 @@ class DoubleBufferWorklist:
         return self.src.size
 
     def replace(self, src: np.ndarray, dst: np.ndarray) -> None:
-        """Install the freshly-compacted back buffer (the pointer swap)."""
+        """Install the freshly-compacted back buffer (the pointer swap).
+
+        The back buffer keeps the front buffer's integer dtypes: a naive
+        ``np.array([])`` is float64, and letting that through on the
+        zero-survivor path would poison every later index operation.
+        """
+        src = np.asarray(src)
+        dst = np.asarray(dst)
+        if src.dtype != self.src.dtype:
+            src = src.astype(self.src.dtype, copy=False)
+        if dst.dtype != self.dst.dtype:
+            dst = dst.astype(self.dst.dtype, copy=False)
         self.src = src
         self.dst = dst
+        self.generation += 1
+
+
+@dataclass
+class VertexFrontier:
+    """Double-buffered *vertex* worklist for the frontier Phase-2 engine.
+
+    The front buffer holds the unique, sorted ids of vertices whose
+    signatures changed last round; :meth:`advance` compacts the changed
+    flags into the back buffer and swaps, mirroring
+    :class:`DoubleBufferWorklist`'s pointer-swap discipline over vertices
+    instead of edges.
+    """
+
+    vertices: np.ndarray
+    generation: int = 0
+
+    @classmethod
+    def seeded(cls, seed: np.ndarray, num_vertices: int) -> "VertexFrontier":
+        """Initial frontier from the invalidated-vertex seed set."""
+        seed = np.asarray(seed, dtype=np.int64)
+        if seed.size and (seed.min() < 0 or seed.max() >= num_vertices):
+            raise AlgorithmError("frontier seed contains out-of-range vertex ids")
+        return cls(vertices=np.unique(seed))
+
+    @property
+    def size(self) -> int:
+        return self.vertices.size
+
+    def advance(self, changed: np.ndarray) -> None:
+        """Compact the changed-vertex flags into the back buffer and swap."""
+        self.vertices = np.flatnonzero(changed).astype(np.int64, copy=False)
         self.generation += 1
 
 
@@ -49,6 +98,7 @@ def phase3_filter(
     opts: EclOptions,
     *,
     tracer: Tracer = NULL_TRACER,
+    invalidate: "np.ndarray | None" = None,
 ) -> "tuple[int, int]":
     """Remove edges that cannot be intra-SCC (Algorithm 1 lines 15-19).
 
@@ -63,9 +113,17 @@ def phase3_filter(
     between completed vertices lies inside a detected SCC and is dead
     weight (the paper's second optimization).
 
-    Returns ``(kept, removed)``.
+    ``invalidate``, when given, is an ``num_vertices``-sized boolean
+    mask the filter ORs the removed edges' endpoints into — the frontier
+    engine's cross-iteration invalidation set (a dropped edge is the
+    only event that can change a surviving vertex's next fixed point).
+
+    Returns ``(kept, removed)``.  An already-empty worklist is a no-op:
+    no kernel is charged and ``generation`` does not bump.
     """
     src, dst = wl.src, wl.dst
+    if src.size == 0:
+        return 0, 0
     keep = scc_edge_filter_mask(
         sigs.sig_in, sigs.sig_out, src, dst,
         drop_completed=opts.remove_scc_edges,
@@ -76,5 +134,9 @@ def phase3_filter(
     charge_edge_filter(dev, edges=src.size, kept=kept)
     tracer.counter("edges-kept", kept)
     tracer.counter("edges-removed", removed)
+    if invalidate is not None and removed:
+        dropped = ~keep
+        invalidate[src[dropped]] = True
+        invalidate[dst[dropped]] = True
     wl.replace(src[keep], dst[keep])
     return kept, removed

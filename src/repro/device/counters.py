@@ -97,6 +97,30 @@ class KernelCounters:
             blocks = max(1, -(-(edges + vertices) // 512))
         self.blocks_scheduled += blocks
 
+    def work(
+        self,
+        *,
+        edges: int = 0,
+        vertices: int = 0,
+        bytes_per_edge: int = 24,
+        bytes_per_vertex: int = 16,
+        atomics: int = 0,
+        streamed_bytes: int = 0,
+    ) -> None:
+        """Record work performed *inside* an already-launched kernel.
+
+        Persistent worklist kernels iterate in-kernel instead of
+        relaunching, so their per-round traffic must be charged without
+        incrementing ``kernel_launches``/``global_barriers`` (a grid-wide
+        software barrier inside a persistent kernel costs memory traffic,
+        not a launch).  Same byte conventions as :meth:`launch`.
+        """
+        self.edge_work += edges
+        self.vertex_work += vertices
+        self.bytes_moved += edges * bytes_per_edge + vertices * bytes_per_vertex
+        self.bytes_streamed += streamed_bytes
+        self.atomics += atomics
+
     def serial(self, ops: int) -> None:
         """Record *ops* operations of inherently serial (critical-path) work."""
         self.serial_work += ops

@@ -97,6 +97,10 @@ class VirtualDevice:
                 (int(kwargs.get("edges", 0)), int(kwargs.get("vertices", 0)))
             )
 
+    def work(self, **kwargs) -> None:
+        """In-kernel work of a persistent kernel (no launch recorded)."""
+        self.counters.work(**kwargs)
+
     def serial(self, ops: int) -> None:
         self.counters.serial(ops)
 

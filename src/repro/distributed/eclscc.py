@@ -61,6 +61,7 @@ def distributed_ecl_scc(
     partition: Partition,
     spec: "ClusterSpec | None" = None,
     *,
+    frontier: bool = False,
     tracer: "Tracer | None" = None,
     faults: "FaultPlan | None" = None,
 ) -> DistributedResult:
@@ -72,6 +73,19 @@ def distributed_ecl_scc(
     superstep is one ``superstep`` span (attrs: ``index``, ``kind``)
     nested in its ``outer-iteration``, and halo traffic is recorded as
     per-rank ``halo-messages`` counters (attr ``rank``).
+
+    With ``frontier`` (default off), each rank applies the shared-memory
+    frontier engine's cross-iteration reuse: Phase 1 re-initializes only
+    still-active vertices (completed vertices keep their converged
+    ``(label:label)`` pairs, which surviving edges never read — the
+    Phase-3 filter drops every edge incident to a completed vertex), and
+    each Phase-2 round relaxes only the edges adjacent to the previous
+    round's changed vertices (plus any fault-regressed victims, which
+    re-enter the frontier).  An edge with quiescent endpoints relaxes to
+    the values it already holds, so the per-round iterates — and hence
+    rounds, supersteps, halo messages, and labels — are *identical* to
+    the dense sweep; only the per-rank compute charge (active edges
+    instead of all local edges) and the Phase-1 init charge shrink.
 
     With *faults*, the plan's cluster-layer faults perturb the exchange
     supersteps: dropped/delayed boundary updates are regressed and
@@ -123,14 +137,23 @@ def distributed_ecl_scc(
         if outer > n + 2:
             raise ConvergenceError("distributed ECL-SCC failed to converge")
         outer_span = tr.span("outer-iteration", index=outer)
-        sig_in[:] = ident
-        sig_out[:] = ident
+        if frontier:
+            # partial re-init: completed vertices keep (label:label);
+            # no surviving edge reads them (see scc_edge_filter_mask)
+            seeds = np.flatnonzero(active)
+            sig_in[seeds] = seeds
+            sig_out[seeds] = seeds
+            init_ops = np.bincount(owner[seeds], minlength=r) * 2.0
+        else:
+            sig_in[:] = ident
+            sig_out[:] = ident
+            init_ops = np.bincount(owner, minlength=r) * 2.0
         # per-rank local edge counts for this iteration's worklist
         edges_per_rank = np.bincount(owner[src], minlength=r) if src.size else np.zeros(r)
         cut = owner[src] != owner[dst]
         # Phase 1 superstep (init is local)
         with tr.span("superstep", index=supersteps, kind="phase1-init"):
-            cluster.superstep(np.bincount(owner, minlength=r) * 2.0)
+            cluster.superstep(init_ops)
         supersteps += 1
         # Phase 2: BSP rounds to the fixed point.  Injected message
         # faults regress updates and so add recovery rounds; the safety
@@ -139,6 +162,10 @@ def distributed_ecl_scc(
             1 + (faults.max_cluster_faults if faults is not None else 0)
         )
         rounds = 0
+        # frontier mode: the vertices whose signature moved last round
+        # (seeded with the re-initialized active set); only their
+        # incident edges can make progress this round
+        frontier_v = active.copy() if frontier else None
         while True:
             rounds += 1
             if rounds > rounds_bound:
@@ -150,12 +177,20 @@ def distributed_ecl_scc(
                     sig_out=sig_out.copy(),
                     active_count=int(np.count_nonzero(active)),
                 )
-            # local relax (Jacobi over all edges; sources' ranks do the work)
+            # local relax (Jacobi; sources' ranks do the work).  The
+            # frontier mode relaxes only changed-adjacent edges — the
+            # skipped edges relax to values they already hold, so the
+            # iterates (and the round count) match the dense sweep.
+            if frontier:
+                sel = frontier_v[src] | frontier_v[dst]
+                rs, rd = src[sel], dst[sel]
+            else:
+                rs, rd = src, dst
             prev_in, prev_out = sig_in, sig_out
             new_out = sig_out.copy()
-            np.maximum.at(new_out, src, sig_out[dst])
+            np.maximum.at(new_out, rs, sig_out[rd])
             new_in = sig_in.copy()
-            np.maximum.at(new_in, dst, sig_in[src])
+            np.maximum.at(new_in, rd, sig_in[rs])
             changed_v = (new_out != sig_out) | (new_in != sig_in)
             sig_out, sig_in = new_out, new_in
             # BSP pointer jumping (one request/reply gather superstep):
@@ -171,6 +206,11 @@ def distributed_ecl_scc(
             jump_msgs = np.zeros(r, dtype=np.int64)
             for sig in (sig_in, sig_out):
                 rem = owner[sig] != owner
+                if frontier:
+                    # completed vertices do not participate in jumps;
+                    # dense counts them as local self-pointers, so the
+                    # message totals stay identical
+                    rem &= active
                 if rem.any():
                     pair = owner[rem] * np.int64(n) + sig[rem]
                     uniq_pairs = np.unique(pair)
@@ -201,6 +241,12 @@ def distributed_ecl_scc(
                     if v.size:
                         sig_in[v] = prev_in[v]
                         sig_out[v] = prev_out[v]
+                        if frontier:
+                            # regressed victims re-enter the frontier so
+                            # their incident edges re-relax next round
+                            # (msgs above are already counted — dense
+                            # does not re-announce rollbacks either)
+                            changed_v[v] = True
                     extra_msgs = perturb.extra_messages
                     changed = True  # regressed updates must re-propagate
                 if injector.rank_crash_due(supersteps):
@@ -217,12 +263,23 @@ def distributed_ecl_scc(
                 spread = np.full(r, extra_msgs // r, dtype=msgs.dtype)
                 spread[: extra_msgs % r] += 1
                 msgs = msgs + spread
+            if frontier:
+                # charge only the edges this round actually relaxed and
+                # the vertices that still participate in jumps
+                round_ops = (
+                    np.bincount(owner[rs], minlength=r) * spec.ops_per_edge
+                    + np.bincount(owner[active], minlength=r) * 4.0
+                )
+            else:
+                round_ops = (
+                    edges_per_rank * spec.ops_per_edge
+                    + np.bincount(owner, minlength=r) * 4.0
+                )
             with tr.span(
                 "superstep", index=supersteps, kind="phase2-exchange", round=rounds
             ):
                 cluster.superstep(
-                    edges_per_rank * spec.ops_per_edge
-                    + np.bincount(owner, minlength=r) * 4.0,
+                    round_ops,
                     messages=msgs,
                     bytes_out=msgs * 16,
                 )
@@ -230,6 +287,8 @@ def distributed_ecl_scc(
                     for rk in np.flatnonzero(msgs):
                         tr.counter("halo-messages", int(msgs[rk]), rank=int(rk))
             supersteps += 1
+            if frontier:
+                frontier_v = changed_v
             if not changed:
                 break
         # completion + Phase 3 (local filtering after the final exchange)

@@ -19,7 +19,10 @@ from .accounting import (
     STATUS_FLAG_BYTES,
     charge_degree_pass,
     charge_edge_filter,
+    charge_frontier_compaction,
+    charge_frontier_launch,
     charge_frontier_level,
+    charge_frontier_round,
     charge_relaxation_round,
     charge_serial_scan,
     charge_vertex_scan,
@@ -37,6 +40,8 @@ from .backend import (
 from .primitives import (
     active_degrees,
     backward_reach,
+    build_vertex_incidence,
+    incident_edges,
     colored_fb_rounds,
     colored_reach,
     forward_reach,
@@ -74,6 +79,9 @@ __all__ = [
     "charge_serial_scan",
     "charge_relaxation_round",
     "charge_edge_filter",
+    "charge_frontier_compaction",
+    "charge_frontier_launch",
+    "charge_frontier_round",
     # primitives
     "frontier_expand",
     "masked_bfs",
@@ -89,4 +97,6 @@ __all__ = [
     "pivot_fb_step",
     "scc_edge_filter_mask",
     "normalize_labels_to_max",
+    "build_vertex_incidence",
+    "incident_edges",
 ]

@@ -37,6 +37,9 @@ __all__ = [
     "charge_serial_scan",
     "charge_relaxation_round",
     "charge_edge_filter",
+    "charge_frontier_compaction",
+    "charge_frontier_launch",
+    "charge_frontier_round",
 ]
 
 #: read+write of one per-vertex status flag.
@@ -147,6 +150,76 @@ def charge_relaxation_round(
         streamed_bytes=PAIR_FLAG_BYTES * int(edges) if streamed else 0,
         blocks=blocks,
         atomics=atomics,
+    )
+    dev.round()
+
+
+def charge_frontier_compaction(
+    dev: VirtualDevice,
+    backend: ArrayBackend,
+    *,
+    num_vertices: int,
+    frontier_size: int,
+    reinit: int = 0,
+) -> None:
+    """Seed-compaction launch of the frontier Phase-2 engine.
+
+    One kernel scans the invalidation flags (backend-swept) and claims a
+    vertex-worklist slot per seed vertex with an atomic add.  The
+    frontier driver's partial Phase-1 re-init sweeps the *same* flags,
+    so it is fused into this kernel: ``reinit`` invalidated vertices
+    additionally write their identity signature pair here instead of in
+    a separate Phase-1 launch — one launch per iteration saved, which
+    matters on launch-dominated mesh graphs.
+    """
+    dev.launch(
+        vertices=backend.sweep_vertices(num_vertices, frontier_size),
+        bytes_per_vertex=STATUS_FLAG_BYTES,
+        streamed_bytes=SIGNATURE_PAIR_BYTES * int(reinit),
+        atomics=int(frontier_size),
+    )
+
+
+def charge_frontier_launch(dev: VirtualDevice, *, blocks: int) -> None:
+    """The single persistent vertex-worklist launch of the frontier engine.
+
+    The kernel iterates in-kernel until the worklist drains; the
+    per-round work inside it is charged via :func:`charge_frontier_round`
+    (traffic without launches).
+    """
+    dev.launch(blocks=int(blocks))
+
+
+def charge_frontier_round(
+    dev: VirtualDevice,
+    *,
+    edges: int,
+    frontier_size: int,
+    vertices: int = 0,
+    enqueues: int = 0,
+) -> None:
+    """One in-kernel round of the persistent frontier worklist.
+
+    ``edges`` active-adjacent edges are gathered through the worklist
+    indirection — irregular traffic, so the ``(src, dst)`` pair loses the
+    streaming discount the dense engines get — and relaxed by
+    scatter-max with plain racy writes: monotone max-propagation
+    tolerates lost updates (the paper's §3.4 argument for rejecting the
+    two-atomic-max kernel applies unchanged — a lost write is re-derived
+    once the winning vertex re-enters the frontier), so the relax itself
+    costs no atomics.  The compacted vertex worklist (``frontier_size``
+    8-byte entries) streams contiguously.  ``vertices`` compression work
+    items (pointer jump + feedback over touched endpoints) update
+    signature pairs, and ``enqueues`` changed vertices claim
+    next-frontier slots with one atomic add each.
+    """
+    dev.work(
+        edges=int(edges),
+        vertices=int(vertices),
+        bytes_per_edge=ADJACENCY_EDGE_BYTES + PAIR_FLAG_BYTES,
+        bytes_per_vertex=SIGNATURE_PAIR_BYTES,
+        streamed_bytes=STATUS_FLAG_BYTES * int(frontier_size),
+        atomics=int(enqueues),
     )
     dev.round()
 

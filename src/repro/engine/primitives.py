@@ -58,6 +58,8 @@ __all__ = [
     "pivot_fb_step",
     "scc_edge_filter_mask",
     "normalize_labels_to_max",
+    "build_vertex_incidence",
+    "incident_edges",
 ]
 
 
@@ -639,3 +641,54 @@ def scc_edge_filter_mask(
     if drop_completed:
         keep &= sig_in[src] != sig_out[src]
     return keep
+
+
+# ---------------------------------------------------------------------------
+# vertex incidence (frontier Phase-2 engine)
+# ---------------------------------------------------------------------------
+
+def build_vertex_incidence(
+    src: np.ndarray,
+    dst: np.ndarray,
+    num_vertices: int,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """CSR-style incidence index: vertex -> ids of edges touching it.
+
+    Each edge id appears once under its source and once under its
+    destination (a self-loop appears twice), so gathering a vertex
+    frontier's buckets yields every edge a signature change at those
+    vertices could re-relax.  Returns ``(indptr, edge_ids)`` with
+    ``indptr`` of length ``num_vertices + 1``.  Built once per Phase-3
+    compaction by the frontier engine (charged by the caller as part of
+    the compaction pass).
+    """
+    endpoints = np.concatenate([src, dst])
+    eids = np.concatenate([np.arange(src.size), np.arange(dst.size)])
+    order = np.argsort(endpoints, kind="stable")
+    counts = np.bincount(endpoints, minlength=num_vertices)
+    indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, eids[order]
+
+
+def incident_edges(
+    indptr: np.ndarray,
+    edge_ids: np.ndarray,
+    frontier: np.ndarray,
+) -> np.ndarray:
+    """Unique ids of edges incident to the *frontier* vertices.
+
+    The frontier engine's per-round gather: expand each frontier
+    vertex's incidence bucket and deduplicate (an edge whose endpoints
+    are both in the frontier is relaxed once, not twice).
+    """
+    if frontier.size == 0:
+        return np.empty(0, dtype=np.int64)
+    counts = indptr[frontier + 1] - indptr[frontier]
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    offsets = np.repeat(indptr[frontier], counts)
+    ids = np.arange(total, dtype=np.int64)
+    resets = np.repeat(np.cumsum(counts) - counts, counts)
+    return np.unique(edge_ids[offsets + (ids - resets)])

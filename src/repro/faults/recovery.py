@@ -66,15 +66,26 @@ class Checkpoint:
     total_rounds: int
     completed_per_iteration: "list[int]"
     counters: KernelCounters
+    # frontier-engine extras: the partial re-init means signatures and
+    # the invalidation set are live cross-iteration state (dense engines
+    # rebuild both from scratch each iteration, so they skip this)
+    sig_in: "np.ndarray | None" = None
+    sig_out: "np.ndarray | None" = None
+    invalidated: "np.ndarray | None" = None
 
     @property
     def nbytes(self) -> int:
-        return (
+        total = (
             self.labels.nbytes
             + self.active.nbytes
             + self.wl_src.nbytes
             + self.wl_dst.nbytes
         )
+        if self.sig_in is not None:
+            total += self.sig_in.nbytes + self.sig_out.nbytes
+        if self.invalidated is not None:
+            total += self.invalidated.nbytes
+        return total
 
 
 class CheckpointStore:
@@ -100,7 +111,8 @@ class CheckpointStore:
         return outer_completed % self.cadence == 0
 
     def save(self, *, outer, labels, active, wl, total_rounds,
-             completed_per_iteration, device) -> Checkpoint:
+             completed_per_iteration, device, sigs=None,
+             invalidated=None) -> Checkpoint:
         ckpt = Checkpoint(
             outer=int(outer),
             labels=labels.copy(),
@@ -111,6 +123,9 @@ class CheckpointStore:
             total_rounds=int(total_rounds),
             completed_per_iteration=list(completed_per_iteration),
             counters=_copy_counters(device.counters),
+            sig_in=sigs.sig_in.copy() if sigs is not None else None,
+            sig_out=sigs.sig_out.copy() if sigs is not None else None,
+            invalidated=invalidated.copy() if invalidated is not None else None,
         )
         self._latest = ckpt
         # copy-out of the checkpointed state: sequential streaming traffic
@@ -127,14 +142,18 @@ class CheckpointStore:
     def latest(self) -> "Checkpoint | None":
         return self._latest
 
-    def restore(self, *, labels, active, wl, device, crashed_at: int) -> Checkpoint:
+    def restore(self, *, labels, active, wl, device, crashed_at: int,
+                sigs=None, invalidated=None) -> Checkpoint:
         """Roll run state back to the latest checkpoint (in place).
 
         Device counters are *replaced* by the checkpoint's copy: the
         crashed iterations' charges are discarded and will be recharged
         by re-execution.  The restore's own copy-in traffic goes to
         ``counters.notes`` only, keeping counter snapshots bit-identical
-        with a fault-free run of the same plan.
+        with a fault-free run of the same plan.  When the checkpoint
+        carries frontier-engine state (signatures + invalidation set),
+        passing ``sigs``/``invalidated`` rolls those back too, so the
+        re-executed iterations recharge the same partial work.
         """
         ckpt = self._latest
         if ckpt is None:
@@ -144,6 +163,11 @@ class CheckpointStore:
         wl.src = ckpt.wl_src.copy()
         wl.dst = ckpt.wl_dst.copy()
         wl.generation = ckpt.wl_generation
+        if sigs is not None and ckpt.sig_in is not None:
+            sigs.sig_in[:] = ckpt.sig_in
+            sigs.sig_out[:] = ckpt.sig_out
+        if invalidated is not None and ckpt.invalidated is not None:
+            invalidated[:] = ckpt.invalidated
         device.counters = _copy_counters(ckpt.counters)
         device.counters.note("faults:restore_bytes", float(ckpt.nbytes))
         if self.injector is not None:

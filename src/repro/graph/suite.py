@@ -24,6 +24,7 @@ test suite verifies them against Tarjan.
 from __future__ import annotations
 
 import os
+import zlib
 from dataclasses import dataclass
 from typing import Iterable
 
@@ -110,7 +111,10 @@ def build_powerlaw(name: str, scale: "float | None" = None, seed: int = 0) -> "t
     spec = _SPEC_BY_NAME[name]
     if scale is None:
         scale = default_scale()
-    rng = np.random.default_rng(seed ^ hash(name) & 0x7FFFFFFF)
+    # zlib.crc32 is a stable per-name salt; the builtin hash() is salted
+    # per *process* (PYTHONHASHSEED), which silently made every run
+    # generate a different graph — fatal for bench-regression gating
+    rng = np.random.default_rng(seed ^ (zlib.crc32(name.encode()) & 0x7FFFFFFF))
 
     n = max(64, int(round(spec.vertices * scale)))
     m_target = max(n, int(round(spec.edges * scale)))

@@ -122,6 +122,46 @@ class TestMisc:
             main([])
 
 
+class TestEngineSelection:
+    @pytest.mark.parametrize("engine", ["sync", "async", "atomic", "frontier"])
+    def test_scc_engine_flag(self, graph_file, engine, capsys):
+        assert main(["scc", graph_file, "--engine", engine, "--verify"]) == 0
+        assert "SCCs" in capsys.readouterr().out
+
+    def test_run_algorithm_rejects_engine_for_baselines(self):
+        from repro.bench import run_algorithm
+        from repro.device.spec import A100
+        from repro.errors import AlgorithmError
+
+        with pytest.raises(AlgorithmError):
+            run_algorithm(cycle_graph(4), "fb", A100, engine="frontier")
+
+    def test_bench_compare_gate(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import _bench_compare
+
+        base = {
+            "results": [{
+                "algorithm": "ecl-scc", "graph": "g", "num_sccs": 3,
+                "model_seconds": 1.0, "bytes_moved": 100,
+                "kernel_launches": 5,
+            }]
+        }
+        path = tmp_path / "base.json"
+        path.write_text(json.dumps(base))
+        row = dict(base["results"][0])
+        assert _bench_compare([dict(row, model_seconds=1.02)], str(path), 0.05) == 0
+        assert "pass" in capsys.readouterr().out
+        # >5% model_seconds regression fails
+        assert _bench_compare([dict(row, model_seconds=1.2)], str(path), 0.05) == 1
+        assert "FAIL" in capsys.readouterr().out
+        # a num_sccs mismatch fails even when fast
+        assert _bench_compare(
+            [dict(row, num_sccs=4, model_seconds=0.5)], str(path), 0.05
+        ) == 1
+
+
 class TestDistributedCli:
     def test_distributed_runs(self, graph_file, capsys):
         assert main(["distributed", graph_file, "--ranks", "4"]) == 0

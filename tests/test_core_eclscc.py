@@ -177,3 +177,37 @@ class TestPhase3Filter:
         wl, sigs, dev = self._setup([0, 1], [1, 0], [5, 5], [7, 7])
         kept, _ = phase3_filter(wl, sigs, dev, ALL_ON)
         assert dev.counters.atomics == kept == 2
+
+    def test_zero_survivors_preserve_integer_dtypes(self):
+        # regression: compacting to zero edges once produced float64
+        # empties, poisoning every later index operation on the worklist
+        wl, sigs, dev = self._setup([0, 1], [1, 0], [0, 1], [2, 3])
+        kept, removed = phase3_filter(wl, sigs, dev, ALL_ON)
+        assert kept == 0 and removed == 2
+        assert wl.src.dtype.kind == wl.dst.dtype.kind == "i"
+        assert wl.num_edges == 0
+
+    def test_empty_worklist_is_a_noop(self):
+        # fully-disconnected graph: no edges -> no launch, no charge,
+        # and the generation must NOT advance (no compaction pass ran)
+        empty = np.array([], dtype=np.int64)
+        wl = DoubleBufferWorklist(empty, empty.copy())
+        sigs = Signatures.identity(2)
+        dev = VirtualDevice(A100)
+        g0 = wl.generation
+        kept, removed = phase3_filter(wl, sigs, dev, ALL_ON)
+        assert (kept, removed) == (0, 0)
+        assert wl.generation == g0
+        assert dev.counters.kernel_launches == 0
+        assert wl.src.dtype.kind == "i"
+
+    def test_invalidate_marks_removed_endpoints(self):
+        # frontier engine: endpoints of dropped edges feed next
+        # iteration's seed set
+        wl, sigs, dev = self._setup(
+            [0, 2], [1, 3], [0, 1, 5, 5], [2, 3, 7, 7]
+        )
+        inv = np.zeros(4, dtype=bool)
+        kept, removed = phase3_filter(wl, sigs, dev, ALL_ON, invalidate=inv)
+        assert kept == 1 and removed == 1  # (0,1) mismatched, (2,3) kept
+        assert inv.tolist() == [True, True, False, False]

@@ -38,7 +38,10 @@ class TestOptions:
     def test_bounds_auto(self):
         o = EclOptions()
         assert o.outer_bound(10) == 12
-        assert o.rounds_bound(10) == 12
+        # the engine-safe auto round bound: the async engine's
+        # cross-launch round total can exceed |V| + 2 (a value crossing a
+        # block boundary only advances at the next launch)
+        assert o.rounds_bound(10) == 46
 
     def test_bounds_explicit(self):
         o = EclOptions(max_outer_iterations=5, max_rounds=7)

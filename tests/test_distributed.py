@@ -105,6 +105,23 @@ class TestDistributedCorrectness:
         b = distributed_ecl_scc(g, random_partition(g, 4, seed=9))
         assert np.array_equal(a.labels, b.labels)
 
+    @pytest.mark.parametrize("ranks", [1, 2, 4])
+    def test_frontier_reuse_is_a_pure_work_optimization(self, ranks, random_graphs):
+        # same labels, supersteps, and halo messages as the dense sweep;
+        # strictly-no-worse BSP critical path (skipped edges are the
+        # quiescent ones, so the iterates are identical round by round)
+        for g in random_graphs[:6]:
+            p = block_partition(g, ranks)
+            dense = distributed_ecl_scc(g, p)
+            front = distributed_ecl_scc(g, p, frontier=True)
+            assert np.array_equal(front.labels, dense.labels)
+            assert front.supersteps == dense.supersteps
+            assert front.cluster.total_messages == dense.cluster.total_messages
+            assert (
+                front.cluster.estimated_seconds
+                <= dense.cluster.estimated_seconds + 1e-15
+            )
+
     def test_empty_graph(self):
         g = CSRGraph.empty(0)
         res = distributed_ecl_scc(g, block_partition(g, 2))

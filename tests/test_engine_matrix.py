@@ -1,8 +1,9 @@
 """Systematic engine-equivalence matrices.
 
-Every Phase-2 engine (sync / async / atomic) under every combination of
-path compression and persistent threads must produce identical labels on
-a shared corpus — the strongest regression net for the propagation code.
+Every Phase-2 engine (sync / async / atomic / frontier) under every
+combination of path compression and persistent threads must produce
+identical labels on a shared corpus — the strongest regression net for
+the propagation code.
 
 The backend x algorithm matrix below extends the net across the shared
 ``repro.engine`` primitive layer: every algorithm must produce Tarjan's
@@ -19,21 +20,22 @@ import pytest
 
 from repro.baselines import tarjan_scc
 from repro.bench.runners import _DISPATCH
-from repro.core import EclOptions, ecl_scc
+from repro.core import EclOptions, ecl_scc, engine_options
 from repro.device.spec import A100
 from repro.engine import backend_names
 from repro.graph import permute_random, cycle_graph
 
-ENGINES = ("sync", "async", "atomic")
+ENGINES = ("sync", "async", "atomic", "frontier")
 FLAGS = list(itertools.product((False, True), repeat=2))  # compression, persistent
 
 
 def make_options(engine: str, compression: bool, persistent: bool) -> EclOptions:
-    return EclOptions(
-        async_phase2=(engine == "async"),
-        atomic_phase2=(engine == "atomic"),
-        path_compression=compression,
-        persistent_threads=persistent,
+    return engine_options(
+        engine,
+        EclOptions(
+            path_compression=compression,
+            persistent_threads=persistent,
+        ),
     )
 
 
@@ -78,6 +80,27 @@ GOLDEN_LAUNCHES = {
     "fb-trim": [0, 5, 5, 7, 7, 5, 9, 9, 11, 39, 13, 9, 64, 11, 32, 35, 42,
                 26, 44, 23, 49, 28, 57, 38, 46, 28, 44],
 }
+
+
+# frontier-engine launch counts on the same corpus (A100, dense
+# backend): one fused compaction(+re-init) launch plus one drain launch
+# per non-empty Phase 2 — element-wise at or below the dense ecl-scc
+# golden counts above, which is the engine's whole point
+GOLDEN_FRONTIER_LAUNCHES = [0, 2, 2, 4, 4, 6, 4, 4, 4, 4, 6, 4, 8, 6, 12,
+                            8, 10, 10, 10, 8, 10, 10, 10, 8, 8, 10, 8]
+
+
+def test_frontier_golden_launches(all_graphs):
+    from repro.device.executor import VirtualDevice
+
+    assert len(GOLDEN_FRONTIER_LAUNCHES) == len(all_graphs)
+    opts = engine_options("frontier")
+    for i, g in enumerate(all_graphs):
+        dev = VirtualDevice(A100)
+        res = ecl_scc(g, options=opts, device=dev)
+        launches = res.device.counters.kernel_launches
+        assert launches == GOLDEN_FRONTIER_LAUNCHES[i], (i, launches)
+        assert launches <= GOLDEN_LAUNCHES["ecl-scc"][i], i
 
 
 @pytest.mark.parametrize("backend", backend_names())

@@ -217,3 +217,53 @@ def test_cycle_any_size(n):
     res = ecl_scc(g)
     assert res.num_sccs == 1
     assert (res.labels == n - 1).all()
+
+
+# ---------------------------------------------------------------------------
+# frontier Phase-2 engine: cross-iteration reuse reaches the dense fixed point
+# ---------------------------------------------------------------------------
+
+
+@given(digraphs(), st.integers(0, 2**10))
+@settings(**COMMON)
+def test_frontier_fixed_point_under_edge_removal(g, seed):
+    """Frontier labels equal the dense engine's after random edge removals.
+
+    Removing edges perturbs the worklist exactly the way Phase 3 does
+    between iterations, so this exercises the invalidated-seed path on
+    arbitrary survivor subsets — and the randomized-ID variant exercises
+    the permutation_seed path on top.
+    """
+    from repro.core import engine_options
+
+    rng = np.random.default_rng(seed)
+    src, dst = g.edges()
+    if src.size:
+        keep = rng.random(src.size) < 0.6
+        g = CSRGraph.from_edges(src[keep], dst[keep], g.num_vertices)
+    dense = ecl_scc(g, options=engine_options("sync"))
+    front = ecl_scc(g, options=engine_options("frontier"))
+    assert np.array_equal(front.labels, dense.labels)
+    permuted = ecl_scc(
+        g, options=engine_options("frontier"),
+        randomize_ids=True, seed=seed % 97,
+    )
+    if g.num_vertices > 1:
+        assert permuted.permutation_seed == seed % 97
+    assert np.array_equal(permuted.labels, dense.labels)
+
+
+@given(digraphs(max_n=16, max_m=40), st.integers(0, 255))
+@settings(max_examples=30, deadline=None)
+def test_frontier_fixed_point_under_monotone_faults(g, seed):
+    """Monotone fault presets regress signatures mid-run; the frontier's
+    regressed-vertex reseeding must still converge to the dense labels."""
+    from repro.core import engine_options
+    from repro.faults import FaultPlan
+
+    dense = ecl_scc(g, options=engine_options("sync"))
+    faulted = ecl_scc(
+        g, options=engine_options("frontier"),
+        faults=FaultPlan.monotone(seed=seed),
+    )
+    assert np.array_equal(faulted.labels, dense.labels)
