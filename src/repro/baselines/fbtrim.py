@@ -13,6 +13,7 @@ from ..device.executor import VirtualDevice
 from ..device.spec import RYZEN_2950X, DeviceSpec
 from ..engine import ArrayBackend, colored_fb_rounds, get_backend, trim1, trim2
 from ..graph.csr import CSRGraph
+from ..profile.ledger import attach_ledger
 from ..results import AlgoResult, count_sccs
 from ..trace import Tracer, ensure_tracer
 from ..types import NO_VERTEX, VERTEX_DTYPE
@@ -38,6 +39,7 @@ def fbtrim_scc(
         device = VirtualDevice(device)
     be = get_backend(backend)
     tr = ensure_tracer(tracer)
+    attach_ledger(device, tr)
     n = graph.num_vertices
     labels = np.full(n, NO_VERTEX, dtype=VERTEX_DTYPE)
     active = np.ones(n, dtype=bool)

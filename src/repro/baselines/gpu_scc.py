@@ -35,6 +35,7 @@ from ..engine import (
     trim2,
 )
 from ..graph.csr import CSRGraph
+from ..profile.ledger import attach_ledger
 from ..results import AlgoResult, count_sccs
 from ..trace import Tracer, ensure_tracer
 from ..types import NO_VERTEX, VERTEX_DTYPE
@@ -60,6 +61,7 @@ def gpu_scc(
         device = VirtualDevice(device)
     be = get_backend(backend)
     tr = ensure_tracer(tracer)
+    attach_ledger(device, tr)
     n = graph.num_vertices
     labels = np.full(n, NO_VERTEX, dtype=VERTEX_DTYPE)
     active = np.ones(n, dtype=bool)

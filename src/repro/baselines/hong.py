@@ -30,6 +30,7 @@ from ..engine import (
     trim2,
 )
 from ..graph.csr import CSRGraph
+from ..profile.ledger import attach_ledger
 from ..graph.properties import weakly_connected_components
 from ..results import AlgoResult, count_sccs
 from ..trace import Tracer, ensure_tracer
@@ -54,6 +55,7 @@ def hong_scc(
         device = VirtualDevice(device)
     be = get_backend(backend)
     tr = ensure_tracer(tracer)
+    attach_ledger(device, tr)
     n = graph.num_vertices
     labels = np.full(n, NO_VERTEX, dtype=VERTEX_DTYPE)
     active = np.ones(n, dtype=bool)

@@ -39,6 +39,7 @@ from ..engine import (
     trim3,
 )
 from ..graph.csr import CSRGraph
+from ..profile.ledger import attach_ledger
 from ..results import AlgoResult, count_sccs
 from ..trace import Tracer, ensure_tracer
 from ..types import NO_VERTEX, VERTEX_DTYPE
@@ -66,6 +67,7 @@ def ispan_scc(
         device = VirtualDevice(device)
     be = get_backend(backend)
     tr = ensure_tracer(tracer)
+    attach_ledger(device, tr)
     n = graph.num_vertices
     labels = np.full(n, NO_VERTEX, dtype=VERTEX_DTYPE)
     active = np.ones(n, dtype=bool)

@@ -29,6 +29,7 @@ from ..engine import (
     trim2,
 )
 from ..graph.csr import CSRGraph
+from ..profile.ledger import attach_ledger
 from ..graph.ops import induced_subgraph
 from ..results import AlgoResult, count_sccs
 from ..trace import Tracer, ensure_tracer
@@ -55,6 +56,7 @@ def multistep_scc(
         device = VirtualDevice(device)
     be = get_backend(backend)
     tr = ensure_tracer(tracer)
+    attach_ledger(device, tr)
     n = graph.num_vertices
     labels = np.full(n, NO_VERTEX, dtype=VERTEX_DTYPE)
     if n == 0:

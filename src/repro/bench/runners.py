@@ -41,8 +41,9 @@ from ..engine import ArrayBackend
 from ..errors import AlgorithmError
 from ..faults.plan import FaultPlan
 from ..graph.csr import CSRGraph
+from ..profile.ledger import attach_ledger
 from ..results import AlgoResult
-from ..trace import NULL_TRACER, Trace, Tracer
+from ..trace import NULL_TRACER, Trace, Tracer, ensure_tracer
 from .timing import TimedRun, median_time
 
 __all__ = ["RunResult", "run_algorithm", "ALGORITHM_NAMES"]
@@ -52,8 +53,11 @@ def _run_oracle(fn: Callable, graph: CSRGraph, spec: DeviceSpec, tracer) -> Algo
     """Serial oracle run: attach a device charged with all-serial work."""
     dev = VirtualDevice(spec)
     res = fn(graph, tracer=tracer)
+    tr = ensure_tracer(tracer)
+    attach_ledger(dev, tr)
     # serial oracle: all work on the critical path
-    dev.serial(4 * (graph.num_vertices + graph.num_edges))
+    with tr.span("serial-oracle"):
+        dev.serial(4 * (graph.num_vertices + graph.num_edges))
     res.device = dev
     return res
 

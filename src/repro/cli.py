@@ -192,6 +192,8 @@ def _bench_smoke(args: argparse.Namespace) -> int:
     from .bench import run_algorithm
     from .graph.suite import powerlaw_suite
     from .mesh.suite import small_mesh_suite
+    from .profile import profile_run
+    from .trace import Tracer
 
     dev = _device(args.device)
     graphs: "list[tuple[str, object]]" = []
@@ -205,23 +207,40 @@ def _bench_smoke(args: argparse.Namespace) -> int:
     rows = []
     for gname, g in graphs:
         for algo in ("ecl-scc", "ispan", "fb"):
+            # trace ecl-scc cells so the gate can attribute regressions
+            # to a phase; the ledger does not perturb counters
+            tracer = Tracer() if algo == "ecl-scc" else None
             res = run_algorithm(
                 g, algo, dev, backend=args.backend,
                 engine=engine if algo == "ecl-scc" else None,
-                verify=True,
+                verify=True, tracer=tracer,
             )
-            rows.append(
-                {
-                    "algorithm": algo,
-                    "graph": gname,
-                    "num_vertices": res.num_vertices,
-                    "num_edges": res.num_edges,
-                    "num_sccs": res.num_sccs,
-                    "model_seconds": res.model_seconds,
-                    "kernel_launches": res.counters.get("kernel_launches", 0),
-                    "bytes_moved": res.counters.get("bytes_moved", 0),
+            row = {
+                "algorithm": algo,
+                "graph": gname,
+                "num_vertices": res.num_vertices,
+                "num_edges": res.num_edges,
+                "num_sccs": res.num_sccs,
+                "model_seconds": res.model_seconds,
+                "kernel_launches": res.counters.get("kernel_launches", 0),
+                "bytes_moved": res.counters.get("bytes_moved", 0),
+                "bytes_streamed": res.counters.get("bytes_streamed", 0),
+                "global_barriers": res.counters.get("global_barriers", 0),
+                "atomics": res.counters.get("atomics", 0),
+                "rounds": res.counters.get("rounds", 0),
+            }
+            if tracer is not None:
+                tracer.finish()
+                report = profile_run(res)
+                row["phases"] = {
+                    ph.name: {
+                        "seconds": ph.total,
+                        "launches": ph.launches,
+                        "classification": ph.classification,
+                    }
+                    for ph in report.phases
                 }
-            )
+            rows.append(row)
     payload = {
         "device": dev.name,
         "backend": args.backend or "dense",
@@ -246,7 +265,10 @@ def _bench_compare(rows: "list[dict]", baseline: str, tolerance: float) -> int:
     ``num_sccs`` must match exactly on every shared cell (an engine or
     backend must never change *what* is computed); ecl-scc
     ``model_seconds`` must not exceed baseline x (1 + tolerance) on any
-    graph.  Returns 0 on pass, 1 on violation.
+    graph.  Returns 0 on pass, 1 on violation.  Baselines written before
+    the profiling layer (no ``bytes_streamed``/``phases`` keys) still
+    compare; a regression's failure message names the top regressed
+    phase when per-phase data is available on the new side.
     """
     import json
 
@@ -270,16 +292,20 @@ def _bench_compare(rows: "list[dict]", baseline: str, tolerance: float) -> int:
         if row["algorithm"] != "ecl-scc":
             continue
         ratio = row["model_seconds"] / b["model_seconds"]
-        byte_ratio = row["bytes_moved"] / max(b["bytes_moved"], 1)
+        byte_ratio = row["bytes_moved"] / max(b.get("bytes_moved", 0), 1)
         print(f"  {row['graph']:<16s} {b['model_seconds'] * 1e3:9.3f}"
               f" {row['model_seconds'] * 1e3:9.3f} {ratio:6.2f}"
-              f" {byte_ratio:6.2f} {b['kernel_launches']:>5d} ->"
+              f" {byte_ratio:6.2f} {b.get('kernel_launches', 0):>5d} ->"
               f" {row['kernel_launches']:<5d}")
         if ratio > 1.0 + tolerance:
-            failures.append(
+            msg = (
                 f"{key}: model_seconds regressed x{ratio:.3f}"
                 f" (> +{tolerance:.0%})"
             )
+            top = _top_regressed_phase(row.get("phases"), b.get("phases"))
+            if top:
+                msg += f"; top regressed phase: {top}"
+            failures.append(msg)
     if failures:
         print("bench-regression gate: FAIL")
         for f in failures:
@@ -287,6 +313,33 @@ def _bench_compare(rows: "list[dict]", baseline: str, tolerance: float) -> int:
         return 1
     print("bench-regression gate: pass")
     return 0
+
+
+def _top_regressed_phase(new_phases: "dict | None",
+                         base_phases: "dict | None") -> "str | None":
+    """Name the phase that grew the most between two smoke rows.
+
+    Pre-profiling baselines carry no ``phases``; fall back to the new
+    run's most expensive phase so the gate message still points at the
+    place to look.
+    """
+    if not new_phases:
+        return None
+    if base_phases:
+        deltas = {
+            name: ph["seconds"] - base_phases.get(name, {}).get("seconds", 0.0)
+            for name, ph in new_phases.items()
+        }
+        name = max(deltas, key=lambda k: deltas[k])
+        if deltas[name] <= 0:
+            return None
+        ph = new_phases[name]
+        return (f"{name} (+{deltas[name]:.3e}s,"
+                f" {ph['classification']})")
+    name = max(new_phases, key=lambda k: new_phases[k]["seconds"])
+    ph = new_phases[name]
+    return (f"{name} ({ph['seconds']:.3e}s of the run,"
+            f" {ph['classification']}; baseline has no phase data)")
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -351,7 +404,7 @@ def _trace_workload(args: argparse.Namespace):
 
     Accepts, in order of precedence: an existing graph file, a Table-3
     power-law name (``flickr``, ``wiki-Talk``, ...), or a generator spec
-    (``cycle:N``, ``ladder:RUNGS``, ``gnm:N:M``).
+    (``cycle:N``, ``ladder:RUNGS``, ``gnm:N:M``, ``mesh:NAME[:ORD]``).
     """
     spec = args.workload
     if Path(spec).exists():
@@ -371,19 +424,76 @@ def _trace_workload(args: argparse.Namespace):
         if kind == "gnm":
             n, m = rest.split(":")
             return random_gnm(int(n), int(m), seed=args.seed)
+        if kind == "mesh":
+            from .mesh.suite import LARGE_MESH_SPECS, SMALL_MESH_SPECS, build_group
+
+            name, _, ordn = rest.partition(":")
+            meshes = {s.name: s for s in SMALL_MESH_SPECS}
+            meshes.update({s.name: s for s in LARGE_MESH_SPECS})
+            if name not in meshes:
+                raise SystemExit(
+                    f"unknown mesh {name!r}; known: {sorted(meshes)}"
+                )
+            ordinate = int(ordn) if ordn else 0
+            grp = build_group(
+                meshes[name], scale=args.scale, num_ordinates=ordinate + 1
+            )
+            return grp.graphs[ordinate]
     except ValueError:
         pass
     names = sorted(s.name for s in POWER_LAW_SPECS)
     raise SystemExit(
         f"unknown workload {spec!r}: not a file, power-law name"
         f" ({', '.join(names)}), or generator spec"
-        " (cycle:N | ladder:RUNGS | gnm:N:M)"
+        " (cycle:N | ladder:RUNGS | gnm:N:M | mesh:NAME[:ORD])"
     )
+
+
+def _trace_diff(args: argparse.Namespace) -> int:
+    """``repro trace diff A B``: explain per-phase deltas of two traces."""
+    from .profile import diff_traces, render_diff
+    from .trace import load_jsonl
+
+    paths = args.diff_paths
+    if len(paths) != 2:
+        raise SystemExit(
+            "trace diff needs exactly two JSONL trace files:"
+            " repro trace diff BASE NEW"
+        )
+    for p in paths:
+        if not Path(p).exists():
+            raise SystemExit(f"no such trace file: {p}")
+    base = load_jsonl(paths[0])
+    new = load_jsonl(paths[1])
+    try:
+        diff = diff_traces(base, new)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    if args.json is not None:
+        text = _json_dumps(diff.to_dict())
+        if args.json == "-":
+            print(text)
+        else:
+            Path(args.json).write_text(text + "\n")
+            print(f"diff written to {args.json}")
+        return 0
+    print(f"base: {paths[0]}")
+    print(f"new:  {paths[1]}")
+    print(render_diff(diff))
+    return 0
+
+
+def _json_dumps(obj) -> str:
+    import json
+
+    return json.dumps(obj, indent=2, sort_keys=True)
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .trace import Tracer, dump_jsonl, load_jsonl, render_summary
 
+    if args.workload == "diff":
+        return _trace_diff(args)
     if args.load:
         if not Path(args.load).exists():
             raise SystemExit(f"no such trace file: {args.load}")
@@ -419,6 +529,93 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if not args.no_summary:
         print()
         print(render_summary(trace))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Run one algorithm traced and print its per-phase attribution."""
+    from .bench import run_algorithm
+    from .profile import profile_run, render_profile, to_prometheus
+    from .trace import Tracer, dump_jsonl
+
+    graph = _trace_workload(args)
+    if args.ranks:
+        return _profile_distributed(args, graph)
+    meta = {
+        "algorithm": args.algo,
+        "workload": args.workload,
+        "device": args.device,
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+    }
+    if args.engine:
+        meta["engine"] = args.engine
+    if args.backend:
+        meta["backend"] = args.backend
+    tracer = Tracer(meta=meta)
+    result = run_algorithm(
+        graph, args.algo, _device(args.device),
+        backend=args.backend, engine=args.engine, tracer=tracer,
+    )
+    tracer.finish()
+    report = profile_run(result)
+    if args.jsonl:
+        dump_jsonl(result.trace, args.jsonl)
+        print(f"trace written to {args.jsonl}")
+    if args.prom is not None:
+        text = to_prometheus(report)
+        if args.prom == "-":
+            print(text, end="")
+        else:
+            Path(args.prom).write_text(text)
+            print(f"prometheus exposition written to {args.prom}")
+        return 0
+    if args.json is not None:
+        text = report.to_json()
+        if args.json == "-":
+            print(text)
+        else:
+            Path(args.json).write_text(text + "\n")
+            print(f"profile written to {args.json}")
+        return 0
+    print(f"workload:         {args.workload}"
+          f"  (|V|={graph.num_vertices} |E|={graph.num_edges})")
+    print(render_profile(report))
+    return 0
+
+
+def _profile_distributed(args: argparse.Namespace, graph) -> int:
+    """``repro profile --ranks N``: per-rank BSP profile of the
+    distributed ECL-SCC run, with the straggler/imbalance summary."""
+    from .distributed import block_partition, distributed_ecl_scc
+    from .distributed.cluster import ClusterSpec
+    from .errors import DeviceError
+    from .profile import profile_cluster, render_cluster_profile
+
+    stragglers = None
+    if args.stragglers:
+        stragglers = tuple(float(f) for f in args.stragglers.split(","))
+    try:
+        spec = ClusterSpec(num_ranks=args.ranks, stragglers=stragglers)
+    except DeviceError as exc:
+        raise SystemExit(f"bad --stragglers: {exc}") from exc
+    res = distributed_ecl_scc(graph, block_partition(graph, args.ranks), spec)
+    prof = profile_cluster(
+        res.cluster,
+        meta={"workload": args.workload, "algorithm": "distributed-ecl-scc"},
+    )
+    if args.json is not None:
+        text = _json_dumps(prof.to_dict())
+        if args.json == "-":
+            print(text)
+        else:
+            Path(args.json).write_text(text + "\n")
+            print(f"profile written to {args.json}")
+        return 0
+    print(f"workload:         {args.workload}"
+          f"  (|V|={graph.num_vertices} |E|={graph.num_edges},"
+          f" SCCs={res.num_sccs})")
+    print(render_cluster_profile(prof))
     return 0
 
 
@@ -715,8 +912,16 @@ def build_parser() -> argparse.ArgumentParser:
         "workload",
         nargs="?",
         default="ladder:64",
-        help="graph file, power-law name, or generator spec"
-        " (cycle:N | ladder:RUNGS | gnm:N:M); default ladder:64",
+        help="graph file, power-law name, generator spec"
+        " (cycle:N | ladder:RUNGS | gnm:N:M | mesh:NAME[:ORD]), or"
+        " 'diff' to compare two JSONL traces; default ladder:64",
+    )
+    p.add_argument(
+        "diff_paths",
+        nargs="*",
+        default=[],
+        metavar="TRACE",
+        help="(diff) the two JSONL traces to compare: BASE NEW",
     )
     p.add_argument("--algo", default="ecl-scc", choices=ALGORITHM_NAMES)
     p.add_argument("--device", default="A100",
@@ -731,12 +936,54 @@ def build_parser() -> argparse.ArgumentParser:
                    help="summarize an existing JSONL trace instead of running")
     p.add_argument("--no-summary", action="store_true",
                    help="skip the span-tree summary")
+    p.add_argument("--json", nargs="?", const="-", default=None,
+                   help="(diff) write the diff as JSON to PATH (or stdout)")
     p.add_argument("--backend", default=None, choices=_backend_choices(),
                    help="engine accounting backend (default: dense)")
     p.add_argument("--engine", default=None,
                    choices=["sync", "async", "atomic", "frontier"],
                    help="ecl-scc Phase-2 engine (default: options default)")
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "profile",
+        help="per-phase time attribution and roofline classification",
+    )
+    p.add_argument(
+        "workload",
+        nargs="?",
+        default="ladder:64",
+        help="graph file, power-law name, or generator spec"
+        " (cycle:N | ladder:RUNGS | gnm:N:M | mesh:NAME[:ORD]);"
+        " default ladder:64",
+    )
+    p.add_argument("--algo", default="ecl-scc", choices=ALGORITHM_NAMES)
+    p.add_argument("--device", default="A100",
+                   help="Titan V | A100 | Ryzen 2950X | Xeon 6226R")
+    p.add_argument("--format", default="auto",
+                   choices=["auto", "mtx", "edges", "dimacs", "npz"])
+    p.add_argument("--scale", type=float, default=None,
+                   help="power-law workload scale factor")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", nargs="?", const="-", default=None,
+                   help="write the ProfileReport as JSON to PATH (or stdout)")
+    p.add_argument("--prom", nargs="?", const="-", default=None,
+                   help="write a Prometheus text exposition to PATH"
+                   " (or stdout)")
+    p.add_argument("--jsonl",
+                   help="also write the underlying trace to this JSONL file")
+    p.add_argument("--ranks", type=int, default=0,
+                   help="distributed mode: per-rank BSP profile of"
+                   " distributed ECL-SCC on this many ranks")
+    p.add_argument("--stragglers", default=None,
+                   help="(distributed) comma-separated per-rank slowdown"
+                   " factors, e.g. 1.0,1.0,1.3,1.0")
+    p.add_argument("--backend", default=None, choices=_backend_choices(),
+                   help="engine accounting backend (default: dense)")
+    p.add_argument("--engine", default=None,
+                   choices=["sync", "async", "atomic", "frontier"],
+                   help="ecl-scc Phase-2 engine (default: options default)")
+    p.set_defaults(func=_cmd_profile)
 
     p = sub.add_parser(
         "chaos", help="run ECL-SCC under a seeded fault plan"

@@ -35,6 +35,7 @@ from ..faults.inject import FaultInjector
 from ..faults.plan import FaultPlan
 from ..faults.recovery import CheckpointStore, heal_labels
 from ..graph.csr import CSRGraph
+from ..profile.ledger import attach_ledger
 from ..results import AlgoResult
 from ..trace import Tracer, ensure_tracer
 from ..types import NO_VERTEX, VERTEX_DTYPE
@@ -172,6 +173,7 @@ def ecl_scc(
         device = VirtualDevice(device)
     be = get_backend(backend if backend is not None else opts.backend)
     tr = ensure_tracer(tracer)
+    attach_ledger(device, tr)
 
     if randomize_ids and graph.num_vertices > 1:
         from ..graph.ops import permute_random
@@ -413,7 +415,7 @@ def ecl_scc(
                     heal_labels(
                         graph, labels, device=device,
                         options=replace(opts, faults=None), backend=be,
-                        injector=injector,
+                        injector=injector, tracer=tr,
                     )
         status = injector.status()
         report = injector.report

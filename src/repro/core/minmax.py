@@ -34,6 +34,7 @@ from ..engine import (
 from ..engine.accounting import QUAD_SIGNATURE_EDGE_BYTES
 from ..errors import ConvergenceError
 from ..graph.csr import CSRGraph
+from ..profile.ledger import attach_ledger
 from ..trace import Tracer, ensure_tracer
 from ..types import NO_VERTEX, VERTEX_DTYPE
 from .eclscc import EclResult
@@ -107,6 +108,7 @@ def minmax_scc(
         device = VirtualDevice(device)
     be = get_backend(backend)
     tr = ensure_tracer(tracer)
+    attach_ledger(device, tr)
     n = graph.num_vertices
     labels = np.full(n, NO_VERTEX, dtype=VERTEX_DTYPE)
     if n == 0:

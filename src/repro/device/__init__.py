@@ -15,8 +15,11 @@ from .spec import (
 )
 from .counters import KernelCounters
 from .costmodel import (
+    TERM_NAMES,
     CostBreakdown,
     CostModel,
+    cost_terms,
+    effective_bandwidth,
     estimate_runtime,
     working_set_of_graph,
 )
@@ -33,6 +36,9 @@ __all__ = [
     "KernelCounters",
     "CostBreakdown",
     "CostModel",
+    "cost_terms",
+    "effective_bandwidth",
+    "TERM_NAMES",
     "estimate_runtime",
     "working_set_of_graph",
     "THREADS_PER_BLOCK",

@@ -36,7 +36,14 @@ from dataclasses import dataclass
 from .counters import KernelCounters
 from .spec import DeviceSpec
 
-__all__ = ["CostModel", "CostBreakdown", "estimate_runtime"]
+__all__ = [
+    "CostModel",
+    "CostBreakdown",
+    "estimate_runtime",
+    "cost_terms",
+    "effective_bandwidth",
+    "TERM_NAMES",
+]
 
 #: fraction of peak DRAM bandwidth achieved by irregular graph traffic.
 IRREGULAR_EFF = 0.30
@@ -82,6 +89,66 @@ class CostBreakdown:
         }
 
 
+#: names of the linear cost terms returned by :func:`cost_terms`, in
+#: report order.  ``irregular``/``streamed`` split the breakdown's
+#: ``memory`` column by traffic kind; ``compute`` is nonzero only on
+#: CPUs (before the roofline decides the memory-vs-compute winner).
+TERM_NAMES = ("launch", "irregular", "streamed", "atomic", "serial", "compute")
+
+
+def effective_bandwidth(spec: DeviceSpec, working_set_bytes: float) -> float:
+    """Irregular-access bandwidth in bytes/second for a given footprint."""
+    bw = spec.mem_bw_gbs * 1e9 * IRREGULAR_EFF
+    if working_set_bytes and working_set_bytes <= spec.l2_mb * 1e6:
+        bw *= CACHE_BOOST
+    return bw
+
+
+def cost_terms(
+    counters, spec: DeviceSpec, *, working_set_bytes: float = 0.0
+) -> "dict[str, float]":
+    """Linear (pre-roofline) cost terms for *counters* on *spec*, seconds.
+
+    The per-term arithmetic lives here once so that whole-run estimates
+    (:meth:`CostModel.estimate`) and per-launch attribution
+    (``repro.profile``) cannot drift apart: every term is linear in its
+    counter, so per-launch terms sum to the run total exactly (modulo
+    float rounding).  *counters* is duck-typed — anything exposing the
+    :class:`~repro.device.KernelCounters` count attributes works,
+    including :class:`~repro.trace.LaunchRecord` deltas.
+
+    The CPU memory-vs-compute roofline is *not* applied here (it is a
+    global max over the whole run, not per launch); callers that need
+    breakdown semantics apply it on top, as ``estimate`` does.
+    """
+    s = spec
+    clock_hz = s.clock_ghz * 1e9
+    serial = counters.serial_work / (clock_hz * s.ipc)
+    irregular = counters.bytes_moved / effective_bandwidth(s, working_set_bytes)
+    streamed = counters.bytes_streamed / (s.mem_bw_gbs * 1e9 * STREAM_EFF)
+    atomic = counters.atomics * ATOMIC_NS * 1e-9 / s.sms
+    if s.kind == "gpu":
+        launch = (
+            counters.kernel_launches * s.launch_us * 1e-6
+            + counters.blocks_scheduled * BLOCK_DISPATCH_NS * 1e-9
+        )
+        # GPU compute is almost always hidden behind memory for graph
+        # kernels; charge nothing extra.
+        compute = 0.0
+    else:
+        launch = counters.global_barriers * s.launch_us * 1e-6
+        ops = counters.edge_work * OPS_PER_EDGE + counters.vertex_work * OPS_PER_VERTEX
+        compute = ops / (s.lanes * clock_hz * s.ipc)
+    return {
+        "launch": launch,
+        "irregular": irregular,
+        "streamed": streamed,
+        "atomic": atomic,
+        "serial": serial,
+        "compute": compute,
+    }
+
+
 class CostModel:
     """Maps :class:`KernelCounters` to estimated runtimes on a device."""
 
@@ -91,10 +158,7 @@ class CostModel:
     # ------------------------------------------------------------------
     def effective_bandwidth(self, working_set_bytes: float) -> float:
         """Irregular-access bandwidth in bytes/second for a given footprint."""
-        bw = self.spec.mem_bw_gbs * 1e9 * IRREGULAR_EFF
-        if working_set_bytes and working_set_bytes <= self.spec.l2_mb * 1e6:
-            bw *= CACHE_BOOST
-        return bw
+        return effective_bandwidth(self.spec, working_set_bytes)
 
     def estimate(
         self, counters: KernelCounters, *, working_set_bytes: float = 0.0
@@ -105,36 +169,18 @@ class CostModel:
         (graph arrays + signature arrays); callers get it from
         :func:`working_set_of_graph`.
         """
-        s = self.spec
-        clock_hz = s.clock_ghz * 1e9
-        serial = counters.serial_work / (clock_hz * s.ipc)
-        if s.kind == "gpu":
-            launch = (
-                counters.kernel_launches * s.launch_us * 1e-6
-                + counters.blocks_scheduled * BLOCK_DISPATCH_NS * 1e-9
-            )
-            memory = counters.bytes_moved / self.effective_bandwidth(
-                working_set_bytes
-            ) + counters.bytes_streamed / (s.mem_bw_gbs * 1e9 * STREAM_EFF)
-            atomic = counters.atomics * ATOMIC_NS * 1e-9 / s.sms
-            # GPU compute is almost always hidden behind memory for graph
-            # kernels; charge nothing extra.
-            return CostBreakdown(launch, memory, 0.0, atomic, serial)
-        # CPU: fork/join barriers + roofline of compute vs memory.
-        launch = counters.global_barriers * s.launch_us * 1e-6
-        ops = counters.edge_work * OPS_PER_EDGE + counters.vertex_work * OPS_PER_VERTEX
-        compute = ops / (s.lanes * clock_hz * s.ipc)
-        memory = counters.bytes_moved / self.effective_bandwidth(
-            working_set_bytes
-        ) + counters.bytes_streamed / (s.mem_bw_gbs * 1e9 * STREAM_EFF)
-        # roofline: the larger of compute and memory binds; report in the
-        # dominating column, zero in the other.
+        t = cost_terms(counters, self.spec, working_set_bytes=working_set_bytes)
+        memory = t["irregular"] + t["streamed"]
+        if self.spec.kind == "gpu":
+            return CostBreakdown(t["launch"], memory, 0.0, t["atomic"], t["serial"])
+        # CPU roofline: the larger of compute and memory binds; report in
+        # the dominating column, zero in the other.
+        compute = t["compute"]
         if compute >= memory:
             memory = 0.0
         else:
             compute = 0.0
-        atomic = counters.atomics * ATOMIC_NS * 1e-9 / s.sms
-        return CostBreakdown(launch, memory, compute, atomic, serial)
+        return CostBreakdown(t["launch"], memory, compute, t["atomic"], t["serial"])
 
 
 def estimate_runtime(

@@ -30,6 +30,13 @@ class VirtualDevice:
     With ``profile=True`` every launch's work size is also appended to
     ``launch_history`` — the measured per-step parallelism profile used
     by ``benchmarks/test_ext_parallelism.py``.
+
+    ``ledger`` is normally ``None`` (the zero-overhead path: one ``is
+    None`` check per charge).  :func:`repro.profile.attach_ledger` sets
+    it to a :class:`~repro.profile.LaunchLedger` when a recording tracer
+    is active, after which every ``launch``/``work``/``serial`` charge
+    is also recorded as a per-phase
+    :class:`~repro.trace.LaunchRecord` delta.
     """
 
     def __init__(self, spec: DeviceSpec, *, profile: bool = False) -> None:
@@ -37,6 +44,8 @@ class VirtualDevice:
         self.counters = KernelCounters()
         self.profile = profile
         self.launch_history: "list[tuple[int, int]]" = []
+        self.ledger = None
+        self._working_set_bytes = 0.0
 
     # ------------------------------------------------------------------
     # launch configuration
@@ -91,7 +100,12 @@ class VirtualDevice:
     # accounting passthroughs
     # ------------------------------------------------------------------
     def launch(self, **kwargs) -> None:
-        self.counters.launch(**kwargs)
+        if self.ledger is None:
+            self.counters.launch(**kwargs)
+        else:
+            before = self.counters.snapshot()
+            self.counters.launch(**kwargs)
+            self.ledger.record("launch", before, self.counters.snapshot())
         if self.profile:
             self.launch_history.append(
                 (int(kwargs.get("edges", 0)), int(kwargs.get("vertices", 0)))
@@ -99,13 +113,28 @@ class VirtualDevice:
 
     def work(self, **kwargs) -> None:
         """In-kernel work of a persistent kernel (no launch recorded)."""
-        self.counters.work(**kwargs)
+        if self.ledger is None:
+            self.counters.work(**kwargs)
+        else:
+            before = self.counters.snapshot()
+            self.counters.work(**kwargs)
+            self.ledger.record("work", before, self.counters.snapshot())
 
     def serial(self, ops: int) -> None:
-        self.counters.serial(ops)
+        if self.ledger is None:
+            self.counters.serial(ops)
+        else:
+            before = self.counters.snapshot()
+            self.counters.serial(ops)
+            self.ledger.record("serial", before, self.counters.snapshot())
 
     def round(self, count: int = 1) -> None:
-        self.counters.round(count)
+        if self.ledger is None:
+            self.counters.round(count)
+        else:
+            before = self.counters.snapshot()
+            self.counters.round(count)
+            self.ledger.record("round", before, self.counters.snapshot())
 
     def note(self, key: str, value: float) -> None:
         self.counters.note(key, value)
@@ -114,7 +143,25 @@ class VirtualDevice:
     def estimate(self, num_vertices: int, num_edges: int, signatures: int = 2) -> CostBreakdown:
         """Cost estimate for the accumulated counters on this run's graph."""
         ws = working_set_of_graph(num_vertices, num_edges, signatures)
+        self._working_set_bytes = ws
         return CostModel(self.spec).estimate(self.counters, working_set_bytes=ws)
+
+    @property
+    def working_set_bytes(self) -> float:
+        """Footprint of the most recent :meth:`estimate` call (0 before)."""
+        return self._working_set_bytes
+
+    @property
+    def seconds(self) -> float:
+        """Total modelled seconds for the counters accumulated so far.
+
+        Uses the working set memoized by the last :meth:`estimate` call —
+        the same footprint the run's ``model_seconds`` was computed with,
+        so per-phase attributions can be checked against it exactly.
+        """
+        return CostModel(self.spec).estimate(
+            self.counters, working_set_bytes=self._working_set_bytes
+        ).total
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<VirtualDevice {self.spec.name} {self.counters!r}>"

@@ -26,7 +26,7 @@ import numpy as np
 from ..device.spec import XEON_6226R, DeviceSpec
 from ..errors import DeviceError
 
-__all__ = ["ClusterSpec", "VirtualCluster"]
+__all__ = ["ClusterSpec", "SuperstepRecord", "VirtualCluster"]
 
 
 @dataclass(frozen=True)
@@ -65,9 +65,37 @@ class ClusterSpec:
             object.__setattr__(self, "stragglers", factors)
 
 
+@dataclass(frozen=True)
+class SuperstepRecord:
+    """One superstep's cost, kept for per-rank profiling.
+
+    ``rank_seconds`` is each rank's *busy* time this step (straggler
+    factors applied); the step's critical path is the per-term maxima
+    (``compute + latency + bandwidth``), which can exceed the busiest
+    single rank when different ranks dominate different terms.
+    """
+
+    index: int
+    label: str
+    compute: float
+    latency: float
+    bandwidth: float
+    rank_seconds: np.ndarray
+
+    @property
+    def seconds(self) -> float:
+        return self.compute + self.latency + self.bandwidth
+
+
 @dataclass
 class VirtualCluster:
-    """Accumulates BSP superstep costs for one distributed run."""
+    """Accumulates BSP superstep costs for one distributed run.
+
+    Besides the aggregate seconds, every superstep is kept as a
+    :class:`SuperstepRecord` (label + per-rank busy seconds) so
+    :func:`repro.profile.profile_cluster` can report per-phase critical
+    paths and rank imbalance after the run.
+    """
 
     spec: ClusterSpec
     supersteps: int = 0
@@ -79,6 +107,7 @@ class VirtualCluster:
     retry_supersteps: int = 0
     backoff_seconds: float = 0.0
     last_superstep_seconds: float = 0.0
+    step_records: "list[SuperstepRecord]" = field(default_factory=list, repr=False)
     _rank_ops: "np.ndarray | None" = field(default=None, repr=False)
 
     def superstep(
@@ -87,13 +116,16 @@ class VirtualCluster:
         *,
         messages: "np.ndarray | int" = 0,
         bytes_out: "np.ndarray | int" = 0,
+        label: str = "superstep",
     ) -> None:
         """Record one superstep.
 
         ``local_ops`` is per-rank operation counts (length ``num_ranks``
         or a scalar applied to all); ``messages``/``bytes_out`` likewise.
-        Negative counts are a caller bug, not a valid superstep, and
-        raise :class:`~repro.errors.DeviceError`.
+        ``label`` names the phase the step belongs to (``phase1-init``,
+        ``phase2-exchange``, ...) for the per-rank profile.  Negative
+        counts are a caller bug, not a valid superstep, and raise
+        :class:`~repro.errors.DeviceError`.
         """
         r = self.spec.num_ranks
         ops = np.broadcast_to(np.asarray(local_ops, dtype=np.float64), (r,))
@@ -118,6 +150,20 @@ class VirtualCluster:
         self.last_superstep_seconds = step_compute + step_latency + step_bandwidth
         self.total_messages += int(msg.sum())
         self.total_bytes += int(byt.sum())
+        self.step_records.append(
+            SuperstepRecord(
+                index=self.supersteps - 1,
+                label=label,
+                compute=step_compute,
+                latency=step_latency,
+                bandwidth=step_bandwidth,
+                rank_seconds=(
+                    ops / rank_speed
+                    + msg * (self.spec.alpha_us * 1e-6)
+                    + byt / (self.spec.beta_gbs * 1e9)
+                ),
+            )
+        )
 
     def charge_retry(self, wait_seconds: float) -> None:
         """Account one failed-superstep retry: the backoff wait stalls the

@@ -153,7 +153,7 @@ def distributed_ecl_scc(
         cut = owner[src] != owner[dst]
         # Phase 1 superstep (init is local)
         with tr.span("superstep", index=supersteps, kind="phase1-init"):
-            cluster.superstep(init_ops)
+            cluster.superstep(init_ops, label="phase1-init")
         supersteps += 1
         # Phase 2: BSP rounds to the fixed point.  Injected message
         # faults regress updates and so add recovery rounds; the safety
@@ -282,6 +282,7 @@ def distributed_ecl_scc(
                     round_ops,
                     messages=msgs,
                     bytes_out=msgs * 16,
+                    label="phase2-exchange",
                 )
                 if tr.enabled:
                     for rk in np.flatnonzero(msgs):
@@ -298,7 +299,9 @@ def distributed_ecl_scc(
         active &= ~done
         keep = scc_edge_filter_mask(sig_in, sig_out, src, dst)
         with tr.span("superstep", index=supersteps, kind="phase3-filter"):
-            cluster.superstep(edges_per_rank * spec.ops_per_edge)
+            cluster.superstep(
+                edges_per_rank * spec.ops_per_edge, label="phase3-filter"
+            )
         supersteps += 1
         src, dst = src[keep], dst[keep]
         outer_span.close()

@@ -49,13 +49,16 @@ def _bsp_reach(
             owner[frontier], weights=counts.astype(np.float64), minlength=r
         ) * cluster.spec.ops_per_edge
         if nxt.size == 0:
-            cluster.superstep(expander_ops + 1.0)
+            cluster.superstep(expander_ops + 1.0, label="fb-reach-level")
             break
         crossing = owner[np.repeat(frontier, counts)] != owner[nxt]
         msgs = np.bincount(
             owner[np.repeat(frontier, counts)[crossing]], minlength=r
         )
-        cluster.superstep(expander_ops + 1.0, messages=msgs, bytes_out=msgs * 8)
+        cluster.superstep(
+            expander_ops + 1.0, messages=msgs, bytes_out=msgs * 8,
+            label="fb-reach-level",
+        )
         nxt = nxt[active[nxt] & ~visited[nxt]]
         frontier = np.unique(nxt)
         visited[frontier] = True
@@ -114,7 +117,7 @@ def distributed_fbtrim(
         else:
             bnd = frontier[:0]
         msgs = np.bincount(owner[bnd], minlength=r)
-        cluster.superstep(ops, messages=msgs, bytes_out=msgs * 8)
+        cluster.superstep(ops, messages=msgs, bytes_out=msgs * 8, label="trim-round")
         supersteps += 1
         cand = np.unique(np.concatenate([fwd, bwd]))
         cand = cand[active[cand]]

@@ -66,6 +66,9 @@ class Checkpoint:
     total_rounds: int
     completed_per_iteration: "list[int]"
     counters: KernelCounters
+    #: launch-ledger length at checkpoint time; restore truncates the
+    #: ledger here so profile attribution matches the restored counters
+    ledger_len: int = 0
     # frontier-engine extras: the partial re-init means signatures and
     # the invalidation set are live cross-iteration state (dense engines
     # rebuild both from scratch each iteration, so they skip this)
@@ -113,6 +116,7 @@ class CheckpointStore:
     def save(self, *, outer, labels, active, wl, total_rounds,
              completed_per_iteration, device, sigs=None,
              invalidated=None) -> Checkpoint:
+        ledger = getattr(device, "ledger", None)
         ckpt = Checkpoint(
             outer=int(outer),
             labels=labels.copy(),
@@ -123,13 +127,15 @@ class CheckpointStore:
             total_rounds=int(total_rounds),
             completed_per_iteration=list(completed_per_iteration),
             counters=_copy_counters(device.counters),
+            ledger_len=len(ledger.records) if ledger is not None else 0,
             sig_in=sigs.sig_in.copy() if sigs is not None else None,
             sig_out=sigs.sig_out.copy() if sigs is not None else None,
             invalidated=invalidated.copy() if invalidated is not None else None,
         )
         self._latest = ckpt
         # copy-out of the checkpointed state: sequential streaming traffic
-        device.counters.launch(
+        # (charged through the device so the launch ledger sees it too)
+        device.launch(
             vertices=labels.size, bytes_per_vertex=0,
             streamed_bytes=ckpt.nbytes,
         )
@@ -169,6 +175,11 @@ class CheckpointStore:
         if invalidated is not None and ckpt.invalidated is not None:
             invalidated[:] = ckpt.invalidated
         device.counters = _copy_counters(ckpt.counters)
+        ledger = getattr(device, "ledger", None)
+        if ledger is not None:
+            # drop the crashed iterations' launch records alongside their
+            # counter charges; re-execution re-records both identically
+            del ledger.records[ckpt.ledger_len:]
         device.counters.note("faults:restore_bytes", float(ckpt.nbytes))
         if self.injector is not None:
             self.injector.record_restore(crashed_at, ckpt.outer)

@@ -1,0 +1,64 @@
+"""Kernel-grain profiling: per-phase time attribution and trace diffing.
+
+The paper's performance story (§5, Figs. 5-14) is an *attribution*
+argument — ECL-SCC wins because it launches few kernels, moves few
+bytes, and needs no atomics.  This package makes that reasoning
+machine-checkable for the reproduction:
+
+* :func:`attach_ledger` — records every
+  :class:`~repro.device.VirtualDevice` charge as a per-phase
+  :class:`~repro.trace.LaunchRecord` on the active tracer (NullTracer
+  keeps the zero-overhead path);
+* :func:`build_profile` / :func:`profile_run` — apply the
+  :mod:`repro.device.costmodel` per launch to produce a
+  :class:`ProfileReport` whose per-phase seconds sum to
+  ``VirtualDevice.seconds``, each phase classified as
+  launch-overhead- / irregular-bandwidth- / streaming- / atomic- /
+  serial-bound;
+* :func:`diff_traces` — explain a regression between two JSONL traces
+  as per-phase counter/time deltas (the bench-regression gate prints
+  the top regressed phase from it);
+* :func:`profile_cluster` — per-rank profiles of distributed runs with
+  a straggler/imbalance summary;
+* ``repro profile <workload>`` / ``repro trace diff A B`` on the CLI.
+
+See ``docs/observability.md`` §"Profiling and attribution".
+"""
+
+from .ledger import LaunchLedger, attach_ledger
+from .attribution import (
+    CLASSIFICATIONS,
+    PhaseProfile,
+    aggregate_counters,
+    attribute_launches,
+)
+from .report import (
+    ProfileReport,
+    build_profile,
+    profile_run,
+    render_profile,
+    to_prometheus,
+)
+from .diff import PhaseDelta, TraceDiff, diff_traces, render_diff
+from .cluster import ClusterProfile, profile_cluster, render_cluster_profile
+
+__all__ = [
+    "LaunchLedger",
+    "attach_ledger",
+    "CLASSIFICATIONS",
+    "PhaseProfile",
+    "aggregate_counters",
+    "attribute_launches",
+    "ProfileReport",
+    "build_profile",
+    "profile_run",
+    "render_profile",
+    "to_prometheus",
+    "PhaseDelta",
+    "TraceDiff",
+    "diff_traces",
+    "render_diff",
+    "ClusterProfile",
+    "profile_cluster",
+    "render_cluster_profile",
+]

@@ -1,0 +1,150 @@
+"""Per-rank profiles of distributed (BSP) runs.
+
+The shared-memory profile attributes device seconds to span paths; a
+BSP run's analogue is per-*superstep-label* critical paths plus the rank
+imbalance picture: how much of the machine sat idle at barriers waiting
+for the slowest (possibly straggling) rank.  Built from the
+:class:`~repro.distributed.cluster.SuperstepRecord` list every
+:class:`~repro.distributed.cluster.VirtualCluster` now keeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+__all__ = ["ClusterProfile", "profile_cluster", "render_cluster_profile"]
+
+#: a rank whose busy time exceeds the mean by this factor is reported as
+#: a straggler (matches mild ClusterSpec.stragglers factors).
+STRAGGLER_FACTOR = 1.05
+
+
+@dataclass
+class ClusterProfile:
+    """Per-phase and per-rank accounting of one distributed run."""
+
+    ranks: int
+    phases: "Dict[str, dict]"          # label -> {steps, seconds, ...}
+    rank_seconds: "List[float]"        # per-rank busy seconds, whole run
+    critical_seconds: float            # sum of superstep critical paths
+    backoff_seconds: float = 0.0
+    meta: "Dict[str, object]" = field(default_factory=dict)
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean of per-rank busy seconds; 1.0 = perfectly balanced."""
+        mean = sum(self.rank_seconds) / max(len(self.rank_seconds), 1)
+        return max(self.rank_seconds) / mean if mean > 0 else 1.0
+
+    @property
+    def slowest_rank(self) -> int:
+        return int(np.argmax(self.rank_seconds)) if self.rank_seconds else 0
+
+    @property
+    def stragglers(self) -> "list[int]":
+        mean = sum(self.rank_seconds) / max(len(self.rank_seconds), 1)
+        if mean <= 0:
+            return []
+        return [
+            r
+            for r, s in enumerate(self.rank_seconds)
+            if s > STRAGGLER_FACTOR * mean
+        ]
+
+    @property
+    def idle_fraction(self) -> float:
+        """Fraction of the machine's barrier-synchronized time spent
+        idle (ranks waiting for the per-step critical path)."""
+        wall = self.ranks * self.critical_seconds
+        if wall <= 0:
+            return 0.0
+        return 1.0 - sum(self.rank_seconds) / wall
+
+    def to_dict(self) -> "dict":
+        return {
+            "ranks": self.ranks,
+            "phases": {k: dict(v) for k, v in self.phases.items()},
+            "rank_seconds": list(self.rank_seconds),
+            "critical_seconds": self.critical_seconds,
+            "backoff_seconds": self.backoff_seconds,
+            "imbalance": self.imbalance,
+            "slowest_rank": self.slowest_rank,
+            "stragglers": self.stragglers,
+            "idle_fraction": self.idle_fraction,
+            "meta": dict(self.meta),
+        }
+
+
+def profile_cluster(cluster, *, meta: "Dict[str, object] | None" = None) -> ClusterProfile:
+    """Profile a finished :class:`~repro.distributed.cluster.VirtualCluster`.
+
+    Groups its superstep records by label into per-phase critical-path
+    seconds and accumulates each rank's busy time for the imbalance and
+    straggler summary.
+    """
+    r = cluster.spec.num_ranks
+    busy = np.zeros(r, dtype=np.float64)
+    phases: "Dict[str, dict]" = {}
+    critical = 0.0
+    for step in cluster.step_records:
+        busy += step.rank_seconds
+        critical += step.seconds
+        ph = phases.get(step.label)
+        if ph is None:
+            ph = phases[step.label] = {
+                "steps": 0,
+                "seconds": 0.0,
+                "compute_seconds": 0.0,
+                "latency_seconds": 0.0,
+                "bandwidth_seconds": 0.0,
+            }
+        ph["steps"] += 1
+        ph["seconds"] += step.seconds
+        ph["compute_seconds"] += step.compute
+        ph["latency_seconds"] += step.latency
+        ph["bandwidth_seconds"] += step.bandwidth
+    return ClusterProfile(
+        ranks=r,
+        phases=phases,
+        rank_seconds=[float(s) for s in busy],
+        critical_seconds=critical,
+        backoff_seconds=cluster.backoff_seconds,
+        meta=dict(meta or {}),
+    )
+
+
+def render_cluster_profile(profile: ClusterProfile, *, width: int = 20) -> str:
+    """Text summary: per-phase critical paths, then the rank picture."""
+    lines = [
+        f"{profile.ranks} ranks,"
+        f" critical path {profile.critical_seconds:.3e}s"
+        + (
+            f" (+{profile.backoff_seconds:.3e}s retry backoff)"
+            if profile.backoff_seconds
+            else ""
+        )
+    ]
+    lines.append(
+        f"{'phase':<{width}} {'steps':>6} {'seconds':>11}"
+        f" {'compute':>11} {'latency':>11} {'bandwidth':>11}"
+    )
+    for label, ph in profile.phases.items():
+        lines.append(
+            f"{label:<{width}} {ph['steps']:>6} {ph['seconds']:>11.3e}"
+            f" {ph['compute_seconds']:>11.3e} {ph['latency_seconds']:>11.3e}"
+            f" {ph['bandwidth_seconds']:>11.3e}"
+        )
+    lines.append(
+        f"imbalance x{profile.imbalance:.3f}"
+        f" (slowest rank {profile.slowest_rank};"
+        f" idle fraction {profile.idle_fraction:.1%})"
+    )
+    if profile.stragglers:
+        per_rank = ", ".join(
+            f"r{r}={profile.rank_seconds[r]:.3e}s" for r in profile.stragglers
+        )
+        lines.append(f"stragglers: {per_rank}")
+    return "\n".join(lines)

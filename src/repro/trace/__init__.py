@@ -19,7 +19,15 @@ Every ``*_scc`` entry point, :func:`repro.bench.run_algorithm`, and
 dumps/summarizes the JSONL.  See ``docs/observability.md``.
 """
 
-from .records import COUNTER, GAUGE, EventRecord, SpanRecord, Trace
+from .records import (
+    COUNTER,
+    GAUGE,
+    SCHEMA_VERSION,
+    EventRecord,
+    LaunchRecord,
+    SpanRecord,
+    Trace,
+)
 from .tracer import NULL_TRACER, NullTracer, Tracer, ensure_tracer
 from .jsonl import dump_jsonl, dumps_jsonl, load_jsonl, loads_jsonl
 from .summary import PathStats, render_summary, summarize_spans
@@ -32,8 +40,10 @@ __all__ = [
     "Trace",
     "SpanRecord",
     "EventRecord",
+    "LaunchRecord",
     "COUNTER",
     "GAUGE",
+    "SCHEMA_VERSION",
     "dump_jsonl",
     "dumps_jsonl",
     "load_jsonl",

@@ -2,16 +2,23 @@
 
 One JSON object per line.  Line types (the ``type`` field):
 
-* ``meta``  — at most one, first line: ``{"type": "meta", "meta": {...}}``
+* ``meta``  — exactly one, first line: ``{"type": "meta",
+  "schema": int, "meta": {...}}``.  ``schema`` is the format version
+  (:data:`~repro.trace.records.SCHEMA_VERSION`); version-1 files (PR 1)
+  carried no ``schema`` field and are read as schema 1.
 * ``span``  — ``{"type": "span", "id": int, "parent": int|null,
   "depth": int, "name": str, "t0": float, "t1": float|null,
   "attrs": {...}}``
 * ``counter`` / ``gauge`` — ``{"type": "counter", "name": str,
   "value": float, "t": float, "span": int|null, "attrs": {...}}``
+* ``launch`` — one device-ledger charge (schema >= 2):
+  ``{"type": "launch", "seq": int, "kind": str, "path": [str, ...],
+  "span": int|null, <nonzero counter deltas>}``
 
 ``t1`` is ``null`` for spans left open (a crashed run); import maps that
 back to NaN.  The format is append-friendly and diff-friendly: spans are
-written in start order, events in emission order.
+written in start order, events in emission order, launches in charge
+order.
 """
 
 from __future__ import annotations
@@ -21,11 +28,26 @@ import math
 from pathlib import Path
 from typing import IO, Any, Iterable, Union
 
-from .records import EventRecord, SpanRecord, Trace
+from .records import SCHEMA_VERSION, EventRecord, LaunchRecord, SpanRecord, Trace
 
 __all__ = ["dump_jsonl", "dumps_jsonl", "load_jsonl", "loads_jsonl"]
 
 PathLike = Union[str, Path]
+
+#: counter-delta fields of a launch line, in emission order; zero deltas
+#: are omitted from the JSON to keep ledger lines short.
+_LAUNCH_FIELDS = (
+    "kernel_launches",
+    "global_barriers",
+    "edge_work",
+    "vertex_work",
+    "bytes_moved",
+    "atomics",
+    "serial_work",
+    "rounds",
+    "blocks_scheduled",
+    "bytes_streamed",
+)
 
 
 def _json_default(value: Any) -> Any:
@@ -60,15 +82,34 @@ def _event_obj(e: EventRecord) -> "dict[str, Any]":
     }
 
 
+def _launch_obj(rec: LaunchRecord) -> "dict[str, Any]":
+    obj: "dict[str, Any]" = {
+        "type": "launch",
+        "seq": rec.seq,
+        "kind": rec.kind,
+        "path": list(rec.path),
+        "span": rec.span_id,
+    }
+    for name in _LAUNCH_FIELDS:
+        value = getattr(rec, name)
+        if value:
+            obj[name] = value
+    return obj
+
+
 def _lines(trace: Trace) -> "Iterable[str]":
-    if trace.meta:
-        yield json.dumps(
-            {"type": "meta", "meta": trace.meta}, default=_json_default
-        )
+    # the header always carries the schema version, even with empty meta,
+    # so readers (and `repro trace diff`) can reject mixed-version input
+    yield json.dumps(
+        {"type": "meta", "schema": SCHEMA_VERSION, "meta": trace.meta},
+        default=_json_default,
+    )
     for s in trace.spans:
         yield json.dumps(_span_obj(s), default=_json_default)
     for e in trace.events:
         yield json.dumps(_event_obj(e), default=_json_default)
+    for rec in trace.launches:
+        yield json.dumps(_launch_obj(rec), default=_json_default)
 
 
 def dumps_jsonl(trace: Trace) -> str:
@@ -86,8 +127,14 @@ def dump_jsonl(trace: Trace, path: "PathLike | IO[str]") -> None:
 
 
 def loads_jsonl(text: str) -> Trace:
-    """Parse a JSONL string back into a :class:`Trace`."""
-    trace = Trace()
+    """Parse a JSONL string back into a :class:`Trace`.
+
+    Files written before schema versioning (no ``schema`` field on the
+    ``meta`` line, or no ``meta`` line at all) are read as schema 1;
+    files declaring a *newer* schema than this library understands raise
+    :class:`ValueError` instead of mis-parsing.
+    """
+    trace = Trace(schema=1)
     for lineno, raw in enumerate(text.splitlines(), start=1):
         raw = raw.strip()
         if not raw:
@@ -96,6 +143,13 @@ def loads_jsonl(text: str) -> Trace:
         kind = obj.get("type")
         if kind == "meta":
             trace.meta.update(obj.get("meta", {}))
+            schema = int(obj.get("schema", 1))
+            if schema > SCHEMA_VERSION:
+                raise ValueError(
+                    f"line {lineno}: trace schema {schema} is newer than"
+                    f" the supported version {SCHEMA_VERSION}"
+                )
+            trace.schema = schema
         elif kind == "span":
             trace.spans.append(
                 SpanRecord(
@@ -117,6 +171,16 @@ def loads_jsonl(text: str) -> Trace:
                     t=float(obj["t"]),
                     span_id=None if obj.get("span") is None else int(obj["span"]),
                     attrs=dict(obj.get("attrs", {})),
+                )
+            )
+        elif kind == "launch":
+            trace.launches.append(
+                LaunchRecord(
+                    seq=int(obj["seq"]),
+                    kind=obj["kind"],
+                    path=tuple(obj.get("path", ())),
+                    span_id=None if obj.get("span") is None else int(obj["span"]),
+                    **{f: int(obj.get(f, 0)) for f in _LAUNCH_FIELDS},
                 )
             )
         else:

@@ -13,11 +13,24 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional
 
-__all__ = ["SpanRecord", "EventRecord", "Trace", "COUNTER", "GAUGE"]
+__all__ = [
+    "SpanRecord",
+    "EventRecord",
+    "LaunchRecord",
+    "Trace",
+    "COUNTER",
+    "GAUGE",
+    "SCHEMA_VERSION",
+]
 
 #: event kinds
 COUNTER = "counter"
 GAUGE = "gauge"
+
+#: JSONL schema version written by :mod:`repro.trace.jsonl`.  Version 1
+#: (PR 1) had no header version and no launch records; version 2 adds
+#: both.  Bump whenever the line format changes incompatibly.
+SCHEMA_VERSION = 2
 
 
 def _plain(value: Any) -> Any:
@@ -85,12 +98,48 @@ class EventRecord:
 
 
 @dataclass
+class LaunchRecord:
+    """One device charge (kernel launch, in-kernel work, or serial step).
+
+    Recorded by :func:`repro.profile.attach_ledger` as the *delta* of the
+    device's :class:`~repro.device.KernelCounters` across a single
+    ``launch()``/``work()``/``serial()`` call, tagged with the span path
+    that was open when the charge happened.  The counter fields use the
+    exact names of :meth:`~repro.device.KernelCounters.snapshot`, so a
+    record duck-types as a tiny ``KernelCounters`` for the cost model.
+    """
+
+    seq: int
+    kind: str  # "launch" | "work" | "serial"
+    path: "tuple[str, ...]"
+    span_id: Optional[int] = None
+    kernel_launches: int = 0
+    global_barriers: int = 0
+    edge_work: int = 0
+    vertex_work: int = 0
+    bytes_moved: int = 0
+    atomics: int = 0
+    serial_work: int = 0
+    rounds: int = 0
+    blocks_scheduled: int = 0
+    bytes_streamed: int = 0
+
+
+@dataclass
 class Trace:
-    """A finished trace: spans in start order plus counter/gauge events."""
+    """A finished trace: spans in start order plus counter/gauge events.
+
+    ``launches`` holds the per-charge device ledger (empty unless the run
+    was profiled via :func:`repro.profile.attach_ledger`); ``schema`` is
+    the JSONL schema version the trace was read from (or will be written
+    as).
+    """
 
     spans: "list[SpanRecord]" = field(default_factory=list)
     events: "list[EventRecord]" = field(default_factory=list)
     meta: "dict[str, Any]" = field(default_factory=dict)
+    launches: "list[LaunchRecord]" = field(default_factory=list)
+    schema: int = SCHEMA_VERSION
 
     # ------------------------------------------------------------------
     # queries

@@ -2,12 +2,12 @@
 
 Spans are aggregated by their *path* (the chain of names from the root),
 so the same phase under different parents stays distinct.  Rendering is
-an indented tree with call counts and total/mean durations, followed by
-counter totals — the per-phase view Figures 5-14 of the paper reason
-about::
+an indented tree with call counts and total/self/mean durations (self =
+exclusive time, total minus closed children), followed by counter totals
+— the per-phase view Figures 5-14 of the paper reason about::
 
-    span                                count       total        mean
-    outer-iteration                         4   1.23e-03s   3.08e-04s
+    span                                count       total        self        mean
+    outer-iteration                         4   1.23e-03s   1.10e-04s   3.08e-04s
       phase1-init                           4   ...
       phase2-propagate                      4   ...
       phase3-filter                         4   ...
@@ -28,11 +28,17 @@ __all__ = ["PathStats", "summarize_spans", "render_summary"]
 
 @dataclass
 class PathStats:
-    """Aggregated timing of every span sharing one root-to-name path."""
+    """Aggregated timing of every span sharing one root-to-name path.
+
+    ``self_total`` is the *exclusive* time: ``total`` minus the time
+    spent in closed child spans, so a parent phase isn't double-counted
+    against the leaves nested in it.
+    """
 
     path: "Tuple[str, ...]"
     count: int = 0
     total: float = 0.0
+    self_total: float = 0.0
     attrs_sums: "Dict[str, float]" = field(default_factory=dict)
 
     @property
@@ -51,16 +57,26 @@ class PathStats:
 def summarize_spans(trace: Trace) -> "list[PathStats]":
     """Aggregate spans by path, in first-appearance (pre-)order."""
     stats: "dict[Tuple[str, ...], PathStats]" = {}
+    path_of: "dict[int, Tuple[str, ...]]" = {}
     for path, span in trace.iter_paths():
+        path_of[span.span_id] = path
         ps = stats.get(path)
         if ps is None:
             ps = stats[path] = PathStats(path=path)
         ps.count += 1
         if span.closed:
             ps.total += span.duration
+            ps.self_total += span.duration
         for key, value in span.attrs.items():
             if isinstance(value, (int, float)) and not isinstance(value, bool):
                 ps.attrs_sums[key] = ps.attrs_sums.get(key, 0.0) + value
+    # exclusive time: subtract each closed child's duration from its
+    # parent's path bucket
+    for span in trace.spans:
+        if span.closed and span.parent_id is not None:
+            parent_path = path_of.get(span.parent_id)
+            if parent_path in stats:
+                stats[parent_path].self_total -= span.duration
     return list(stats.values())
 
 
@@ -81,7 +97,10 @@ def render_summary(trace: Trace, *, width: int = 40) -> str:
     )
     span_stats = summarize_spans(trace)
     if span_stats:
-        lines.append(f"{'span':<{width}} {'count':>7} {'total':>11} {'mean':>11}")
+        lines.append(
+            f"{'span':<{width}} {'count':>7} {'total':>11}"
+            f" {'self':>11} {'mean':>11}"
+        )
         for ps in span_stats:
             label = "  " * ps.depth + ps.name
             extra = ""
@@ -91,7 +110,8 @@ def render_summary(trace: Trace, *, width: int = 40) -> str:
                 ) + "]"
             lines.append(
                 f"{label:<{width}} {ps.count:>7}"
-                f" {_fmt_seconds(ps.total):>11} {_fmt_seconds(ps.mean):>11}{extra}"
+                f" {_fmt_seconds(ps.total):>11} {_fmt_seconds(ps.self_total):>11}"
+                f" {_fmt_seconds(ps.mean):>11}{extra}"
             )
     counters: "dict[str, tuple[int, float]]" = {}
     gauges: "dict[str, tuple[int, float]]" = {}

@@ -116,6 +116,15 @@ class Tracer:
     def current_span_id(self) -> Optional[int]:
         return self._stack[-1].span_id if self._stack else None
 
+    def current_path(self) -> "tuple[str, ...]":
+        """Name chain of the currently open spans (root first).
+
+        Empty tuple at top level; the ``repro.profile`` ledger stamps it
+        on every device charge so per-launch costs can be attributed to
+        phases without re-walking the span tree.
+        """
+        return tuple(record.name for record in self._stack)
+
     def span(self, name: str, **attrs: Any):
         """Open a nested span; use as a context manager."""
         record = SpanRecord(
