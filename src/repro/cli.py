@@ -9,6 +9,9 @@ Run as ``python -m repro`` (or ``python -m repro.cli``).  Subcommands:
 * ``bench``    — regenerate one of the paper's tables/figures;
 * ``trace``    — run one algorithm with the structured tracer and print
   a span/counter summary (optionally dumping the trace as JSONL);
+* ``dynamic``  — replay a deterministic edge log through the incremental
+  SCC engine (repro.dynamic) and print the incremental-vs-recompute
+  crossover table;
 * ``chaos``    — run ECL-SCC under a seeded fault plan (repro.faults)
   and report the injected faults, recoveries, and cost overhead;
 * ``devices``  — list the virtual device models;
@@ -87,6 +90,21 @@ def _backend_choices() -> "list[str]":
     from .engine import backend_names
 
     return backend_names()
+
+
+def _int_list(spec: str) -> "list[int]":
+    """argparse type: comma-separated positive ints ("1,4,16")."""
+    try:
+        values = [int(v) for v in spec.split(",") if v.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {spec!r}"
+        ) from None
+    if not values or any(v < 1 for v in values):
+        raise argparse.ArgumentTypeError(
+            f"batch sizes must be positive integers, got {spec!r}"
+        )
+    return values
 
 
 # ---------------------------------------------------------------------------
@@ -241,6 +259,32 @@ def _bench_smoke(args: argparse.Namespace) -> int:
                     for ph in report.phases
                 }
             rows.append(row)
+    # edge-log replay workload: incremental maintenance vs recompute on
+    # the power-law graph's event stream (deterministic, seeded)
+    from .dynamic import generate_edge_log, replay
+
+    replay_graph_name, replay_graph = graphs[-1]
+    log = generate_edge_log(replay_graph, events=120, seed=7)
+    for batch_size in (12, 60):
+        rep = replay(
+            log, batch_size=batch_size, engine=engine,
+            backend=args.backend, device=dev, verify=True,
+        )
+        rows.append(
+            {
+                "algorithm": "dynamic-replay",
+                "graph": f"{replay_graph_name}:replay-b{batch_size}",
+                "num_vertices": rep.num_vertices,
+                "num_edges": log.final_graph().num_edges,
+                "num_sccs": rep.final_num_sccs,
+                "events": rep.num_events,
+                "batch_size": batch_size,
+                "model_seconds": rep.incremental_seconds,
+                "recompute_seconds": rep.recompute_seconds,
+                "speedup": rep.speedup,
+                "invalidated": sum(b.invalidated for b in rep.batches),
+            }
+        )
     payload = {
         "device": dev.name,
         "backend": args.backend or "dense",
@@ -265,7 +309,10 @@ def _bench_compare(rows: "list[dict]", baseline: str, tolerance: float) -> int:
     ``num_sccs`` must match exactly on every shared cell (an engine or
     backend must never change *what* is computed); ecl-scc
     ``model_seconds`` must not exceed baseline x (1 + tolerance) on any
-    graph.  Returns 0 on pass, 1 on violation.  Baselines written before
+    graph.  ``dynamic-replay`` rows must additionally keep incremental
+    maintenance cheaper than full recompute (``model_seconds <
+    recompute_seconds``) — the crossover guarantee of repro.dynamic.
+    Returns 0 on pass, 1 on violation.  Baselines written before
     the profiling layer (no ``bytes_streamed``/``phases`` keys) still
     compare; a regression's failure message names the top regressed
     phase when per-phase data is available on the new side.
@@ -280,6 +327,13 @@ def _bench_compare(rows: "list[dict]", baseline: str, tolerance: float) -> int:
     print(f"  {'graph':<16s} {'base ms':>9s} {'new ms':>9s} {'ratio':>6s}"
           f" {'bytes':>6s} {'launches':>13s}")
     for row in rows:
+        if row["algorithm"] == "dynamic-replay":
+            if row["model_seconds"] >= row["recompute_seconds"]:
+                failures.append(
+                    f"{row['graph']}: incremental updates"
+                    f" ({row['model_seconds']:.3e}s) no longer beat full"
+                    f" recompute ({row['recompute_seconds']:.3e}s)"
+                )
         key = (row["algorithm"], row["graph"])
         b = base_rows.get(key)
         if b is None:
@@ -619,6 +673,84 @@ def _profile_distributed(args: argparse.Namespace, graph) -> int:
     return 0
 
 
+def _cmd_dynamic(args: argparse.Namespace) -> int:
+    """Replay a deterministic edge log and print the crossover table.
+
+    Generates a seeded stream of edge insertions/deletions over the
+    workload graph, replays it through a
+    :class:`~repro.dynamic.DynamicGraph` at each requested batch size,
+    and compares the incremental update cost against a cold re-solve of
+    every post-batch snapshot — the measurement that shows incremental
+    maintenance crossing below recompute as batches shrink.
+    """
+    from .dynamic import generate_edge_log, replay
+
+    graph = _trace_workload(args)
+    dev = _device(args.device)
+    log = generate_edge_log(
+        graph, events=args.events, seed=args.seed,
+        insert_fraction=args.insert_fraction,
+    )
+    inserts = int(np.count_nonzero(log.op == 1))
+    print(f"workload:   {args.workload}"
+          f"  (|V|={graph.num_vertices} |E|={graph.num_edges})")
+    print(f"events:     {log.num_events}"
+          f" (insert {inserts} / delete {log.num_events - inserts},"
+          f" seed {args.seed})")
+    print(f"engine:     {args.engine or 'frontier'}   device: {dev.name}"
+          f" (model){'   [verified]' if args.verify else ''}")
+    print()
+    print(f"  {'batch':>6s} {'batches':>8s} {'incr ms':>10s}"
+          f" {'recomp ms':>10s} {'speedup':>8s} {'invalidated':>12s}"
+          f" {'sccs':>6s}")
+    results = []
+    for batch_size in args.batches:
+        rep = replay(
+            log, batch_size=batch_size, engine=args.engine,
+            backend=args.backend, device=dev, verify=args.verify,
+        )
+        results.append(rep)
+        print(f"  {batch_size:>6d} {len(rep.batches):>8d}"
+              f" {rep.incremental_seconds * 1e3:>10.4f}"
+              f" {rep.recompute_seconds * 1e3:>10.4f}"
+              f" {rep.speedup:>8.2f}"
+              f" {sum(b.invalidated for b in rep.batches):>12d}"
+              f" {rep.final_num_sccs:>6d}")
+    winners = [r.batch_size for r in results if r.speedup > 1.0]
+    print()
+    if winners:
+        print(f"crossover:  incremental wins at batch <= {max(winners)}"
+              " (speedup > 1)")
+    else:
+        print("crossover:  recompute wins at every requested batch size")
+    if args.json:
+        import json
+
+        payload = {
+            "workload": args.workload,
+            "device": dev.name,
+            "engine": args.engine or "frontier",
+            "events": log.num_events,
+            "seed": args.seed,
+            "results": [
+                {
+                    "batch_size": r.batch_size,
+                    "batches": len(r.batches),
+                    "incremental_seconds": r.incremental_seconds,
+                    "recompute_seconds": r.recompute_seconds,
+                    "speedup": r.speedup,
+                    "num_sccs": r.final_num_sccs,
+                }
+                for r in results
+            ],
+        }
+        Path(args.json).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"results written to {args.json}")
+    return 0
+
+
 def _chaos_plan(args: argparse.Namespace):
     """Resolve the ``chaos`` subcommand's ``--plan`` argument.
 
@@ -835,6 +967,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse parser for all subcommands."""
     from .bench.runners import ALGORITHM_NAMES
+    from .core.options import ENGINE_NAMES
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -860,7 +993,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", default=None, choices=_backend_choices(),
                    help="engine accounting backend (default: dense)")
     p.add_argument("--engine", default=None,
-                   choices=["sync", "async", "atomic", "frontier"],
+                   choices=list(ENGINE_NAMES),
                    help="ecl-scc Phase-2 engine (default: options default)")
     p.set_defaults(func=_cmd_scc)
 
@@ -895,7 +1028,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", default=None, choices=_backend_choices(),
                    help="(smoke) engine accounting backend")
     p.add_argument("--engine", default=None,
-                   choices=["sync", "async", "atomic", "frontier"],
+                   choices=list(ENGINE_NAMES),
                    help="(smoke) ecl-scc Phase-2 engine")
     p.add_argument("--baseline", default=None,
                    help="(smoke) compare against this smoke JSON and gate:"
@@ -941,7 +1074,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", default=None, choices=_backend_choices(),
                    help="engine accounting backend (default: dense)")
     p.add_argument("--engine", default=None,
-                   choices=["sync", "async", "atomic", "frontier"],
+                   choices=list(ENGINE_NAMES),
                    help="ecl-scc Phase-2 engine (default: options default)")
     p.set_defaults(func=_cmd_trace)
 
@@ -981,9 +1114,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", default=None, choices=_backend_choices(),
                    help="engine accounting backend (default: dense)")
     p.add_argument("--engine", default=None,
-                   choices=["sync", "async", "atomic", "frontier"],
+                   choices=list(ENGINE_NAMES),
                    help="ecl-scc Phase-2 engine (default: options default)")
     p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser(
+        "dynamic",
+        help="replay an edge log through the incremental SCC engine",
+    )
+    p.add_argument(
+        "workload",
+        nargs="?",
+        default="gnm:512:2048",
+        help="graph file, power-law name, or generator spec"
+        " (cycle:N | ladder:RUNGS | gnm:N:M | mesh:NAME[:ORD]);"
+        " default gnm:512:2048",
+    )
+    p.add_argument("--events", type=int, default=200,
+                   help="edge events to generate (default 200)")
+    p.add_argument("--batches", type=_int_list, default=[1, 4, 16, 64],
+                   help="comma-separated batch sizes (default 1,4,16,64)")
+    p.add_argument("--insert-fraction", type=float, default=0.5,
+                   help="fraction of events that insert (default 0.5)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="edge-log RNG seed")
+    p.add_argument("--device", default="A100",
+                   help="Titan V | A100 | Ryzen 2950X | Xeon 6226R")
+    p.add_argument("--format", default="auto",
+                   choices=["auto", "mtx", "edges", "dimacs", "npz"])
+    p.add_argument("--scale", type=float, default=None,
+                   help="power-law workload scale factor")
+    p.add_argument("--verify", action="store_true",
+                   help="check every batch's labels against a cold solve")
+    p.add_argument("--json", default=None,
+                   help="write the crossover table to this JSON file")
+    p.add_argument("--backend", default=None, choices=_backend_choices(),
+                   help="engine accounting backend (default: dense)")
+    p.add_argument("--engine", default=None, choices=list(ENGINE_NAMES),
+                   help="internal re-solve engine (default: frontier)")
+    p.set_defaults(func=_cmd_dynamic)
 
     p = sub.add_parser(
         "chaos", help="run ECL-SCC under a seeded fault plan"
@@ -1012,7 +1181,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", default=None, choices=_backend_choices(),
                    help="engine accounting backend (default: dense)")
     p.add_argument("--engine", default=None,
-                   choices=["sync", "async", "atomic", "frontier"],
+                   choices=list(ENGINE_NAMES),
                    help="ecl-scc Phase-2 engine (default: options default)")
     p.set_defaults(func=_cmd_chaos)
 

@@ -212,7 +212,8 @@ def ecl_scc(
     outer = 0
     total_rounds = 0
     outer_bound = opts.outer_bound(n)
-    use_frontier = opts.engine == "frontier"
+    engine = opts.phase2_engine
+    use_frontier = engine == "frontier"
     # cross-iteration invalidation set of the frontier engine: vertices
     # whose signatures must be re-initialized and re-propagated this
     # iteration (everything on iteration 1; afterwards the still-active
@@ -326,7 +327,7 @@ def ecl_scc(
                                 )
                                 rounds += run_frontier(regressed)
                         total_rounds += rounds
-                    elif opts.atomic_phase2:
+                    elif engine == "atomic":
                         from .atomic import propagate_atomic
 
                         def run_phase2() -> int:
@@ -334,7 +335,7 @@ def ecl_scc(
                                 sigs, wl.src, wl.dst, device, opts, n,
                                 tracer=tr,
                             )
-                    elif opts.async_phase2:
+                    elif engine == "async":
                         bounds = device.partition_edges(
                             wl.num_edges,
                             persistent=opts.persistent_threads,

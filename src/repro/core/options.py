@@ -7,6 +7,7 @@ ablation benchmark flips these flags one at a time.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING
 
@@ -22,10 +23,23 @@ __all__ = [
     "ENGINE_NAMES",
     "ablation_variants",
     "engine_options",
+    "validate_engine",
 ]
 
-#: Phase-2 engine names accepted by :func:`engine_options` and ``--engine``.
+#: The Phase-2 engine registry: every name ``EclOptions.engine``,
+#: :func:`engine_options`, ``run_algorithm(engine=)``, and ``--engine``
+#: accept.  New engines register here.
 ENGINE_NAMES = ("sync", "async", "atomic", "frontier")
+
+
+def validate_engine(engine: str) -> str:
+    """Check *engine* against the registry; raise a helpful error if unknown."""
+    if engine not in ENGINE_NAMES:
+        raise AlgorithmError(
+            f"unknown engine {engine!r}; valid choices: "
+            + ", ".join(ENGINE_NAMES)
+        )
+    return engine
 
 
 @dataclass(frozen=True)
@@ -64,14 +78,17 @@ class EclOptions:
         async engine's block-local iteration counts *local* rounds — a
         value crossing a block boundary only advances at the next launch,
         so its cross-launch total can reach ``~|V| + #launches``.
-    frontier_phase2:
-        Phase 2 runs as a persistent vertex-worklist kernel with
-        *cross-iteration frontier reuse*: after Phase 3 removes edges,
-        the next outer iteration re-initializes and re-propagates only
-        the invalidated vertices (unfinished vertices plus endpoints of
-        removed edges) instead of re-relaxing every surviving edge to
-        quiescence.  Overrides ``async_phase2``; ``atomic_phase2`` takes
-        precedence over both.
+    engine:
+        name of the Phase-2 engine, validated against the engine
+        registry (:data:`ENGINE_NAMES`).  The default ``""`` derives
+        the engine from the paper's ablation flags (``atomic_phase2``
+        wins, then ``async_phase2`` picks async over sync); an explicit
+        name overrides both.  ``"frontier"`` selects the persistent
+        vertex-worklist kernel with *cross-iteration frontier reuse*:
+        after Phase 3 removes edges, the next outer iteration
+        re-initializes and re-propagates only the invalidated vertices
+        (unfinished vertices plus endpoints of removed edges) instead
+        of re-relaxing every surviving edge to quiescence.
     backend:
         name of the registered :class:`~repro.engine.ArrayBackend` the
         run's primitives account against (``"dense"`` reproduces the
@@ -93,7 +110,7 @@ class EclOptions:
     #: the atomic-free engine; overrides ``async_phase2``.  For the
     #: atomic-vs-atomic-free ablation (benchmarks/test_ext_atomic.py).
     atomic_phase2: bool = False
-    frontier_phase2: bool = False
+    engine: str = ""
     block_edges: int = 512
     max_outer_iterations: int = 0  # 0 = auto (|V| + 2)
     max_rounds: int = 0  # 0 = auto (3|V| + 16, see docstring)
@@ -101,6 +118,8 @@ class EclOptions:
     faults: "FaultPlan | None" = None
 
     def __post_init__(self) -> None:
+        if self.engine:
+            validate_engine(self.engine)
         if self.block_edges < 1:
             raise AlgorithmError(f"block_edges must be >= 1, got {self.block_edges}")
         if self.max_outer_iterations < 0 or self.max_rounds < 0:
@@ -120,15 +139,17 @@ class EclOptions:
         return self.max_rounds or (3 * num_vertices + 16)
 
     @property
-    def engine(self) -> str:
-        """Name of the Phase-2 engine these options select."""
+    def phase2_engine(self) -> str:
+        """Resolved name of the Phase-2 engine these options select.
+
+        An explicit ``engine`` wins; otherwise the paper's ablation
+        flags decide (``atomic_phase2``, then ``async_phase2``).
+        """
+        if self.engine:
+            return self.engine
         if self.atomic_phase2:
             return "atomic"
-        if self.frontier_phase2:
-            return "frontier"
-        if self.async_phase2:
-            return "async"
-        return "sync"
+        return "async" if self.async_phase2 else "sync"
 
     def disabling(self, flag: str) -> "EclOptions":
         """Copy with one optimization turned off (ablation helper)."""
@@ -140,6 +161,46 @@ class EclOptions:
         ):
             raise AlgorithmError(f"unknown optimization flag {flag!r}")
         return replace(self, **{flag: False})
+
+
+def _frontier_phase2_shim(self: EclOptions) -> bool:
+    """Deprecated read access to the folded PR 4 bool flag."""
+    warnings.warn(
+        "EclOptions.frontier_phase2 is deprecated; compare"
+        " EclOptions.phase2_engine == 'frontier' instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return self.phase2_engine == "frontier"
+
+
+# ``frontier_phase2`` (PR 4's bool flag) is deliberately NOT a dataclass
+# field: dataclasses.replace() round-trips every field through the
+# constructor, and the shim keyword must stay invisible to the internal
+# replace() calls (engine_options, disabling, per-run fault stripping) or
+# each of them would re-fire the DeprecationWarning.  Instead the
+# generated __init__ is wrapped to accept the legacy keyword, and a class
+# property serves the deprecated *read* path.
+_dataclass_init = EclOptions.__init__
+
+
+def _init_with_shim(self, *args, frontier_phase2=None, **kwargs) -> None:
+    if frontier_phase2 is not None:
+        warnings.warn(
+            "EclOptions(frontier_phase2=...) is deprecated; pass"
+            " engine='frontier' instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        engine_given = len(args) >= 6 or bool(kwargs.get("engine"))
+        if frontier_phase2 and not engine_given:
+            kwargs["engine"] = "frontier"
+    _dataclass_init(self, *args, **kwargs)
+
+
+_init_with_shim.__doc__ = _dataclass_init.__doc__
+EclOptions.__init__ = _init_with_shim  # type: ignore[method-assign]
+EclOptions.frontier_phase2 = property(_frontier_phase2_shim)  # type: ignore[assignment]
 
 
 #: all optimizations enabled — the configuration the paper ships.
@@ -157,22 +218,17 @@ ALL_OFF = EclOptions(
 def engine_options(engine: str, base: "EclOptions | None" = None) -> EclOptions:
     """Options selecting a named Phase-2 *engine*, from *base* (default ALL_ON).
 
-    The engine is an orthogonal axis to ``backend``: the backend decides
-    what vertex scans cost, the engine decides how Phase 2 reaches its
-    fixed point (``sync`` = one launch per global round, ``async`` =
-    block-local iteration, ``atomic`` = the rejected two-atomic-max
-    variant, ``frontier`` = persistent worklist with cross-iteration
-    frontier reuse).
+    Thin shim over the ``EclOptions.engine`` field (which this helper
+    predates): the engine is an orthogonal axis to ``backend`` — the
+    backend decides what vertex scans cost, the engine decides how
+    Phase 2 reaches its fixed point (``sync`` = one launch per global
+    round, ``async`` = block-local iteration, ``atomic`` = the rejected
+    two-atomic-max variant, ``frontier`` = persistent worklist with
+    cross-iteration frontier reuse).  Unknown names raise listing the
+    registry.
     """
-    if engine not in ENGINE_NAMES:
-        raise AlgorithmError(f"unknown engine {engine!r}; known: {ENGINE_NAMES}")
     base = ALL_ON if base is None else base
-    return replace(
-        base,
-        async_phase2=(engine == "async"),
-        atomic_phase2=(engine == "atomic"),
-        frontier_phase2=(engine == "frontier"),
-    )
+    return replace(base, engine=validate_engine(engine))
 
 
 def ablation_variants() -> "dict[str, EclOptions]":

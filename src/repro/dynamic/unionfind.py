@@ -1,0 +1,65 @@
+"""Array-based union-find over condensation components.
+
+The dynamic engine merges SCC labels after an insertion batch by
+unioning the old components that fall into one new component of the
+affected-cluster re-solve (see :mod:`repro.dynamic.graph`).  The
+structure is deliberately minimal: path-halving finds, union by the
+*label* order — the representative of a merged set is always the member
+with the maximum SCC label, so the merged set's label is readable
+directly off the root (labels are max-member vertex IDs, and the max of
+maxes over a union is the union's max).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["UnionFind"]
+
+
+class UnionFind:
+    """Union-find over ``0..n-1`` keyed by a per-element label priority.
+
+    ``union(a, b)`` roots the set at whichever element carries the
+    larger ``labels`` value, so ``label_of(x) == labels[find(x)]`` is
+    the maximum label over x's set at all times.
+    """
+
+    def __init__(self, labels: np.ndarray) -> None:
+        self.labels = np.asarray(labels, dtype=np.int64)
+        self.parent = np.arange(self.labels.size, dtype=np.int64)
+        self.merges = 0
+
+    def find(self, x: int) -> int:
+        parent = self.parent
+        root = int(x)
+        while parent[root] != root:
+            parent[root] = parent[parent[root]]  # path halving
+            root = int(parent[root])
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of *a* and *b*; True if they were distinct."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        # the larger label wins the root, keeping label_of() a max
+        if self.labels[ra] < self.labels[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.merges += 1
+        return True
+
+    def label_of(self, x: int) -> int:
+        """Maximum label over x's current set."""
+        return int(self.labels[self.find(x)])
+
+    def roots(self) -> np.ndarray:
+        """Fully-compressed root of every element (vectorized)."""
+        parent = self.parent
+        while True:
+            jumped = parent[parent]
+            if np.array_equal(jumped, parent):
+                self.parent = parent
+                return parent
+            parent = jumped

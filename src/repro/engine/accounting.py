@@ -40,6 +40,10 @@ __all__ = [
     "charge_frontier_compaction",
     "charge_frontier_launch",
     "charge_frontier_round",
+    "charge_update_insert",
+    "charge_update_delete",
+    "charge_label_rewrite",
+    "charge_condensation_build",
 ]
 
 #: read+write of one per-vertex status flag.
@@ -222,6 +226,71 @@ def charge_frontier_round(
         atomics=int(enqueues),
     )
     dev.round()
+
+
+def charge_update_insert(dev: VirtualDevice, *, batch: int) -> None:
+    """One edge-insertion batch of the dynamic engine (repro.dynamic).
+
+    The batch's ``(src, dst)`` pairs append contiguously to the resident
+    edge array (streamed; one atomic tail-pointer claim per edge) while
+    each endpoint's current SCC label is gathered to classify the edge
+    as intra- or inter-component (irregular).
+    """
+    dev.launch(
+        edges=int(batch),
+        bytes_per_edge=ADJACENCY_EDGE_BYTES,
+        streamed_bytes=DEGREE_EDGE_BYTES * int(batch),
+        atomics=int(batch),
+    )
+
+
+def charge_update_delete(
+    dev: VirtualDevice, *, probed: int, requested: int
+) -> None:
+    """One edge-deletion batch of the dynamic engine (repro.dynamic).
+
+    One warp per requested deletion scans its source vertex's adjacency
+    list (``probed`` edges inspected in total) and tombstones the
+    matching resident instance with one atomic claim; the batch's own
+    ``(src, dst)`` keys stream through the cache.  Compaction of the
+    tombstoned slots is deferred and amortized — a deletion batch must
+    cost the probed adjacency volume, never O(|E|), or incremental
+    maintenance could not beat recomputation.
+    """
+    dev.launch(
+        edges=int(probed),
+        bytes_per_edge=ADJACENCY_EDGE_BYTES,
+        streamed_bytes=DEGREE_EDGE_BYTES * int(requested),
+        atomics=int(requested),
+    )
+
+
+def charge_label_rewrite(
+    dev: VirtualDevice,
+    backend: ArrayBackend,
+    *,
+    num_vertices: int,
+    touched: int,
+) -> None:
+    """Rewrite the maintained SCC labels of ``touched`` vertices.
+
+    Backend-swept like every vertex-state kernel: the dense backend
+    scans all labels, the frontier backend touches only the worklist.
+    """
+    dev.launch(
+        vertices=backend.sweep_vertices(num_vertices, touched),
+        bytes_per_vertex=STATUS_FLAG_BYTES,
+    )
+
+
+def charge_condensation_build(dev: VirtualDevice, *, edges: int) -> None:
+    """Map every resident edge into condensation (component) space.
+
+    One edge-centric pass: the pair streams, the two per-endpoint label
+    gathers are irregular — the dynamic engine rebuilds its cached
+    condensation DAG with exactly this kernel.
+    """
+    dev.launch(edges=int(edges), bytes_per_edge=ADJACENCY_EDGE_BYTES)
 
 
 def charge_edge_filter(
