@@ -132,6 +132,9 @@ class RunResult:
     trace: Optional[Trace] = None
     status: str = "clean"
     fault_report: Optional[object] = None
+    #: the adaptive scheduler's per-round decisions (``ecl-scc`` with
+    #: ``engine="adaptive"`` only; None otherwise)
+    decision_log: Optional[list] = None
 
     @property
     def model_throughput_mvs(self) -> float:
@@ -195,12 +198,14 @@ def run_algorithm(
     ``backend`` selects the registered :class:`~repro.engine.ArrayBackend`
     the run's engine primitives account against (default: the dense
     backend, which reproduces the historical launch costs; the oracles
-    ignore it).  ``engine`` selects ECL-SCC's Phase-2 engine by name
-    (``"sync"`` / ``"async"`` / ``"atomic"`` / ``"frontier"``, applied on
+    ignore it).  ``engine`` selects ECL-SCC's Phase-2 engine by name —
+    any entry of :data:`~repro.core.options.ENGINE_NAMES`, applied on
     top of ``options`` via
-    :func:`~repro.core.options.engine_options`); only ``ecl-scc``
+    :func:`~repro.core.options.engine_options`; only ``ecl-scc``
     has multiple Phase-2 engines, so passing it for any other algorithm
-    raises :class:`~repro.errors.AlgorithmError`.
+    raises :class:`~repro.errors.AlgorithmError`.  The ``adaptive``
+    engine's per-round policy decisions are carried on the result as
+    ``RunResult.decision_log``.
     ``time_wall`` additionally measures Python wall time
     with the median-of-N protocol (each repeat uses a fresh device so
     counters stay single-run; repeats run untraced so the caller's
@@ -248,4 +253,5 @@ def run_algorithm(
         trace=res.trace,
         status=res.status,
         fault_report=res.fault_report,
+        decision_log=getattr(res, "decision_log", None),
     )

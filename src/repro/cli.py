@@ -6,7 +6,8 @@ Run as ``python -m repro`` (or ``python -m repro.cli``).  Subcommands:
 * ``stats``    — print Table-1/2/3-style properties of a graph file;
 * ``gen``      — generate a workload (mesh sweep graph or power-law
   stand-in) and write it to a graph file;
-* ``bench``    — regenerate one of the paper's tables/figures;
+* ``bench``    — regenerate one of the paper's tables/figures (plus the
+  ``smoke`` CI run and the ``engines`` adaptive-vs-static matrix);
 * ``trace``    — run one algorithm with the structured tracer and print
   a span/counter summary (optionally dumping the trace as JSONL);
 * ``dynamic``  — replay a deterministic edge log through the incremental
@@ -303,8 +304,165 @@ def _bench_smoke(args: argparse.Namespace) -> int:
     return 0
 
 
-def _bench_compare(rows: "list[dict]", baseline: str, tolerance: float) -> int:
-    """Gate the smoke rows against a committed baseline JSON.
+#: engines compared by ``repro bench engines`` (dense "async", static
+#: frontier, and the adaptive per-round scheduler on top of both).
+_ENGINE_MATRIX = ("async", "frontier", "adaptive")
+
+
+def _engine_matrix_failures(
+    rows: "list[dict]", engine_tolerance: float = 0.02
+) -> "list[str]":
+    """Engine-matrix gate over rows carrying an ``engine`` key.
+
+    Two rules, applied per graph: every engine must report the same
+    ``num_sccs`` (engines select *how* to propagate, never *what* is
+    computed), and the adaptive engine's ``model_seconds`` must not
+    exceed the best static engine's by more than *engine_tolerance*
+    (default 2%) — the scheduler pays for its density scans, so it is
+    allowed epsilon, not a free pass.  Returns failure strings (empty
+    on pass); rows without an ``engine`` key are ignored so the gate
+    composes with the smoke rows.
+    """
+    by_graph: "dict[str, dict[str, dict]]" = {}
+    for r in rows:
+        if "engine" in r:
+            by_graph.setdefault(r["graph"], {})[r["engine"]] = r
+    failures = []
+    for gname, cells in by_graph.items():
+        sccs = {e: r["num_sccs"] for e, r in cells.items()}
+        if len(set(sccs.values())) > 1:
+            failures.append(f"{gname}: num_sccs differs across engines: {sccs}")
+        ad = cells.get("adaptive")
+        static = {
+            e: r["model_seconds"] for e, r in cells.items() if e != "adaptive"
+        }
+        if ad is None or not static:
+            continue
+        best_engine = min(static, key=static.get)
+        best = static[best_engine]
+        if ad["model_seconds"] > best * (1.0 + engine_tolerance):
+            failures.append(
+                f"{gname}: adaptive model_seconds"
+                f" {ad['model_seconds']:.3e}s exceeds best static engine"
+                f" ({best_engine}, {best:.3e}s)"
+                f" by more than +{engine_tolerance:.0%}"
+            )
+    return failures
+
+
+def _bench_engines(args: argparse.Namespace) -> int:
+    """``repro bench engines``: the engine-comparison matrix + gate.
+
+    Runs ecl-scc under every entry of :data:`_ENGINE_MATRIX` over the
+    shared 27-graph corpus (:func:`repro.graph.suite.engine_corpus` —
+    the same graphs the test suite's fixtures use), verifies every cell
+    against Tarjan, and asserts on the spot that all engines produce
+    bit-identical labels per graph.  The gate
+    (:func:`_engine_matrix_failures`) then requires cross-engine
+    ``num_sccs`` agreement and adaptive within ``--engine-tolerance``
+    of the best static engine on every workload.  ``--json`` writes
+    the matrix (the committed ``BENCH_pr7.json`` baseline format);
+    ``--decisions`` dumps the adaptive scheduler's full per-round
+    decision log per graph (the CI artifact); ``--baseline`` compares
+    against a committed matrix with the smoke gate's rules on top.
+    """
+    import json
+
+    from .bench import run_algorithm
+    from .graph.suite import engine_corpus
+
+    dev = _device(args.device)
+    rows: "list[dict]" = []
+    decision_logs: "dict[str, list]" = {}
+    for gname, g in engine_corpus():
+        labels_ref = None
+        for engine in _ENGINE_MATRIX:
+            res = run_algorithm(
+                g, "ecl-scc", dev, backend=args.backend, engine=engine,
+                verify=True,
+            )
+            if labels_ref is None:
+                labels_ref = res.labels
+            elif not np.array_equal(res.labels, labels_ref):
+                raise SystemExit(
+                    f"engine {engine!r} changed labels on {gname}"
+                )
+            row = {
+                "algorithm": "ecl-scc",
+                "engine": engine,
+                "graph": gname,
+                "num_vertices": res.num_vertices,
+                "num_edges": res.num_edges,
+                "num_sccs": res.num_sccs,
+                "model_seconds": res.model_seconds,
+                "kernel_launches": res.counters.get("kernel_launches", 0),
+                "bytes_moved": res.counters.get("bytes_moved", 0),
+                "rounds": res.counters.get("rounds", 0),
+            }
+            if res.decision_log is not None:
+                picks: "dict[str, int]" = {}
+                for d in res.decision_log:
+                    picks[d.policy] = picks.get(d.policy, 0) + 1
+                row["decisions"] = picks
+                decision_logs[gname] = [d.to_dict() for d in res.decision_log]
+            rows.append(row)
+    by_graph: "dict[str, dict[str, dict]]" = {}
+    for r in rows:
+        by_graph.setdefault(r["graph"], {})[r["engine"]] = r
+    print(f"engine matrix on {dev.name}"
+          f" ({len(by_graph)} graphs x {len(_ENGINE_MATRIX)} engines):")
+    print(f"  {'graph':<14s}"
+          + "".join(f" {e:>12s}" for e in _ENGINE_MATRIX)
+          + "  picks")
+    for gname, cells in by_graph.items():
+        picks = cells.get("adaptive", {}).get("decisions", {})
+        pick_str = " ".join(f"{k}:{v}" for k, v in sorted(picks.items()))
+        print(f"  {gname:<14s}"
+              + "".join(
+                  f" {cells[e]['model_seconds'] * 1e6:10.3f}us"
+                  for e in _ENGINE_MATRIX
+              )
+              + f"  {pick_str}")
+    if args.json:
+        payload = {
+            "device": dev.name,
+            "backend": args.backend or "dense",
+            "engines": list(_ENGINE_MATRIX),
+            "results": rows,
+        }
+        Path(args.json).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"engine matrix written to {args.json} ({len(rows)} cells)")
+    if getattr(args, "decisions", None):
+        Path(args.decisions).write_text(
+            json.dumps(decision_logs, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"decision logs written to {args.decisions}"
+              f" ({len(decision_logs)} graphs)")
+    tol = getattr(args, "engine_tolerance", 0.02)
+    baseline = getattr(args, "baseline", None)
+    if baseline:
+        # the smoke gate's comparison rules (num_sccs + model_seconds vs
+        # the committed matrix) — it folds the engine gate in itself
+        return _bench_compare(
+            rows, baseline, getattr(args, "tolerance", 0.05),
+            engine_tolerance=tol,
+        )
+    failures = _engine_matrix_failures(rows, tol)
+    if failures:
+        print("engine-matrix gate: FAIL")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"engine-matrix gate: pass"
+          f" (adaptive within +{tol:.0%} of best static everywhere)")
+    return 0
+
+
+def _bench_compare(rows: "list[dict]", baseline: str, tolerance: float,
+                   *, engine_tolerance: float = 0.02) -> int:
+    """Gate the smoke/engine rows against a committed baseline JSON.
 
     ``num_sccs`` must match exactly on every shared cell (an engine or
     backend must never change *what* is computed); ecl-scc
@@ -312,16 +470,23 @@ def _bench_compare(rows: "list[dict]", baseline: str, tolerance: float) -> int:
     graph.  ``dynamic-replay`` rows must additionally keep incremental
     maintenance cheaper than full recompute (``model_seconds <
     recompute_seconds``) — the crossover guarantee of repro.dynamic.
-    Returns 0 on pass, 1 on violation.  Baselines written before
-    the profiling layer (no ``bytes_streamed``/``phases`` keys) still
-    compare; a regression's failure message names the top regressed
-    phase when per-phase data is available on the new side.
+    Rows carrying an ``engine`` key (the ``bench engines`` matrix) are
+    keyed per engine and additionally pass through
+    :func:`_engine_matrix_failures`: the adaptive engine must stay
+    within *engine_tolerance* of the best static engine on every
+    workload.  Returns 0 on pass, 1 on violation.  Baselines written
+    before the profiling layer (no ``bytes_streamed``/``phases`` keys)
+    still compare; a regression's failure message names the top
+    regressed phase when per-phase data is available on the new side.
     """
     import json
 
     base = json.loads(Path(baseline).read_text())
-    base_rows = {(r["algorithm"], r["graph"]): r for r in base["results"]}
-    failures = []
+    base_rows = {
+        (r["algorithm"], r.get("engine"), r["graph"]): r
+        for r in base["results"]
+    }
+    failures = _engine_matrix_failures(rows, engine_tolerance)
     print(f"\ncomparison vs {baseline}"
           f" (tolerance +{tolerance:.0%} on ecl-scc model_seconds):")
     print(f"  {'graph':<16s} {'base ms':>9s} {'new ms':>9s} {'ratio':>6s}"
@@ -334,26 +499,33 @@ def _bench_compare(rows: "list[dict]", baseline: str, tolerance: float) -> int:
                     f" ({row['model_seconds']:.3e}s) no longer beat full"
                     f" recompute ({row['recompute_seconds']:.3e}s)"
                 )
-        key = (row["algorithm"], row["graph"])
+        key = (row["algorithm"], row.get("engine"), row["graph"])
         b = base_rows.get(key)
         if b is None:
             continue
+        label = row["graph"] + (
+            f"/{row['engine']}" if row.get("engine") else ""
+        )
         if row["num_sccs"] != b["num_sccs"]:
             failures.append(
-                f"{key}: num_sccs {row['num_sccs']} !="
+                f"{label}: num_sccs {row['num_sccs']} !="
                 f" baseline {b['num_sccs']}"
             )
         if row["algorithm"] != "ecl-scc":
             continue
-        ratio = row["model_seconds"] / b["model_seconds"]
+        # degenerate corpus entries (empty graphs) estimate to 0.0s
+        ratio = (
+            row["model_seconds"] / b["model_seconds"]
+            if b["model_seconds"] else 1.0
+        )
         byte_ratio = row["bytes_moved"] / max(b.get("bytes_moved", 0), 1)
-        print(f"  {row['graph']:<16s} {b['model_seconds'] * 1e3:9.3f}"
+        print(f"  {label:<16s} {b['model_seconds'] * 1e3:9.3f}"
               f" {row['model_seconds'] * 1e3:9.3f} {ratio:6.2f}"
               f" {byte_ratio:6.2f} {b.get('kernel_launches', 0):>5d} ->"
               f" {row['kernel_launches']:<5d}")
         if ratio > 1.0 + tolerance:
             msg = (
-                f"{key}: model_seconds regressed x{ratio:.3f}"
+                f"{label}: model_seconds regressed x{ratio:.3f}"
                 f" (> +{tolerance:.0%})"
             )
             top = _top_regressed_phase(row.get("phases"), b.get("phases"))
@@ -399,6 +571,8 @@ def _top_regressed_phase(new_phases: "dict | None",
 def _cmd_bench(args: argparse.Namespace) -> int:
     if args.experiment == "smoke":
         return _bench_smoke(args)
+    if args.experiment == "engines":
+        return _bench_engines(args)
     from .bench import (
         ablation_figure,
         expanded_meshes,
@@ -973,6 +1147,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="ECL-SCC reproduction toolkit (SC '23)",
     )
+    # the registry is the single source of engine names: help text is
+    # derived, never hand-maintained, so new engines list automatically
+    engine_list = " | ".join(ENGINE_NAMES)
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("scc", help="detect SCCs in a graph file")
@@ -994,7 +1171,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="engine accounting backend (default: dense)")
     p.add_argument("--engine", default=None,
                    choices=list(ENGINE_NAMES),
-                   help="ecl-scc Phase-2 engine (default: options default)")
+                   help=f"ecl-scc Phase-2 engine: {engine_list}"
+                   " (default: options default)")
     p.set_defaults(func=_cmd_scc)
 
     p = sub.add_parser("stats", help="print SCC statistics of a graph file")
@@ -1019,23 +1197,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "experiment",
         choices=["table1", "table2", "table3", "table5", "table6", "table7",
-                 "fig14", "expanded", "smoke"],
+                 "fig14", "expanded", "smoke", "engines"],
     )
     p.add_argument("--json", default=None,
-                   help="(smoke) write results to this JSON file")
+                   help="(smoke/engines) write results to this JSON file")
     p.add_argument("--device", default="A100",
-                   help="(smoke) device model to estimate against")
+                   help="(smoke/engines) device model to estimate against")
     p.add_argument("--backend", default=None, choices=_backend_choices(),
-                   help="(smoke) engine accounting backend")
+                   help="(smoke/engines) engine accounting backend")
     p.add_argument("--engine", default=None,
                    choices=list(ENGINE_NAMES),
-                   help="(smoke) ecl-scc Phase-2 engine")
+                   help=f"(smoke) ecl-scc Phase-2 engine: {engine_list}")
     p.add_argument("--baseline", default=None,
-                   help="(smoke) compare against this smoke JSON and gate:"
-                   " exact num_sccs, bounded ecl-scc model_seconds")
+                   help="(smoke/engines) compare against this baseline JSON"
+                   " and gate: exact num_sccs, bounded ecl-scc"
+                   " model_seconds")
     p.add_argument("--tolerance", type=float, default=0.05,
-                   help="(smoke) allowed ecl-scc model_seconds regression"
-                   " vs --baseline (default 0.05 = +5%%)")
+                   help="(smoke/engines) allowed ecl-scc model_seconds"
+                   " regression vs --baseline (default 0.05 = +5%%)")
+    p.add_argument("--engine-tolerance", type=float, default=0.02,
+                   help="(engines) allowed adaptive overhead vs the best"
+                   " static engine (default 0.02 = +2%%)")
+    p.add_argument("--decisions", default=None,
+                   help="(engines) write the adaptive per-round decision"
+                   " logs to this JSON file (the CI artifact)")
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser(
@@ -1075,7 +1260,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="engine accounting backend (default: dense)")
     p.add_argument("--engine", default=None,
                    choices=list(ENGINE_NAMES),
-                   help="ecl-scc Phase-2 engine (default: options default)")
+                   help=f"ecl-scc Phase-2 engine: {engine_list}"
+                   " (default: options default)")
     p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser(
@@ -1115,7 +1301,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="engine accounting backend (default: dense)")
     p.add_argument("--engine", default=None,
                    choices=list(ENGINE_NAMES),
-                   help="ecl-scc Phase-2 engine (default: options default)")
+                   help=f"ecl-scc Phase-2 engine: {engine_list}"
+                   " (default: options default)")
     p.set_defaults(func=_cmd_profile)
 
     p = sub.add_parser(
@@ -1151,7 +1338,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", default=None, choices=_backend_choices(),
                    help="engine accounting backend (default: dense)")
     p.add_argument("--engine", default=None, choices=list(ENGINE_NAMES),
-                   help="internal re-solve engine (default: frontier)")
+                   help=f"internal re-solve engine: {engine_list}"
+                   " (default: frontier)")
     p.set_defaults(func=_cmd_dynamic)
 
     p = sub.add_parser(
@@ -1182,7 +1370,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="engine accounting backend (default: dense)")
     p.add_argument("--engine", default=None,
                    choices=list(ENGINE_NAMES),
-                   help="ecl-scc Phase-2 engine (default: options default)")
+                   help=f"ecl-scc Phase-2 engine: {engine_list}"
+                   " (default: options default)")
     p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("distributed", help="BSP cluster run: ECL vs FB-Trim")

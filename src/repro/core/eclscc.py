@@ -30,6 +30,7 @@ from ..engine import (
     normalize_labels_to_max,
 )
 from ..engine.accounting import SIGNATURE_PAIR_BYTES
+from ..engine.scheduler import AdaptiveScheduler, PolicyDecision
 from ..errors import ConvergenceError
 from ..faults.inject import FaultInjector
 from ..faults.plan import FaultPlan
@@ -43,6 +44,7 @@ from .options import ALL_ON, EclOptions
 from .propagation import (
     BlockPartition,
     EdgeGrouping,
+    propagate_adaptive,
     propagate_async,
     propagate_frontier,
     propagate_sync,
@@ -79,6 +81,11 @@ class EclResult(AlgoResult):
         the RNG seed of the internal vertex relabelling when the run used
         ``randomize_ids=True`` (None otherwise) — enough to reproduce the
         exact permutation via :func:`repro.graph.ops.permute_random`.
+    decision_log:
+        the adaptive scheduler's per-round
+        :class:`~repro.engine.scheduler.PolicyDecision` records, in order
+        (None for every other engine).  Fault-recovery rounds appear
+        flagged ``recovery=True``.
     device:
         the virtual device used, with its counters.
     trace:
@@ -96,6 +103,7 @@ class EclResult(AlgoResult):
     completed_per_iteration: "list[int]" = field(default_factory=list)
     permutation_seed: "int | None" = None
     estimate: "CostBreakdown | None" = None
+    decision_log: "list[PolicyDecision] | None" = None
 
     @property
     def estimated_seconds(self) -> float:
@@ -213,12 +221,23 @@ def ecl_scc(
     total_rounds = 0
     outer_bound = opts.outer_bound(n)
     engine = opts.phase2_engine
-    use_frontier = engine == "frontier"
-    # cross-iteration invalidation set of the frontier engine: vertices
+    # the frontier and adaptive engines share the reuse driver shape:
+    # persistent worklist drain, partial Phase-1 re-init, cross-iteration
+    # invalidation seeding — adaptive additionally routes each in-kernel
+    # round through a scheduler-picked propagation policy
+    use_reuse = engine in ("frontier", "adaptive")
+    scheduler = (
+        AdaptiveScheduler(
+            device.spec, num_vertices=n, num_edges=graph.num_edges, tracer=tr
+        )
+        if engine == "adaptive"
+        else None
+    )
+    # cross-iteration invalidation set of the reuse engines: vertices
     # whose signatures must be re-initialized and re-propagated this
     # iteration (everything on iteration 1; afterwards the still-active
     # vertices plus the endpoints of the edges Phase 3 removed)
-    invalidated = np.ones(n, dtype=bool) if use_frontier else None
+    invalidated = np.ones(n, dtype=bool) if use_reuse else None
 
     injector: "FaultInjector | None" = None
     store: "CheckpointStore | None" = None
@@ -236,8 +255,9 @@ def ecl_scc(
                 total_rounds=total_rounds,
                 completed_per_iteration=completed_per_iteration,
                 device=device,
-                sigs=sigs if use_frontier else None,
+                sigs=sigs if use_reuse else None,
                 invalidated=invalidated,
+                scheduler=scheduler,
             )
         outer += 1
         if outer > outer_bound:
@@ -254,8 +274,9 @@ def ecl_scc(
             ckpt = store.restore(
                 labels=labels, active=active, wl=wl, device=device,
                 crashed_at=outer,
-                sigs=sigs if use_frontier else None,
+                sigs=sigs if use_reuse else None,
                 invalidated=invalidated,
+                scheduler=scheduler,
             )
             outer = ckpt.outer
             total_rounds = ckpt.total_rounds
@@ -264,7 +285,7 @@ def ecl_scc(
         with tr.span("outer-iteration", index=outer) as outer_span:
             # ---- Phase 1: (re)initialize signatures ----------------------
             with tr.span("phase1-init"):
-                if use_frontier:
+                if use_reuse:
                     # partial re-init: completed vertices keep their
                     # (label:label) fixed-point pairs — they are never
                     # read again (all their worklist edges are gone or
@@ -290,24 +311,36 @@ def ecl_scc(
 
             # ---- Phase 2: propagate maxima to a fixed point ---------------
             rounds = 0
+            dlen = len(scheduler.decisions) if scheduler is not None else 0
             with tr.span("phase2-propagate", edges=wl.num_edges) as p2:
                 if wl.num_edges:
-                    if use_frontier:
+                    if use_reuse:
                         grouping = EdgeGrouping.build(wl.src, wl.dst)
                         in_wl = np.zeros(n, dtype=bool)
                         in_wl[grouping.touched] = True
 
-                        def run_frontier(
-                            seed_ids: np.ndarray, reinit: int = 0
+                        def run_reuse(
+                            seed_ids: np.ndarray,
+                            reinit: int = 0,
+                            recovery: bool = False,
                         ) -> int:
-                            _, r = propagate_frontier(
-                                sigs, grouping, device, opts, n,
-                                seed=seed_ids, backend=be, reinit=reinit,
-                                tracer=tr,
-                            )
+                            if scheduler is not None:
+                                _, r = propagate_adaptive(
+                                    sigs, grouping, device, opts, n,
+                                    seed=seed_ids, backend=be,
+                                    scheduler=scheduler, reinit=reinit,
+                                    outer=outer, recovery=recovery,
+                                    tracer=tr,
+                                )
+                            else:
+                                _, r = propagate_frontier(
+                                    sigs, grouping, device, opts, n,
+                                    seed=seed_ids, backend=be, reinit=reinit,
+                                    tracer=tr,
+                                )
                             return r
 
-                        rounds = run_frontier(
+                        rounds = run_reuse(
                             np.flatnonzero(invalidated & in_wl),
                             reinit=int(inv_ids.size),
                         )
@@ -315,7 +348,11 @@ def ecl_scc(
                             # regressed vertices are the only ones below
                             # their fixed point, so they alone re-seed
                             # the worklist (diffed against a pre-perturb
-                            # snapshot; monotone re-convergence)
+                            # snapshot; monotone re-convergence).  The
+                            # adaptive scheduler treats these re-drains as
+                            # recovery: forced frontier policy, no scan,
+                            # tallies untouched — a fault plan cannot
+                            # perturb the main rounds' decision sequence
                             while True:
                                 snap_in = sigs.sig_in.copy()
                                 snap_out = sigs.sig_out.copy()
@@ -325,7 +362,7 @@ def ecl_scc(
                                     (sigs.sig_in != snap_in)
                                     | (sigs.sig_out != snap_out)
                                 )
-                                rounds += run_frontier(regressed)
+                                rounds += run_reuse(regressed, recovery=True)
                         total_rounds += rounds
                     elif engine == "atomic":
                         from .atomic import propagate_atomic
@@ -358,7 +395,7 @@ def ecl_scc(
                                 sigs, grouping, device, opts, n, tracer=tr
                             )
 
-                    if not use_frontier:
+                    if not use_reuse:
                         rounds = run_phase2()
                         if injector is not None:
                             # stale reads / lost updates regress signatures
@@ -369,6 +406,17 @@ def ecl_scc(
                                 rounds += run_phase2()
                         total_rounds += rounds
                 p2.set(rounds=rounds)
+                if scheduler is not None:
+                    picked = scheduler.decisions[dlen:]
+                    counts: "dict[str, int]" = {}
+                    for d in picked:
+                        counts[d.policy] = counts.get(d.policy, 0) + 1
+                    p2.set(
+                        **{
+                            "rounds_" + name.replace("-", "_"): count
+                            for name, count in counts.items()
+                        }
+                    )
 
             # ---- completion detection -------------------------------------
             done = sigs.completed()
@@ -385,7 +433,7 @@ def ecl_scc(
 
             # ---- Phase 3: remove edges that span SCCs ---------------------
             with tr.span("phase3-filter"):
-                if use_frontier:
+                if use_reuse:
                     # next iteration re-initializes the still-unfinished
                     # vertices plus every endpoint of a removed edge (a
                     # dropped edge is the only event that can lower a
@@ -434,4 +482,5 @@ def ecl_scc(
         estimate=device.estimate(n, graph.num_edges),
         status=status,
         fault_report=report,
+        decision_log=scheduler.decisions if scheduler is not None else None,
     )

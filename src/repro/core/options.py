@@ -28,12 +28,21 @@ __all__ = [
 
 #: The Phase-2 engine registry: every name ``EclOptions.engine``,
 #: :func:`engine_options`, ``run_algorithm(engine=)``, and ``--engine``
-#: accept.  New engines register here.
-ENGINE_NAMES = ("sync", "async", "atomic", "frontier")
+#: accept.  New engines register here (CLI ``--engine`` help and choices
+#: are derived from this tuple, never hand-maintained).
+ENGINE_NAMES = ("sync", "async", "atomic", "frontier", "adaptive")
 
 
 def validate_engine(engine: str) -> str:
-    """Check *engine* against the registry; raise a helpful error if unknown."""
+    """Check *engine* against the registry; raise a helpful error if unknown.
+
+    This is the *single* validation path for engine names: direct
+    construction, ``dataclasses.replace`` copies (which round-trip every
+    field through the generated ``__init__`` and hence ``__post_init__``),
+    and :func:`engine_options` all funnel through here — an invalid name
+    can never be smuggled into a frozen :class:`EclOptions` instance
+    (regression-tested in ``tests/test_core_options_signatures.py``).
+    """
     if engine not in ENGINE_NAMES:
         raise AlgorithmError(
             f"unknown engine {engine!r}; valid choices: "
@@ -89,6 +98,12 @@ class EclOptions:
         re-initializes and re-propagates only the invalidated vertices
         (unfinished vertices plus endpoints of removed edges) instead
         of re-relaxing every surviving edge to quiescence.
+        ``"adaptive"`` keeps the frontier engine's drain structure but
+        lets an :class:`~repro.engine.scheduler.AdaptiveScheduler` pick
+        the propagation policy (dense pull sweep vs. frontier push
+        worklist, :mod:`repro.engine.policy`) *per round* from frontier
+        density, average frontier degree, and the running
+        launch-overhead/bandwidth ratio.
     backend:
         name of the registered :class:`~repro.engine.ArrayBackend` the
         run's primitives account against (``"dense"`` reproduces the
@@ -224,7 +239,8 @@ def engine_options(engine: str, base: "EclOptions | None" = None) -> EclOptions:
     Phase 2 reaches its fixed point (``sync`` = one launch per global
     round, ``async`` = block-local iteration, ``atomic`` = the rejected
     two-atomic-max variant, ``frontier`` = persistent worklist with
-    cross-iteration frontier reuse).  Unknown names raise listing the
+    cross-iteration frontier reuse, ``adaptive`` = the frontier drain
+    with per-round policy selection).  Unknown names raise listing the
     registry.
     """
     base = ALL_ON if base is None else base

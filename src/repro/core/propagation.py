@@ -17,6 +17,17 @@ Three engines implement the modelled kernel organizations:
   each outer iteration from the *invalidated* vertices only
   (cross-iteration frontier reuse) instead of re-relaxing every
   surviving edge to quiescence.
+* :func:`propagate_adaptive` — the frontier engine's drain structure
+  with the round step delegated to a per-round
+  :class:`~repro.engine.policy.PropagationPolicy` picked by an
+  :class:`~repro.engine.scheduler.AdaptiveScheduler` from frontier
+  density, average frontier degree, and the running
+  launch-overhead/bandwidth ratio.
+
+The frontier engine's own round step *is* the registered ``frontier``
+policy (:class:`~repro.engine.policy.FrontierPushPolicy`) — one code
+path, so the static engine and the adaptive engine's frontier rounds can
+never diverge in labels or charges.
 
 All engines converge to the same unique fixed point: max-propagation is
 monotone, every engine terminates only when no plain relaxation can make
@@ -43,11 +54,12 @@ from ..device.executor import VirtualDevice
 from ..engine.accounting import (
     charge_frontier_compaction,
     charge_frontier_launch,
-    charge_frontier_round,
     charge_relaxation_round,
 )
 from ..engine.backend import ArrayBackend
-from ..engine.primitives import build_vertex_incidence, incident_edges
+from ..engine.policy import RoundState, get_policy
+from ..engine.primitives import build_vertex_incidence
+from ..engine.scheduler import AdaptiveScheduler
 from ..errors import ConvergenceError
 from ..trace import NULL_TRACER, Tracer
 from ..types import VERTEX_DTYPE
@@ -61,6 +73,7 @@ __all__ = [
     "propagate_sync",
     "propagate_async",
     "propagate_frontier",
+    "propagate_adaptive",
 ]
 
 
@@ -516,60 +529,127 @@ def propagate_frontier(
     charge_frontier_launch(dev, blocks=blocks)
     launches += 1
     rounds = 0
-    sig_in, sig_out = sigs.sig_in, sigs.sig_out
+    # the round step is the registered "frontier" policy — the same code
+    # object the adaptive engine dispatches, so the two cannot diverge
+    policy = get_policy("frontier")
+    state = RoundState(
+        sigs=sigs,
+        grouping=grouping,
+        indptr=indptr,
+        edge_ids=edge_ids,
+        frontier=frontier.vertices,
+        num_vertices=num_vertices,
+        compress=opts.path_compression,
+    )
     while frontier.size:
         rounds += 1
         _bounds_check(rounds, bound, "propagate_frontier", sigs)
         tracer.counter("relaxation-round", engine="frontier")
-        idx = incident_edges(indptr, edge_ids, frontier.vertices)
-        changed_v = np.zeros(num_vertices, dtype=bool)
-        s, d = src[idx], dst[idx]
-        # scatter-max relax over the active-adjacent edges only
-        cand = sig_out[d]
-        if opts.path_compression:
-            cand = sig_out[cand]
-        before = sig_out[s]
-        np.maximum.at(sig_out, s, cand)
-        w = s[sig_out[s] > before]
-        changed_v[w] = True
-        cand = sig_in[s]
-        if opts.path_compression:
-            cand = sig_in[cand]
-        before = sig_in[d]
-        np.maximum.at(sig_in, d, cand)
-        w = d[sig_in[d] > before]
-        changed_v[w] = True
-        compress_work = 0
-        if opts.path_compression and idx.size:
-            e = np.concatenate([s, d])
-            # pointer doubling restricted to the active endpoints
-            ji = sig_in[sig_in[e]]
-            upd = ji > sig_in[e]
-            sig_in[e[upd]] = ji[upd]
-            changed_v[e[upd]] = True
-            jo = sig_out[sig_out[e]]
-            upd = jo > sig_out[e]
-            sig_out[e[upd]] = jo[upd]
-            changed_v[e[upd]] = True
-            # feedback restricted to the active endpoints
-            in_t = sig_in[e]
-            out_t = sig_out[e]
-            before = sig_in[out_t]
-            np.maximum.at(sig_in, out_t, in_t)
-            upd = sig_in[out_t] > before
-            changed_v[out_t[upd]] = True
-            before = sig_out[in_t]
-            np.maximum.at(sig_out, in_t, out_t)
-            upd = sig_out[in_t] > before
-            changed_v[in_t[upd]] = True
-            compress_work = 2 * e.size
-        enqueues = int(np.count_nonzero(changed_v))
-        charge_frontier_round(
+        state.frontier = frontier.vertices
+        changed_v = policy.run_round(state, dev)
+        frontier.advance(changed_v)
+    return launches, rounds
+
+
+def propagate_adaptive(
+    sigs: Signatures,
+    grouping: EdgeGrouping,
+    dev: VirtualDevice,
+    opts: EclOptions,
+    num_vertices: int,
+    *,
+    seed: np.ndarray,
+    backend: ArrayBackend,
+    scheduler: AdaptiveScheduler,
+    reinit: int = 0,
+    outer: int = 0,
+    recovery: bool = False,
+    tracer: Tracer = NULL_TRACER,
+) -> "tuple[int, int]":
+    """Adaptive Phase 2: the frontier drain with per-round policy selection.
+
+    Returns ``(launches, rounds)``.
+
+    Structurally identical to :func:`propagate_frontier` — one
+    backend-swept seed compaction (fused with the partial Phase-1
+    re-init) plus one persistent drain launch — but before each in-kernel
+    round the *scheduler* picks the round's
+    :class:`~repro.engine.policy.PropagationPolicy`: a frontier push
+    round gathers only the frontier-incident edges, a dense pull round
+    re-relaxes the whole worklist (charged as in-kernel work of the same
+    drain, :func:`~repro.engine.accounting.charge_dense_round` — no extra
+    launch).  Kernel-launch counts are therefore *identical* to the
+    frontier engine whatever the policy mix, and the golden frontier
+    launch counts cover both engines.
+
+    Correctness of mixing: every policy is a monotone step of the same
+    max-propagation semilattice and returns the exact changed-vertex set,
+    so the frontier invariant ("frontier = vertices whose signature
+    changed last round") survives a dense round — edges not incident to
+    a changed vertex relax to values they already hold — and the drain
+    still terminates exactly at plain-relaxation quiescence, reaching the
+    same schedule-independent fixed point.  Labels stay bit-identical to
+    the dense engines.
+
+    The scheduler's inputs are fed here: structural launches via
+    ``note_launches`` (the latency side of the ratio) and per-round
+    counter deltas via ``account_round`` (the bandwidth side), both
+    backend-invariant.  With ``recovery=True`` (post-restore
+    re-propagation) the policy is forced to ``frontier``, the density
+    scan is skipped, and the tallies are left untouched, so a fault plan
+    cannot perturb the main rounds' decision sequence.
+    """
+    bound = opts.rounds_bound(num_vertices)
+    src, dst = grouping.src, grouping.dst
+    indptr, edge_ids = build_vertex_incidence(src, dst, num_vertices)
+    frontier = VertexFrontier.seeded(seed, num_vertices)
+    charge_frontier_compaction(
+        dev, backend, num_vertices=num_vertices, frontier_size=frontier.size,
+        reinit=reinit,
+    )
+    launches = 1
+    if not recovery:
+        scheduler.note_launches(1)
+    if frontier.size == 0:
+        # the host sees an empty worklist and skips the drain launch
+        return launches, 0
+    blocks = dev.blocks_for(max(grouping.num_edges, frontier.size))
+    if opts.persistent_threads:
+        blocks = min(blocks, dev.grid_blocks(persistent=True))
+    charge_frontier_launch(dev, blocks=blocks)
+    launches += 1
+    if not recovery:
+        scheduler.note_launches(1, blocks=blocks)
+    rounds = 0
+    state = RoundState(
+        sigs=sigs,
+        grouping=grouping,
+        indptr=indptr,
+        edge_ids=edge_ids,
+        frontier=frontier.vertices,
+        num_vertices=num_vertices,
+        compress=opts.path_compression,
+    )
+    while frontier.size:
+        rounds += 1
+        _bounds_check(rounds, bound, "propagate_adaptive", sigs)
+        state.frontier = frontier.vertices
+        policy = scheduler.decide(
             dev,
-            edges=idx.size,
-            frontier_size=frontier.size,
-            vertices=compress_work,
-            enqueues=enqueues,
+            frontier=frontier.vertices,
+            indptr=indptr,
+            worklist_edges=grouping.num_edges,
+            touched=grouping.touched.size,
+            num_vertices=num_vertices,
+            compress=opts.path_compression,
+            outer=outer,
+            round_no=rounds,
+            recovery=recovery,
         )
+        tracer.counter("relaxation-round", engine="adaptive", policy=policy.name)
+        before = dev.counters.snapshot()
+        changed_v = policy.run_round(state, dev)
+        if not recovery:
+            scheduler.account_round(before, dev.counters.snapshot())
         frontier.advance(changed_v)
     return launches, rounds

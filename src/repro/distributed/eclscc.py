@@ -23,7 +23,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..engine.primitives import scc_edge_filter_mask
-from ..errors import ConvergenceError, RankLossError
+from ..engine.scheduler import DENSITY_THRESHOLD
+from ..errors import AlgorithmError, ConvergenceError, RankLossError
 from ..faults.inject import FaultInjector
 from ..faults.plan import FaultPlan
 from ..faults.recovery import backoff_seconds
@@ -62,6 +63,7 @@ def distributed_ecl_scc(
     spec: "ClusterSpec | None" = None,
     *,
     frontier: bool = False,
+    engine: "str | None" = None,
     tracer: "Tracer | None" = None,
     faults: "FaultPlan | None" = None,
 ) -> DistributedResult:
@@ -87,6 +89,20 @@ def distributed_ecl_scc(
     the dense sweep; only the per-rank compute charge (active edges
     instead of all local edges) and the Phase-1 init charge shrink.
 
+    ``engine`` names the per-rank round organization explicitly:
+    ``"dense"``, ``"frontier"`` (equivalent to ``frontier=True``), or
+    ``"adaptive"`` — the distributed analogue of the shared-memory
+    adaptive engine.  Adaptive keeps the frontier iterates (identical
+    labels, rounds, supersteps, messages) but every rank picks its own
+    round organization *per superstep* from its local frontier density:
+    a rank whose selected-edge mass exceeds
+    :data:`~repro.engine.scheduler.DENSITY_THRESHOLD` of its local edges
+    is charged the dense sweep (cheaper per edge — no worklist
+    indirection), others the frontier relaxation, plus one op per local
+    frontier flag for the density scan itself.  Each rank's choice is a
+    ``scheduler:pick`` counter event (attrs ``rank``, ``round``) under
+    the tracer.
+
     With *faults*, the plan's cluster-layer faults perturb the exchange
     supersteps: dropped/delayed boundary updates are regressed and
     re-propagated in later rounds (monotone — labels unchanged; drops
@@ -99,6 +115,17 @@ def distributed_ecl_scc(
     :class:`~repro.errors.RankLossError` with a structured payload when
     ``plan.failover`` is off.
     """
+    if engine is None:
+        engine = "frontier" if frontier else "dense"
+    if engine not in ("dense", "frontier", "adaptive"):
+        raise AlgorithmError(
+            f"unknown distributed engine {engine!r}; valid choices:"
+            " dense, frontier, adaptive"
+        )
+    # frontier and adaptive share the reuse iterates; adaptive only
+    # changes the per-rank *charge* (and records its picks)
+    frontier = engine != "dense"
+    adaptive = engine == "adaptive"
     if spec is None:
         spec = ClusterSpec(num_ranks=partition.num_ranks)
     if spec.num_ranks != partition.num_ranks:
@@ -266,10 +293,46 @@ def distributed_ecl_scc(
             if frontier:
                 # charge only the edges this round actually relaxed and
                 # the vertices that still participate in jumps
-                round_ops = (
+                sel_ops = (
                     np.bincount(owner[rs], minlength=r) * spec.ops_per_edge
-                    + np.bincount(owner[active], minlength=r) * 4.0
                 )
+                jump_ops = np.bincount(owner[active], minlength=r) * 4.0
+                if adaptive:
+                    # per-rank per-superstep selection: the worklist
+                    # indirection inflates the frontier relaxation's
+                    # per-edge cost by 1/DENSITY_THRESHOLD (the same
+                    # byte-level derivation as the shared-memory
+                    # scheduler, docs/performance_model.md), so a rank
+                    # whose selected mass crosses the threshold of its
+                    # local edges is charged the dense sweep instead.
+                    # Iterates, messages and supersteps are untouched —
+                    # a dense relaxation of the skipped edges returns
+                    # the values they already hold.
+                    dense_ops = edges_per_rank * spec.ops_per_edge
+                    frontier_ops = sel_ops / DENSITY_THRESHOLD
+                    pick_frontier = frontier_ops <= dense_ops
+                    # the density scan itself: one op per local frontier
+                    # flag (charged whether or not frontier wins)
+                    scan_ops = np.bincount(
+                        owner[np.flatnonzero(frontier_v)], minlength=r
+                    ).astype(np.float64)
+                    round_ops = (
+                        np.where(pick_frontier, frontier_ops, dense_ops)
+                        + jump_ops
+                        + scan_ops
+                    )
+                    if tr.enabled:
+                        for rk in range(r):
+                            tr.counter(
+                                "scheduler:pick",
+                                policy=(
+                                    "frontier" if pick_frontier[rk] else "dense"
+                                ),
+                                rank=rk,
+                                round=rounds,
+                            )
+                else:
+                    round_ops = sel_ops + jump_ops
             else:
                 round_ops = (
                     edges_per_rank * spec.ops_per_edge

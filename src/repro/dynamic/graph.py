@@ -247,7 +247,10 @@ class DynamicGraph:
         Phase-2 engine of the internal re-solves, validated against the
         engine registry.  Defaults to ``"frontier"`` — deletions seed
         the frontier engine from the invalidated set, which is the
-        point of the incremental design.
+        point of the incremental design.  ``"adaptive"`` layers the
+        per-round policy scheduler on top of the same seeding (each
+        re-solve gets a fresh scheduler, so update subproblems decide
+        independently).
     device:
         persistent :class:`~repro.device.VirtualDevice` (or a
         :class:`~repro.device.DeviceSpec`, wrapped) that accumulates

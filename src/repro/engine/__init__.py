@@ -8,6 +8,14 @@ and a pluggable :class:`~repro.engine.backend.ArrayBackend` decides how
 the modelled kernels sweep vertex state (topology-driven ``"dense"`` vs
 worklist-driven ``"frontier"``).  Labels never depend on the backend —
 only the accounting does.
+
+Since PR 7 the Phase-2 round step itself is pluggable too: a
+:class:`~repro.engine.policy.PropagationPolicy` (dense pull sweep,
+frontier push worklist, dense push) performs one relaxation round, and
+the :class:`~repro.engine.scheduler.AdaptiveScheduler` picks the policy
+per round for the ``adaptive`` engine.  Labels never depend on the
+policy sequence either — monotone max-propagation has a
+schedule-independent fixed point.
 """
 
 from .accounting import (
@@ -18,12 +26,14 @@ from .accounting import (
     SIGNATURE_PAIR_BYTES,
     STATUS_FLAG_BYTES,
     charge_degree_pass,
+    charge_dense_round,
     charge_edge_filter,
     charge_frontier_compaction,
     charge_frontier_launch,
     charge_frontier_level,
     charge_frontier_round,
     charge_relaxation_round,
+    charge_scheduler_scan,
     charge_serial_scan,
     charge_vertex_scan,
     charge_winning_write,
@@ -36,6 +46,18 @@ from .backend import (
     backend_names,
     get_backend,
     register_backend,
+)
+from .policy import (
+    DEFAULT_POLICIES,
+    DensePullPolicy,
+    DensePushPolicy,
+    FrontierPushPolicy,
+    PropagationPolicy,
+    RoundState,
+    RoundStats,
+    get_policy,
+    policy_names,
+    register_policy,
 )
 from .primitives import (
     active_degrees,
@@ -54,6 +76,12 @@ from .primitives import (
     trim1,
     trim2,
     trim3,
+)
+from .scheduler import (
+    DENSITY_THRESHOLD,
+    LAUNCH_BOUND_RATIO,
+    AdaptiveScheduler,
+    PolicyDecision,
 )
 
 __all__ = [
@@ -82,6 +110,23 @@ __all__ = [
     "charge_frontier_compaction",
     "charge_frontier_launch",
     "charge_frontier_round",
+    "charge_dense_round",
+    "charge_scheduler_scan",
+    # policies + scheduler
+    "PropagationPolicy",
+    "RoundState",
+    "RoundStats",
+    "DensePullPolicy",
+    "DensePushPolicy",
+    "FrontierPushPolicy",
+    "register_policy",
+    "get_policy",
+    "policy_names",
+    "DEFAULT_POLICIES",
+    "AdaptiveScheduler",
+    "PolicyDecision",
+    "DENSITY_THRESHOLD",
+    "LAUNCH_BOUND_RATIO",
     # primitives
     "frontier_expand",
     "masked_bfs",

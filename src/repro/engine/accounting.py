@@ -40,6 +40,8 @@ __all__ = [
     "charge_frontier_compaction",
     "charge_frontier_launch",
     "charge_frontier_round",
+    "charge_dense_round",
+    "charge_scheduler_scan",
     "charge_update_insert",
     "charge_update_delete",
     "charge_label_rewrite",
@@ -226,6 +228,52 @@ def charge_frontier_round(
         atomics=int(enqueues),
     )
     dev.round()
+
+
+def charge_dense_round(
+    dev: VirtualDevice,
+    *,
+    edges: int,
+    vertices: int = 0,
+    enqueues: int = 0,
+) -> None:
+    """One in-kernel *dense* relaxation round of the adaptive engine.
+
+    Same traffic conventions as :func:`charge_relaxation_round` — the
+    worklist ``(src, dst)`` pairs stream contiguously, the signature
+    gathers/stores are irregular — but charged as in-kernel work of the
+    already-launched persistent drain (no launch, no barrier): the
+    adaptive engine keeps the frontier engine's one-launch drain
+    structure and only swaps the per-round strategy, so a dense round
+    inside it must not pay a launch the modelled kernel never makes.
+    ``vertices`` compression work items (pointer jump + feedback) update
+    signature pairs; ``enqueues`` changed vertices claim next-frontier
+    slots with one atomic add each (the dense round still produces the
+    frontier the next round may consume).
+    """
+    dev.work(
+        edges=int(edges),
+        vertices=int(vertices),
+        bytes_per_edge=ADJACENCY_EDGE_BYTES,
+        bytes_per_vertex=SIGNATURE_PAIR_BYTES,
+        streamed_bytes=PAIR_FLAG_BYTES * int(edges),
+        atomics=int(enqueues),
+    )
+    dev.round()
+
+
+def charge_scheduler_scan(dev: VirtualDevice, *, frontier_size: int) -> None:
+    """The adaptive scheduler's per-round density scan.
+
+    Before picking a policy the scheduler gathers the incidence degree of
+    every frontier vertex (one 8-byte ``indptr`` delta each) and reduces
+    them — a real device-accounted kernel step, charged as in-kernel work
+    of the persistent drain.  Deliberately *not* backend-swept and
+    independent of the tracer/ledger, so scheduling decisions (which feed
+    back on accumulated charges) stay bit-identical across backends and
+    across traced/untraced runs.
+    """
+    dev.work(vertices=int(frontier_size), bytes_per_vertex=STATUS_FLAG_BYTES)
 
 
 def charge_update_insert(dev: VirtualDevice, *, batch: int) -> None:

@@ -1,0 +1,377 @@
+"""Pluggable per-round propagation policies for ECL-SCC's Phase 2.
+
+Historically the dense sweep and the frontier worklist were whole-run
+*engines*: the driver picked one organization up front and every
+propagation round of the run used it.  This module extracts the round
+step itself — consume the current frontier/invalidated state, raise
+signatures, emit device charges, return the changed-vertex set — into a
+:class:`PropagationPolicy` so the organization can be chosen *per round*
+(:mod:`repro.engine.scheduler`).
+
+Two axes describe a policy:
+
+* **coverage** — a dense policy relaxes every worklist edge; a frontier
+  policy relaxes only edges incident to the current frontier.
+* **direction** — a *pull* policy computes per-vertex segment maxima
+  over grouped candidate edges (gather + ``np.maximum.reduceat``, no
+  write races); a *push* policy scatters candidates from the frontier
+  with racy plain-write maxima (the paper's §3.4 argument: monotone
+  max-propagation tolerates lost updates).
+
+The registry ships three policies: ``dense`` (pull, the sync engine's
+round), ``frontier`` (push, the frontier engine's round — the *same*
+code path :func:`~repro.core.propagation.propagate_frontier` drains
+through, so the two can never diverge in labels or charges), and
+``dense-push`` (push over all worklist edges) proving the direction axis
+is a registration choice, not a driver special case.
+
+Correctness of mixing policies across rounds: every policy performs a
+monotone step of the same max-propagation join semilattice, a round that
+changes nothing certifies that no plain relaxation can make progress
+(edges not incident to a changed vertex relax to values they already
+hold), and a monotone iteration's fixed point is schedule-independent —
+so any per-round policy sequence converges to the *same* signatures,
+and labels stay bit-identical to the dense engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..device.costmodel import STREAM_EFF, effective_bandwidth
+from ..device.spec import DeviceSpec
+from ..errors import AlgorithmError
+from .accounting import (
+    ADJACENCY_EDGE_BYTES,
+    PAIR_FLAG_BYTES,
+    SIGNATURE_PAIR_BYTES,
+    STATUS_FLAG_BYTES,
+    charge_dense_round,
+    charge_frontier_round,
+)
+from .primitives import incident_edges
+
+__all__ = [
+    "RoundState",
+    "RoundStats",
+    "PropagationPolicy",
+    "DensePullPolicy",
+    "DensePushPolicy",
+    "FrontierPushPolicy",
+    "register_policy",
+    "get_policy",
+    "policy_names",
+    "DEFAULT_POLICIES",
+]
+
+
+@dataclass
+class RoundState:
+    """Everything one propagation round consumes (duck-typed core state).
+
+    The policy layer deliberately never imports :mod:`repro.core` (the
+    dependency arrow points core -> engine); the driver hands the live
+    core objects over through this bundle and the policies use only
+    their array surface.
+    """
+
+    #: Signatures-like object exposing ``sig_in``/``sig_out`` arrays.
+    sigs: object
+    #: EdgeGrouping-like object over the current edge worklist
+    #: (``src``/``dst``/``touched``/``num_edges``/``relax_masked``).
+    grouping: object
+    #: vertex-incidence CSR of the worklist (each edge under both
+    #: endpoints), from
+    #: :func:`~repro.engine.primitives.build_vertex_incidence`.
+    indptr: np.ndarray
+    edge_ids: np.ndarray
+    #: sorted unique ids of vertices whose signatures changed last round.
+    frontier: np.ndarray
+    num_vertices: int
+    #: apply the paper's path-compression refinements this round.
+    compress: bool
+
+
+@dataclass(frozen=True)
+class RoundStats:
+    """Backend-invariant inputs of one scheduling decision.
+
+    ``degree_sum`` is the incidence-degree sum over the frontier; the
+    incidence structure lists every edge under both endpoints, so it
+    overcounts the unique incident edges a push round actually gathers
+    by at most 2x — a deliberate conservative bias toward the dense
+    policy (documented in ``docs/performance_model.md``).
+    """
+
+    frontier_size: int
+    degree_sum: int
+    worklist_edges: int
+    touched: int
+    num_vertices: int
+    compress: bool
+
+    @property
+    def density(self) -> float:
+        """Frontier-incident degree mass relative to the worklist size."""
+        return self.degree_sum / max(1, self.worklist_edges)
+
+    @property
+    def avg_degree(self) -> float:
+        return self.degree_sum / max(1, self.frontier_size)
+
+
+def _scatter_round(state: RoundState, idx: np.ndarray) -> "tuple[np.ndarray, int]":
+    """Shared push-relaxation body over edge subset *idx*.
+
+    Scatter-max both signature directions with racy plain writes, then
+    apply pointer doubling and signature feedback restricted to the
+    touched endpoints.  Returns ``(changed_v, compress_work)``.
+    """
+    sigs = state.sigs
+    sig_in, sig_out = sigs.sig_in, sigs.sig_out
+    src, dst = state.grouping.src, state.grouping.dst
+    changed_v = np.zeros(state.num_vertices, dtype=bool)
+    s, d = src[idx], dst[idx]
+    cand = sig_out[d]
+    if state.compress:
+        cand = sig_out[cand]
+    before = sig_out[s]
+    np.maximum.at(sig_out, s, cand)
+    w = s[sig_out[s] > before]
+    changed_v[w] = True
+    cand = sig_in[s]
+    if state.compress:
+        cand = sig_in[cand]
+    before = sig_in[d]
+    np.maximum.at(sig_in, d, cand)
+    w = d[sig_in[d] > before]
+    changed_v[w] = True
+    compress_work = 0
+    if state.compress and idx.size:
+        e = np.concatenate([s, d])
+        # pointer doubling restricted to the active endpoints
+        ji = sig_in[sig_in[e]]
+        upd = ji > sig_in[e]
+        sig_in[e[upd]] = ji[upd]
+        changed_v[e[upd]] = True
+        jo = sig_out[sig_out[e]]
+        upd = jo > sig_out[e]
+        sig_out[e[upd]] = jo[upd]
+        changed_v[e[upd]] = True
+        # feedback restricted to the active endpoints
+        in_t = sig_in[e]
+        out_t = sig_out[e]
+        before = sig_in[out_t]
+        np.maximum.at(sig_in, out_t, in_t)
+        upd = sig_in[out_t] > before
+        changed_v[out_t[upd]] = True
+        before = sig_out[in_t]
+        np.maximum.at(sig_out, in_t, out_t)
+        upd = sig_out[in_t] > before
+        changed_v[in_t[upd]] = True
+        compress_work = 2 * e.size
+    return changed_v, compress_work
+
+
+class PropagationPolicy:
+    """One round-step strategy; stateless, registered by name."""
+
+    #: registry key.
+    name: str = ""
+    #: relaxation direction axis: ``"pull"`` (segment max) or ``"push"``
+    #: (scatter max).
+    direction: str = ""
+
+    def run_round(self, state: RoundState, dev) -> np.ndarray:
+        """Run one relaxation round; charge *dev*; return changed mask."""
+        raise NotImplementedError
+
+    def round_cost(
+        self, stats: RoundStats, spec: DeviceSpec, working_set_bytes: float
+    ) -> float:
+        """Modelled seconds one round under *stats* would cost.
+
+        Uses the same bandwidth arithmetic as the cost model
+        (:func:`~repro.device.costmodel.effective_bandwidth`,
+        ``STREAM_EFF``) on the same byte conventions the policy's charge
+        helper applies, so the scheduler's forecasts and the profiler's
+        attributions share one vocabulary.  Next-frontier enqueue
+        atomics are identical across policies (same changed set) and are
+        left out of the comparison.
+        """
+        raise NotImplementedError
+
+
+class DensePullPolicy(PropagationPolicy):
+    """Full-worklist Jacobi segment-max round (the sync engine's step)."""
+
+    name = "dense"
+    direction = "pull"
+
+    def run_round(self, state: RoundState, dev) -> np.ndarray:
+        sigs = state.sigs
+        g = state.grouping
+        n = state.num_vertices
+        changed_v = g.relax_masked(sigs, None, n, compress=state.compress)
+        compress_work = 0
+        if state.compress:
+            sig_in, sig_out = sigs.sig_in, sigs.sig_out
+            # pointer doubling (the in[in]/out[out] reads of §3.3)
+            ji = sig_in[sig_in]
+            jo = sig_out[sig_out]
+            changed_v |= ji != sig_in
+            changed_v |= jo != sig_out
+            sigs.sig_in, sigs.sig_out = sig_in, sig_out = ji, jo
+            # signature feedback over the worklist endpoints
+            touched = g.touched
+            in_t = sig_in[touched]
+            out_t = sig_out[touched]
+            before = sig_in[out_t]
+            np.maximum.at(sig_in, out_t, in_t)
+            upd = sig_in[out_t] > before
+            changed_v[out_t[upd]] = True
+            before = sig_out[in_t]
+            np.maximum.at(sig_out, in_t, out_t)
+            upd = sig_out[in_t] > before
+            changed_v[in_t[upd]] = True
+            compress_work = n + touched.size
+        enqueues = int(np.count_nonzero(changed_v))
+        charge_dense_round(
+            dev, edges=g.num_edges, vertices=compress_work, enqueues=enqueues
+        )
+        return changed_v
+
+    def round_cost(
+        self, stats: RoundStats, spec: DeviceSpec, working_set_bytes: float
+    ) -> float:
+        bw_irr = effective_bandwidth(spec, working_set_bytes)
+        bw_str = spec.mem_bw_gbs * 1e9 * STREAM_EFF
+        m = stats.worklist_edges
+        seconds = m * ADJACENCY_EDGE_BYTES / bw_irr + m * PAIR_FLAG_BYTES / bw_str
+        if stats.compress:
+            seconds += (
+                (stats.num_vertices + stats.touched)
+                * SIGNATURE_PAIR_BYTES
+                / bw_irr
+            )
+        return seconds
+
+
+class FrontierPushPolicy(PropagationPolicy):
+    """Frontier-incident scatter-max round (the frontier engine's step)."""
+
+    name = "frontier"
+    direction = "push"
+
+    def _select_edges(self, state: RoundState) -> np.ndarray:
+        return incident_edges(state.indptr, state.edge_ids, state.frontier)
+
+    def run_round(self, state: RoundState, dev) -> np.ndarray:
+        idx = self._select_edges(state)
+        changed_v, compress_work = _scatter_round(state, idx)
+        enqueues = int(np.count_nonzero(changed_v))
+        charge_frontier_round(
+            dev,
+            edges=idx.size,
+            frontier_size=state.frontier.size,
+            vertices=compress_work,
+            enqueues=enqueues,
+        )
+        return changed_v
+
+    def round_cost(
+        self, stats: RoundStats, spec: DeviceSpec, working_set_bytes: float
+    ) -> float:
+        bw_irr = effective_bandwidth(spec, working_set_bytes)
+        bw_str = spec.mem_bw_gbs * 1e9 * STREAM_EFF
+        # unique incident edges never exceed the worklist, however large
+        # the (double-counting) degree sum gets
+        edges = min(stats.degree_sum, stats.worklist_edges)
+        seconds = (
+            edges * (ADJACENCY_EDGE_BYTES + PAIR_FLAG_BYTES) / bw_irr
+            + stats.frontier_size * STATUS_FLAG_BYTES / bw_str
+        )
+        if stats.compress:
+            # compression work is 2 * |[s; d]| = 4 * edges touched
+            seconds += 4 * edges * SIGNATURE_PAIR_BYTES / bw_irr
+        return seconds
+
+
+class DensePushPolicy(FrontierPushPolicy):
+    """Scatter-max over *all* worklist edges — the push dual of ``dense``.
+
+    Registered to prove the direction axis: same coverage as the dense
+    pull sweep, same racy-scatter relaxation as the frontier policy.
+    Its streamed worklist read matches the dense charge conventions
+    (:func:`~repro.engine.accounting.charge_dense_round`), while its
+    compression work follows the push shape (restricted to the relaxed
+    endpoints rather than pointer-jumping the whole array).  Not in
+    :data:`DEFAULT_POLICIES` — the scheduler's shipped pair covers the
+    coverage axis; this one is selectable by explicit configuration.
+    """
+
+    name = "dense-push"
+    direction = "push"
+
+    def _select_edges(self, state: RoundState) -> np.ndarray:
+        return np.arange(state.grouping.num_edges, dtype=np.int64)
+
+    def run_round(self, state: RoundState, dev) -> np.ndarray:
+        idx = self._select_edges(state)
+        changed_v, compress_work = _scatter_round(state, idx)
+        enqueues = int(np.count_nonzero(changed_v))
+        charge_dense_round(
+            dev, edges=idx.size, vertices=compress_work, enqueues=enqueues
+        )
+        return changed_v
+
+    def round_cost(
+        self, stats: RoundStats, spec: DeviceSpec, working_set_bytes: float
+    ) -> float:
+        bw_irr = effective_bandwidth(spec, working_set_bytes)
+        bw_str = spec.mem_bw_gbs * 1e9 * STREAM_EFF
+        m = stats.worklist_edges
+        seconds = m * ADJACENCY_EDGE_BYTES / bw_irr + m * PAIR_FLAG_BYTES / bw_str
+        if stats.compress:
+            seconds += 4 * m * SIGNATURE_PAIR_BYTES / bw_irr
+        return seconds
+
+
+_POLICIES: "dict[str, PropagationPolicy]" = {}
+
+
+def register_policy(policy: PropagationPolicy) -> PropagationPolicy:
+    """Register *policy* under ``policy.name`` (last registration wins)."""
+    if not policy.name or policy.direction not in ("push", "pull"):
+        raise AlgorithmError(
+            "a propagation policy needs a name and a direction"
+            " ('push' or 'pull')"
+        )
+    _POLICIES[policy.name] = policy
+    return policy
+
+
+def get_policy(name: str) -> PropagationPolicy:
+    """Look up a registered policy; raise listing the registry if unknown."""
+    try:
+        return _POLICIES[name]
+    except KeyError:
+        raise AlgorithmError(
+            f"unknown propagation policy {name!r}; registered: "
+            + ", ".join(sorted(_POLICIES))
+        ) from None
+
+
+def policy_names() -> "list[str]":
+    """Registered policy names, sorted."""
+    return sorted(_POLICIES)
+
+
+register_policy(DensePullPolicy())
+register_policy(FrontierPushPolicy())
+register_policy(DensePushPolicy())
+
+#: the policy pair the adaptive scheduler chooses between by default.
+DEFAULT_POLICIES = ("dense", "frontier")

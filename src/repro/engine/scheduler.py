@@ -1,0 +1,295 @@
+"""Adaptive per-round policy selection for the ``adaptive`` engine.
+
+The :class:`AdaptiveScheduler` closes the loop the profiling layer
+(:mod:`repro.profile`) opened: the same cost-model arithmetic that
+attributes seconds to finished launches is used *prospectively* to pick
+the next round's :class:`~repro.engine.policy.PropagationPolicy`.  Each
+round it
+
+1. pays for a density scan (one incidence-degree gather over the
+   frontier, :func:`~repro.engine.accounting.charge_scheduler_scan` — the
+   decision itself is device-accounted work, not free), unless the run
+   has become launch-overhead-bound, in which case the scan is skipped
+   and the frontier policy is locked in (``scheduler:lock``);
+2. forecasts each candidate policy's round seconds from the frontier
+   size, the incidence-degree sum, and the worklist size
+   (:meth:`~repro.engine.policy.PropagationPolicy.round_cost`);
+3. picks the cheapest (ties break toward the earlier policy in the
+   configured order), records a :class:`PolicyDecision`, and emits a
+   ``scheduler:pick`` counter event.
+
+Determinism: every input of a decision is *backend- and
+tracer-invariant*.  The running launch/bandwidth tallies are fed by
+:meth:`note_launches` (per-launch latency and explicit drain blocks —
+never the backend-swept compaction traffic) and :meth:`account_round`
+(counter deltas captured around ``run_round`` only, whose charges contain
+no backend-swept component), and the scan charge itself bypasses the
+backend sweep.  Decisions therefore replay bit-identically across the
+``dense``/``frontier`` backends and traced/untraced runs — golden-tested
+in ``tests/test_policy_scheduler.py``.
+
+Fault tolerance: recovery re-propagation after a restore always forces
+the frontier policy without scanning or updating the tallies (the
+recovery frontier is the regressed-signature set, for which the frontier
+policy is the only sound shape at that cost), and the decision is
+flagged ``recovery=True`` so golden comparisons can exclude it; the
+scheduler's tallies and decision log are checkpointed
+(:meth:`state_snapshot` / :meth:`restore_state`) so a crash-restore
+replays the exact decision sequence a fault-free run makes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import SimpleNamespace
+
+import numpy as np
+
+from ..device.costmodel import (
+    BLOCK_DISPATCH_NS,
+    cost_terms,
+    working_set_of_graph,
+)
+from ..device.spec import DeviceSpec
+from ..trace import NULL_TRACER, Tracer
+from .accounting import charge_scheduler_scan
+from .policy import DEFAULT_POLICIES, PropagationPolicy, RoundStats, get_policy
+
+__all__ = [
+    "AdaptiveScheduler",
+    "PolicyDecision",
+    "DENSITY_THRESHOLD",
+    "LAUNCH_BOUND_RATIO",
+]
+
+#: frontier-degree-mass / worklist-size ratio below which the frontier
+#: policy's forecast beats the dense sweep's on the shipped byte
+#: conventions (the closed form is derived in
+#: ``docs/performance_model.md``: dense moves ~101.3 m/B seconds,
+#: frontier ~133.3 D/B, so frontier wins while D/m < 101.3/133.3).  The
+#: scheduler itself compares the full forecasts rather than this ratio;
+#: the constant is exported for the distributed per-rank selection and
+#: for documentation/tests.
+DENSITY_THRESHOLD = 0.76
+
+#: once launch latency accounts for this fraction of the run's modelled
+#: propagation seconds, the run is launch-overhead-bound: round shape no
+#: longer moves the total, so the scheduler stops paying for density
+#: scans and locks the frontier policy (smallest traffic, and the drain
+#: structure already amortizes its launches).
+LAUNCH_BOUND_RATIO = 0.5
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """One per-round scheduling decision (the auditable record)."""
+
+    outer: int
+    round: int
+    policy: str
+    frontier_size: int
+    degree_sum: int
+    density: float
+    avg_degree: float
+    launch_ratio: float
+    #: False when the decision skipped the density scan (lock mode or
+    #: recovery) — no scan charge was paid for it.
+    scanned: bool
+    #: True for forced-frontier decisions during fault recovery; golden
+    #: decision-log comparisons exclude these.
+    recovery: bool = False
+
+    def to_dict(self) -> "dict[str, object]":
+        return {
+            "outer": self.outer,
+            "round": self.round,
+            "policy": self.policy,
+            "frontier_size": self.frontier_size,
+            "degree_sum": self.degree_sum,
+            "density": self.density,
+            "avg_degree": self.avg_degree,
+            "launch_ratio": self.launch_ratio,
+            "scanned": self.scanned,
+            "recovery": self.recovery,
+        }
+
+
+class AdaptiveScheduler:
+    """Per-round policy selection from frontier statistics and tallies."""
+
+    def __init__(
+        self,
+        spec: DeviceSpec,
+        *,
+        num_vertices: int,
+        num_edges: int,
+        policies: "tuple[str, ...]" = DEFAULT_POLICIES,
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
+        self.spec = spec
+        self.num_vertices = int(num_vertices)
+        self.working_set = working_set_of_graph(num_vertices, num_edges)
+        self.policies: "tuple[PropagationPolicy, ...]" = tuple(
+            get_policy(name) for name in policies
+        )
+        self.tracer = tracer
+        #: every decision of the run, in order (recovery ones included).
+        self.decisions: "list[PolicyDecision]" = []
+        # running launch-overhead / bandwidth tallies (modelled seconds)
+        self._launch_s = 0.0
+        self._round_s = 0.0
+
+    # -- tally feeds ---------------------------------------------------
+    @property
+    def launch_ratio(self) -> float:
+        """Fraction of tallied propagation seconds spent on launches."""
+        total = self._launch_s + self._round_s
+        return self._launch_s / total if total > 0.0 else 0.0
+
+    def note_launches(self, count: int, *, blocks: int = 0) -> None:
+        """Tally *count* kernel launches (+ *blocks* dispatches) of latency.
+
+        Fed by the driver for the structural launches the drain pays
+        (compaction, the persistent drain itself) — deliberately from the
+        launch *counts*, never from backend-swept traffic, so the tally
+        is backend-invariant.
+        """
+        self._launch_s += (
+            count * self.spec.launch_us * 1e-6
+            + blocks * BLOCK_DISPATCH_NS * 1e-9
+        )
+
+    def account_round(
+        self, before: "dict[str, int]", after: "dict[str, int]"
+    ) -> None:
+        """Tally the bandwidth seconds of one finished round.
+
+        *before*/*after* are counter snapshots captured around the
+        policy's ``run_round`` — round charges are in-kernel work with no
+        backend-swept component, so the deltas (and hence the tallies and
+        every later decision) are identical across backends.
+        """
+        delta = SimpleNamespace(
+            **{key: after[key] - before[key] for key in before}
+        )
+        terms = cost_terms(
+            delta, self.spec, working_set_bytes=self.working_set
+        )
+        self._round_s += terms["irregular"] + terms["streamed"] + terms["atomic"]
+
+    # -- the decision --------------------------------------------------
+    def decide(
+        self,
+        dev,
+        *,
+        frontier: np.ndarray,
+        indptr: np.ndarray,
+        worklist_edges: int,
+        touched: int,
+        num_vertices: int,
+        compress: bool,
+        outer: int,
+        round_no: int,
+        recovery: bool = False,
+    ) -> PropagationPolicy:
+        """Pick the policy for one round; charge and record the decision."""
+        if recovery:
+            decision = PolicyDecision(
+                outer=outer,
+                round=round_no,
+                policy="frontier",
+                frontier_size=int(frontier.size),
+                degree_sum=0,
+                density=0.0,
+                avg_degree=0.0,
+                launch_ratio=self.launch_ratio,
+                scanned=False,
+                recovery=True,
+            )
+            picked = get_policy("frontier")
+        elif (
+            # lock only on *evidence*: before the first accounted round
+            # the tallies are launch-only and the ratio is degenerately
+            # 1.0 — that must not suppress the scan on bandwidth-bound
+            # graphs whose very first round is the most expensive one
+            self._round_s > 0.0
+            and self.launch_ratio >= LAUNCH_BOUND_RATIO
+        ):
+            # launch-overhead-bound: round shape cannot move the total;
+            # skip the scan and lock the cheapest-traffic policy.
+            self.tracer.counter(
+                "scheduler:lock", outer=outer, round=round_no
+            )
+            decision = PolicyDecision(
+                outer=outer,
+                round=round_no,
+                policy="frontier",
+                frontier_size=int(frontier.size),
+                degree_sum=0,
+                density=0.0,
+                avg_degree=0.0,
+                launch_ratio=self.launch_ratio,
+                scanned=False,
+            )
+            picked = get_policy("frontier")
+        else:
+            degree_sum = int(
+                (indptr[frontier + 1] - indptr[frontier]).sum()
+            )
+            charge_scheduler_scan(dev, frontier_size=frontier.size)
+            stats = RoundStats(
+                frontier_size=int(frontier.size),
+                degree_sum=degree_sum,
+                worklist_edges=int(worklist_edges),
+                touched=int(touched),
+                num_vertices=int(num_vertices),
+                compress=compress,
+            )
+            picked = min(
+                self.policies,
+                key=lambda p: p.round_cost(
+                    stats, self.spec, self.working_set
+                ),
+            )
+            decision = PolicyDecision(
+                outer=outer,
+                round=round_no,
+                policy=picked.name,
+                frontier_size=stats.frontier_size,
+                degree_sum=stats.degree_sum,
+                density=stats.density,
+                avg_degree=stats.avg_degree,
+                launch_ratio=self.launch_ratio,
+                scanned=True,
+            )
+        self.decisions.append(decision)
+        self.tracer.counter(
+            "scheduler:pick",
+            policy=decision.policy,
+            outer=outer,
+            round=round_no,
+            frontier=decision.frontier_size,
+            recovery=recovery,
+        )
+        return picked
+
+    # -- checkpoint integration ----------------------------------------
+    def state_snapshot(self) -> "dict[str, object]":
+        """Checkpointable scheduler state (tallies + decision-log length).
+
+        The decision log is part of the checkpoint so a crash-restore
+        replays the exact decision sequence of a fault-free run: restoring
+        truncates decisions made after the checkpoint, and the restored
+        tallies make every later ``launch_ratio`` read identical.
+        """
+        return {
+            "launch_s": self._launch_s,
+            "round_s": self._round_s,
+            "decisions": len(self.decisions),
+        }
+
+    def restore_state(self, snapshot: "dict[str, object]") -> None:
+        """Rewind to a :meth:`state_snapshot` (inverse of checkpointing)."""
+        self._launch_s = float(snapshot["launch_s"])  # type: ignore[arg-type]
+        self._round_s = float(snapshot["round_s"])  # type: ignore[arg-type]
+        del self.decisions[int(snapshot["decisions"]) :]  # type: ignore[call-overload]

@@ -69,12 +69,18 @@ class Checkpoint:
     #: launch-ledger length at checkpoint time; restore truncates the
     #: ledger here so profile attribution matches the restored counters
     ledger_len: int = 0
-    # frontier-engine extras: the partial re-init means signatures and
-    # the invalidation set are live cross-iteration state (dense engines
-    # rebuild both from scratch each iteration, so they skip this)
+    # reuse-engine (frontier/adaptive) extras: the partial re-init means
+    # signatures and the invalidation set are live cross-iteration state
+    # (dense engines rebuild both from scratch each iteration, so they
+    # skip this)
     sig_in: "np.ndarray | None" = None
     sig_out: "np.ndarray | None" = None
     invalidated: "np.ndarray | None" = None
+    #: adaptive-engine extra: the scheduler's tallies and decision-log
+    #: length (:meth:`~repro.engine.scheduler.AdaptiveScheduler.state_snapshot`)
+    #: — restoring rewinds the decision log with the counters, so a
+    #: crash-restore replays the fault-free run's decision sequence
+    scheduler_state: "dict | None" = None
 
     @property
     def nbytes(self) -> int:
@@ -115,7 +121,7 @@ class CheckpointStore:
 
     def save(self, *, outer, labels, active, wl, total_rounds,
              completed_per_iteration, device, sigs=None,
-             invalidated=None) -> Checkpoint:
+             invalidated=None, scheduler=None) -> Checkpoint:
         ledger = getattr(device, "ledger", None)
         ckpt = Checkpoint(
             outer=int(outer),
@@ -131,6 +137,9 @@ class CheckpointStore:
             sig_in=sigs.sig_in.copy() if sigs is not None else None,
             sig_out=sigs.sig_out.copy() if sigs is not None else None,
             invalidated=invalidated.copy() if invalidated is not None else None,
+            scheduler_state=(
+                scheduler.state_snapshot() if scheduler is not None else None
+            ),
         )
         self._latest = ckpt
         # copy-out of the checkpointed state: sequential streaming traffic
@@ -149,7 +158,7 @@ class CheckpointStore:
         return self._latest
 
     def restore(self, *, labels, active, wl, device, crashed_at: int,
-                sigs=None, invalidated=None) -> Checkpoint:
+                sigs=None, invalidated=None, scheduler=None) -> Checkpoint:
         """Roll run state back to the latest checkpoint (in place).
 
         Device counters are *replaced* by the checkpoint's copy: the
@@ -174,6 +183,8 @@ class CheckpointStore:
             sigs.sig_out[:] = ckpt.sig_out
         if invalidated is not None and ckpt.invalidated is not None:
             invalidated[:] = ckpt.invalidated
+        if scheduler is not None and ckpt.scheduler_state is not None:
+            scheduler.restore_state(ckpt.scheduler_state)
         device.counters = _copy_counters(ckpt.counters)
         ledger = getattr(device, "ledger", None)
         if ledger is not None:

@@ -40,6 +40,7 @@ __all__ = [
     "build_powerlaw",
     "powerlaw_suite",
     "default_scale",
+    "engine_corpus",
 ]
 
 
@@ -287,6 +288,56 @@ def build_powerlaw(name: str, scale: "float | None" = None, seed: int = 0) -> "t
         "spec": spec,
     }
     return g, planted
+
+
+def engine_corpus() -> "list[tuple[str, CSRGraph]]":
+    """The named 27-graph engine-comparison corpus.
+
+    This is the canonical definition of the corpus the test suite's
+    ``small_graphs``/``random_graphs`` fixtures and the
+    ``repro bench engines`` regression gate share: 15 hand-built
+    structural corner cases followed by 12 seeded random workloads.
+    Everything is deterministic (fixed seeds, no salted hashing), so
+    committed engine-matrix baselines replay bit for bit.
+    """
+    from .generators import (
+        complete_digraph,
+        cycle_graph,
+        dag_chain_of_cliques,
+        grid_dag,
+        path_graph,
+        planted_scc_graph,
+        random_gnm,
+        scc_ladder,
+    )
+
+    corpus: "list[tuple[str, CSRGraph]]" = [
+        ("empty-0", CSRGraph.empty(0)),
+        ("empty-1", CSRGraph.empty(1)),
+        ("empty-5", CSRGraph.empty(5)),
+        ("self-loop", CSRGraph.from_adjacency([[0]])),
+        ("two-cycle", CSRGraph.from_adjacency([[1], [0]])),
+        ("single-edge", CSRGraph.from_adjacency([[1], []])),
+        ("dup-edges", CSRGraph.from_adjacency([[1, 1], [0]])),
+        ("loops-2cycle", CSRGraph.from_adjacency([[0, 1], [1, 0]])),
+        ("cycle-3", cycle_graph(3)),
+        ("cycle-17", cycle_graph(17)),
+        ("path-9", path_graph(9)),
+        ("complete-5", complete_digraph(5)),
+        ("ladder-6", scc_ladder(6)),
+        ("grid-4x5", grid_dag(4, 5)),
+        ("cliques-5x3", dag_chain_of_cliques(5, 3, seed=0)),
+    ]
+    for seed in range(6):
+        corpus.append(
+            (f"gnm-s{seed}",
+             random_gnm(40 + 10 * seed, 100 + 30 * seed, seed=seed))
+        )
+        g, _ = planted_scc_graph(
+            [3, 1, 5, 2, 7, 1, 1, 4], extra_dag_edges=10, seed=seed
+        )
+        corpus.append((f"planted-s{seed}", g))
+    return corpus
 
 
 def powerlaw_suite(

@@ -72,6 +72,10 @@ class PhaseProfile:
         default_factory=lambda: {t: 0.0 for t in TERM_NAMES}
     )
     rounds: int = 0
+    #: adaptive-scheduler picks landing in this phase, by policy name
+    #: (folded from ``scheduler:pick`` counter events; empty for the
+    #: static engines)
+    decisions: "Dict[str, int]" = field(default_factory=dict)
 
     @property
     def name(self) -> str:
@@ -103,6 +107,7 @@ class PhaseProfile:
             "records": self.records,
             "launches": self.launches,
             "rounds": self.rounds,
+            "decisions": dict(self.decisions),
             "seconds": dict(self.seconds),
             "total_seconds": self.total,
             "classification": self.classification,
@@ -150,9 +155,10 @@ def attribute_launches(
     """Attribute every launch record of *trace* to its span path.
 
     Returns the phases in first-appearance order.  Phase-2 round counts
-    are folded in from the trace's ``relaxation-round`` counter events
-    (rounds are an analysis quantity, not a costed charge, so they ride
-    on the event stream rather than the ledger).
+    are folded in from the trace's ``relaxation-round`` counter events,
+    and the adaptive scheduler's per-policy pick counts from its
+    ``scheduler:pick`` events (both are analysis quantities, not costed
+    charges, so they ride on the event stream rather than the ledger).
     """
     loser = _roofline_loser(
         aggregate_counters(trace.launches), spec, working_set_bytes
@@ -178,7 +184,10 @@ def attribute_launches(
         for path, span in trace.iter_paths():
             span_path[span.span_id] = path
     for ev in trace.events:
-        if ev.name != "relaxation-round" or ev.kind != "counter":
+        if ev.kind != "counter" or ev.name not in (
+            "relaxation-round",
+            "scheduler:pick",
+        ):
             continue
         path = span_path.get(ev.span_id)
         if path is None:
@@ -186,5 +195,9 @@ def attribute_launches(
         ph = phases.get(path)
         if ph is None:
             ph = phases[path] = PhaseProfile(path=path)
-        ph.rounds += int(ev.value)
+        if ev.name == "relaxation-round":
+            ph.rounds += int(ev.value)
+        else:
+            policy = str(ev.attrs.get("policy", "?"))
+            ph.decisions[policy] = ph.decisions.get(policy, 0) + int(ev.value)
     return list(phases.values())

@@ -5,41 +5,24 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.graph import (
-    CSRGraph,
-    complete_digraph,
-    cycle_graph,
-    dag_chain_of_cliques,
-    grid_dag,
-    path_graph,
-    planted_scc_graph,
-    random_gnm,
-    scc_ladder,
-)
+from repro.graph import CSRGraph, planted_scc_graph, random_gnm
+from repro.graph.suite import engine_corpus
 
 
 def corpus_small() -> "list[CSRGraph]":
-    """Hand-built graphs covering structural corner cases."""
-    return [
-        CSRGraph.empty(0),
-        CSRGraph.empty(1),
-        CSRGraph.empty(5),
-        CSRGraph.from_adjacency([[0]]),                   # single self-loop
-        CSRGraph.from_adjacency([[1], [0]]),              # 2-cycle
-        CSRGraph.from_adjacency([[1], []]),               # single edge
-        CSRGraph.from_adjacency([[1, 1], [0]]),           # duplicate edges
-        CSRGraph.from_adjacency([[0, 1], [1, 0]]),        # loops + 2-cycle
-        cycle_graph(3),
-        cycle_graph(17),
-        path_graph(9),
-        complete_digraph(5),
-        scc_ladder(6),
-        grid_dag(4, 5),
-        dag_chain_of_cliques(5, 3, seed=0),
-    ]
+    """Hand-built graphs covering structural corner cases.
+
+    Delegates to :func:`repro.graph.suite.engine_corpus` (the canonical
+    27-graph definition shared with the ``repro bench engines`` gate):
+    the first 15 entries are the hand-built corner cases.
+    """
+    return [g for _, g in engine_corpus()[:15]]
 
 
 def corpus_random(count: int = 6) -> "list[CSRGraph]":
+    if count == 6:
+        # the canonical seeded tail of the shared engine corpus
+        return [g for _, g in engine_corpus()[15:]]
     out = []
     for seed in range(count):
         out.append(random_gnm(40 + 10 * seed, 100 + 30 * seed, seed=seed))

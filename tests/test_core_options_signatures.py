@@ -60,6 +60,26 @@ class TestOptions:
         with pytest.raises(Exception):
             ALL_ON.async_phase2 = False  # type: ignore[misc]
 
+    def test_engine_validated(self):
+        from repro.core.options import ENGINE_NAMES
+
+        for name in ENGINE_NAMES:
+            assert EclOptions(engine=name).engine == name
+        with pytest.raises(AlgorithmError):
+            EclOptions(engine="warp")
+
+    def test_replace_revalidates_engine(self):
+        """dataclasses.replace() copies go back through __post_init__, so
+        an invalid engine name cannot be smuggled past construction —
+        the single-validation-path guarantee of the engine registry."""
+        import dataclasses
+
+        base = EclOptions(engine="adaptive")
+        copy = dataclasses.replace(base, path_compression=False)
+        assert copy.engine == "adaptive"
+        with pytest.raises(AlgorithmError):
+            dataclasses.replace(base, engine="hyperwarp")
+
 
 class TestSignatures:
     def test_identity_init(self):

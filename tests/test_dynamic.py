@@ -291,6 +291,9 @@ def update_scripts(draw, max_n=16, max_m=40, max_steps=6):
         ("sync", "dense", False),
         ("async", "frontier", False),
         ("frontier", "frontier", True),
+        ("adaptive", "frontier", False),
+        ("adaptive", "dense", False),
+        ("adaptive", "frontier", True),
     ],
 )
 @given(script=update_scripts())

@@ -25,7 +25,7 @@ from repro.device.spec import A100
 from repro.engine import backend_names
 from repro.graph import permute_random, cycle_graph
 
-ENGINES = ("sync", "async", "atomic", "frontier")
+ENGINES = ("sync", "async", "atomic", "frontier", "adaptive")
 FLAGS = list(itertools.product((False, True), repeat=2))  # compression, persistent
 
 
@@ -90,11 +90,19 @@ GOLDEN_FRONTIER_LAUNCHES = [0, 2, 2, 4, 4, 6, 4, 4, 4, 4, 6, 4, 8, 6, 12,
                             8, 10, 10, 10, 8, 10, 10, 10, 8, 8, 10, 8]
 
 
-def test_frontier_golden_launches(all_graphs):
+@pytest.mark.parametrize("engine", ("frontier", "adaptive"))
+def test_frontier_golden_launches(engine, all_graphs):
+    """Frontier AND adaptive reproduce the frontier golden launch counts.
+
+    The adaptive engine's launch parity is structural: dense rounds are
+    in-kernel work inside the drain (no extra launch), and the density
+    scan is charged as work, so whichever policies the scheduler picks,
+    the launch count equals the static frontier engine's exactly.
+    """
     from repro.device.executor import VirtualDevice
 
     assert len(GOLDEN_FRONTIER_LAUNCHES) == len(all_graphs)
-    opts = engine_options("frontier")
+    opts = engine_options(engine)
     for i, g in enumerate(all_graphs):
         dev = VirtualDevice(A100)
         res = ecl_scc(g, options=opts, device=dev)

@@ -49,6 +49,8 @@ ENGINES = {
     "sync": dict(async_phase2=False),
     "async": dict(async_phase2=True),
     "atomic": dict(atomic_phase2=True),
+    "frontier": dict(engine="frontier"),
+    "adaptive": dict(engine="adaptive"),
 }
 BACKENDS = ("dense", "frontier")
 

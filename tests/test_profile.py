@@ -103,7 +103,7 @@ class TestLedger:
 # attribution sums to the device estimate
 # ---------------------------------------------------------------------------
 
-ENGINES = ("sync", "async", "atomic", "frontier")
+ENGINES = ("sync", "async", "atomic", "frontier", "adaptive")
 BACKENDS = ("dense", "frontier")
 DEVICES = (A100, XEON_6226R)
 
