@@ -44,7 +44,7 @@ from .baselines.tarjan import tarjan_scc
 from .mesh.sweepgraph import build_sweep_graph
 from .analysis.verify import verify_labels
 from .dynamic.graph import DynamicGraph
-from .results import AlgoResult, count_sccs
+from .results import AlgoResult, Status, count_sccs
 from .solver import Solver, solve
 from .trace import NULL_TRACER, NullTracer, Trace, Tracer
 
@@ -55,6 +55,7 @@ __all__ = [
     "Solver",
     "DynamicGraph",
     "AlgoResult",
+    "Status",
     "EclResult",
     "ecl_scc",
     "EclOptions",

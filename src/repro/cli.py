@@ -15,6 +15,9 @@ Run as ``python -m repro`` (or ``python -m repro.cli``).  Subcommands:
   crossover table;
 * ``chaos``    — run ECL-SCC under a seeded fault plan (repro.faults)
   and report the injected faults, recoveries, and cost overhead;
+* ``serve``    — run the SCC-as-a-service control plane (repro.serve):
+  a seeded Zipf bench with the breaker-win gate, or a chaos run under
+  a service-layer fault plan with full terminal-state verification;
 * ``devices``  — list the virtual device models;
 * ``sweep``    — run the full RTE pipeline (mesh -> SCC -> schedule ->
   model transport solve) and report per-ordinate results.
@@ -325,7 +328,7 @@ def _engine_matrix_failures(
     """
     by_graph: "dict[str, dict[str, dict]]" = {}
     for r in rows:
-        if "engine" in r:
+        if "engine" in r and "num_sccs" in r:
             by_graph.setdefault(r["graph"], {})[r["engine"]] = r
     failures = []
     for gname, cells in by_graph.items():
@@ -487,11 +490,14 @@ def _bench_compare(rows: "list[dict]", baseline: str, tolerance: float,
         for r in base["results"]
     }
     failures = _engine_matrix_failures(rows, engine_tolerance)
+    failures += _serve_row_failures(rows, base_rows, tolerance)
     print(f"\ncomparison vs {baseline}"
           f" (tolerance +{tolerance:.0%} on ecl-scc model_seconds):")
     print(f"  {'graph':<16s} {'base ms':>9s} {'new ms':>9s} {'ratio':>6s}"
           f" {'bytes':>6s} {'launches':>13s}")
     for row in rows:
+        if row["algorithm"] == "serve-bench":
+            continue  # gated by _serve_row_failures (no num_sccs/ms cells)
         if row["algorithm"] == "dynamic-replay":
             if row["model_seconds"] >= row["recompute_seconds"]:
                 failures.append(
@@ -539,6 +545,59 @@ def _bench_compare(rows: "list[dict]", baseline: str, tolerance: float,
         return 1
     print("bench-regression gate: pass")
     return 0
+
+
+def _serve_row_failures(rows: "list[dict]", base_rows: "dict",
+                        tolerance: float) -> "list[str]":
+    """Gate rules for ``serve-bench`` rows (the serve-smoke artifact).
+
+    Versus the baseline, per scenario: throughput must not drop more
+    than *tolerance* (relative) and the backpressure shed rate must not
+    rise more than *tolerance* (absolute — shed rates are fractions of
+    submitted jobs).  Within the new rows alone, the breaker win must
+    hold: the ``-nobreakers`` crash scenario must show strictly worse
+    p99 latency and shed rate than its ``+breakers`` twin.
+    """
+    failures: "list[str]" = []
+    serve_rows = [r for r in rows if r["algorithm"] == "serve-bench"]
+    for row in serve_rows:
+        key = (row["algorithm"], row.get("engine"), row["graph"])
+        b = base_rows.get(key)
+        if b is None:
+            continue
+        if row["throughput_jps"] < b["throughput_jps"] * (1.0 - tolerance):
+            failures.append(
+                f"{row['graph']}: serve throughput regressed"
+                f" {b['throughput_jps']:.1f} -> {row['throughput_jps']:.1f}"
+                f" jobs/s (> -{tolerance:.0%})"
+            )
+        if row["shed_rate"] > b["shed_rate"] + tolerance:
+            failures.append(
+                f"{row['graph']}: serve shed rate regressed"
+                f" {b['shed_rate']:.3f} -> {row['shed_rate']:.3f}"
+                f" (> +{tolerance:.2f} absolute)"
+            )
+    by_scenario = {r["graph"]: r for r in serve_rows}
+    for name, on_row in by_scenario.items():
+        if not name.endswith("+breakers"):
+            continue
+        off_row = by_scenario.get(name[: -len("+breakers")] + "-nobreakers")
+        if off_row is None:
+            continue
+        p99_on, p99_off = on_row["p99_ms"], off_row["p99_ms"]
+        if p99_on is not None and p99_off is not None and p99_off <= p99_on:
+            failures.append(
+                f"{name}: breaker win lost — p99 without breakers"
+                f" ({p99_off:.4f}ms) no longer degrades vs with"
+                f" ({p99_on:.4f}ms)"
+            )
+        if off_row["shed_rate"] <= on_row["shed_rate"]:
+            failures.append(
+                f"{name}: breaker win lost — shed rate without breakers"
+                f" ({off_row['shed_rate']:.3f}) no longer degrades vs with"
+                f" ({on_row['shed_rate']:.3f})"
+            )
+    return failures
 
 
 def _top_regressed_phase(new_phases: "dict | None",
@@ -926,22 +985,21 @@ def _cmd_dynamic(args: argparse.Namespace) -> int:
 
 
 def _chaos_plan(args: argparse.Namespace):
-    """Resolve the ``chaos`` subcommand's ``--plan`` argument.
+    """Resolve a ``--plan`` argument (``chaos`` and ``serve`` commands).
 
-    Accepts the two presets (``monotone``, ``chaos``) or a path to a
-    JSON file produced by :meth:`FaultPlan.to_json`.
+    Accepts any named preset (:data:`repro.faults.PRESET_PLAN_NAMES`)
+    or a path to a JSON file produced by :meth:`FaultPlan.to_json`.
     """
-    from .faults import FaultPlan
+    from .faults import PRESET_PLAN_NAMES, FaultPlan, preset_plan
 
     spec = args.plan
-    if spec == "monotone":
-        return FaultPlan.monotone(args.seed)
-    if spec == "chaos":
-        return FaultPlan.chaos(args.seed)
+    if spec in PRESET_PLAN_NAMES:
+        return preset_plan(spec, args.seed)
     if Path(spec).exists():
         return FaultPlan.from_json(Path(spec).read_text())
     raise SystemExit(
-        f"unknown fault plan {spec!r}: not 'monotone', 'chaos', or a JSON file"
+        f"unknown fault plan {spec!r}: not one of"
+        f" {list(PRESET_PLAN_NAMES)} or a JSON file"
     )
 
 
@@ -1097,6 +1155,118 @@ def _cmd_distributed(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_config(args: argparse.Namespace, scenario: str, plan):
+    from .serve.bench import ServeBenchConfig
+
+    return ServeBenchConfig(
+        scenario=scenario,
+        num_graphs=args.graphs,
+        num_jobs=args.jobs,
+        workers=args.workers,
+        queue_capacity=args.queue,
+        utilization=args.utilization,
+        engine=args.engine,
+        backend=args.backend,
+        plan=plan,
+        seed=args.seed,
+    )
+
+
+def _print_serve_row(row: "dict") -> None:
+    p50, p99 = row["p50_ms"], row["p99_ms"]
+    if p50 is None:
+        print(f"  {row['graph']:<24s} done=0/{row['jobs']} (no completions)")
+        return
+    print(
+        f"  {row['graph']:<24s} done={row['done']:3d}/{row['jobs']:<3d}"
+        f" thr={row['throughput_jps']:10.1f}/s p50={p50:8.4f}ms"
+        f" p99={p99:8.4f}ms"
+    )
+    print(
+        f"  {'':<24s} shed={row['shed_rate']:.3f}"
+        f" breaker-shed={row['breaker_shed_rate']:.3f}"
+        f" dead-letter={row['dead_letter_rate']:.3f}"
+        f" retries={row['retries']}"
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """The serve control-plane bench + chaos harness.
+
+    ``bench`` runs the four-scenario matrix (clean, crash with and
+    without breakers, delay), asserts the breaker win, and writes the
+    rows (the CI ``BENCH_pr8.json`` artifact); ``chaos`` drives the
+    service under one fault plan with full verification (terminal
+    states + label bit-identity against unserved solves).
+    """
+    import json as _json
+
+    from .faults import preset_plan
+    from .serve.bench import breaker_comparison, run_serve_bench
+
+    if args.mode == "chaos":
+        plan = _chaos_plan(args)
+        if not plan.has_serve_faults:
+            raise SystemExit(
+                f"plan {args.plan!r} has no service-layer faults"
+                " (worker_crash_rate or message_delay_rate)"
+            )
+        cfg = _serve_config(args, f"chaos-{args.plan}", plan)
+        try:
+            row = run_serve_bench(cfg, verify=True)
+        except AssertionError as exc:
+            print(f"chaos-serve: FAIL — {exc}")
+            return 1
+        print(f"chaos-serve under {args.plan!r} (seed {args.seed}):")
+        _print_serve_row(row)
+        v = row["verified"]
+        print(
+            f"  every job terminal; {v['checked']} solve/query result(s)"
+            " bit-identical to unserved solves"
+        )
+        if args.json:
+            Path(args.json).write_text(
+                _json.dumps(row, indent=2, sort_keys=True, default=str) + "\n"
+            )
+            print(f"written to {args.json}")
+        return 0
+
+    # bench: the scenario matrix; the breaker win is measured here and
+    # *enforced* by the --baseline gate (the CI serve-smoke job)
+    rows = [run_serve_bench(_serve_config(args, "zipf-clean", None))]
+    crash = _serve_config(
+        args, "zipf-crash", preset_plan("serve-crash", args.seed)
+    )
+    cmp = breaker_comparison(crash, require_win=False)
+    rows += [cmp["enabled"], cmp["disabled"]]
+    rows.append(run_serve_bench(
+        _serve_config(args, "zipf-delay", preset_plan("serve-delay", args.seed))
+    ))
+    print(f"serve bench (seed {args.seed}):")
+    for row in rows:
+        _print_serve_row(row)
+    win = cmp["breaker_win"]
+    status = "" if win["ok"] else " (NOT a win at this load)"
+    print(
+        f"  breaker win: p99 x{win['p99_degradation']:.2f},"
+        f" shed +{win['shed_rate_delta']:.3f} without breakers{status}"
+    )
+    doc = {
+        "schema": "serve-bench/1",
+        "seed": args.seed,
+        "breaker_win": win,
+        "results": rows,
+    }
+    if args.json:
+        Path(args.json).write_text(
+            _json.dumps(doc, indent=2, sort_keys=True, default=str) + "\n"
+        )
+        print(f"written to {args.json}")
+    if args.baseline:
+        return _bench_compare(rows, args.baseline, args.tolerance)
+    return 0
+
+
 def _cmd_devices(_args: argparse.Namespace) -> int:
     from .device import ALL_DEVICES
 
@@ -1152,7 +1322,18 @@ def build_parser() -> argparse.ArgumentParser:
     engine_list = " | ".join(ENGINE_NAMES)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("scc", help="detect SCCs in a graph file")
+    # one --seed, defined once, accepted by every subcommand: it seeds
+    # whatever randomness the subcommand has (workload generators, fault
+    # plans, service workloads) and is inert where there is none
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--seed", type=int, default=0,
+        help="RNG seed for generators / fault plans / workloads"
+        " (default 0)",
+    )
+
+    p = sub.add_parser("scc", parents=[common],
+                       help="detect SCCs in a graph file")
     p.add_argument("graph", help="input graph file (.mtx/.txt/.edges/.gr)")
     p.add_argument("--algo", default="ecl-scc", choices=ALGORITHM_NAMES)
     p.add_argument("--device", default="A100",
@@ -1175,7 +1356,7 @@ def build_parser() -> argparse.ArgumentParser:
                    " (default: options default)")
     p.set_defaults(func=_cmd_scc)
 
-    p = sub.add_parser("stats", help="print SCC statistics of a graph file")
+    p = sub.add_parser("stats", parents=[common], help="print SCC statistics of a graph file")
     p.add_argument("graph")
     p.add_argument("--format", default="auto",
                    choices=["auto", "mtx", "edges", "dimacs", "npz"])
@@ -1183,17 +1364,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the (expensive) condensation DAG depth")
     p.set_defaults(func=_cmd_stats)
 
-    p = sub.add_parser("gen", help="generate a workload graph")
+    p = sub.add_parser("gen", parents=[common], help="generate a workload graph")
     p.add_argument("kind", choices=["mesh", "powerlaw"])
     p.add_argument("name", help="mesh group or Table-3 graph name")
     p.add_argument("output", help="output file (.mtx/.txt/.edges/.gr)")
     p.add_argument("--scale", type=float, default=None)
     p.add_argument("--ordinate", type=int, default=0,
                    help="which ordinate's sweep graph (meshes)")
-    p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_gen)
 
-    p = sub.add_parser("bench", help="regenerate a paper table/figure")
+    p = sub.add_parser("bench", parents=[common], help="regenerate a paper table/figure")
     p.add_argument(
         "experiment",
         choices=["table1", "table2", "table3", "table5", "table6", "table7",
@@ -1224,7 +1404,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser(
-        "trace", help="run one algorithm with the structured tracer"
+        "trace", parents=[common], help="run one algorithm with the structured tracer"
     )
     p.add_argument(
         "workload",
@@ -1248,7 +1428,6 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["auto", "mtx", "edges", "dimacs", "npz"])
     p.add_argument("--scale", type=float, default=None,
                    help="power-law workload scale factor")
-    p.add_argument("--seed", type=int, default=0)
     p.add_argument("--jsonl", help="write the trace to this JSONL file")
     p.add_argument("--load",
                    help="summarize an existing JSONL trace instead of running")
@@ -1266,6 +1445,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "profile",
+        parents=[common],
         help="per-phase time attribution and roofline classification",
     )
     p.add_argument(
@@ -1283,7 +1463,6 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["auto", "mtx", "edges", "dimacs", "npz"])
     p.add_argument("--scale", type=float, default=None,
                    help="power-law workload scale factor")
-    p.add_argument("--seed", type=int, default=0)
     p.add_argument("--json", nargs="?", const="-", default=None,
                    help="write the ProfileReport as JSON to PATH (or stdout)")
     p.add_argument("--prom", nargs="?", const="-", default=None,
@@ -1307,6 +1486,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "dynamic",
+        parents=[common],
         help="replay an edge log through the incremental SCC engine",
     )
     p.add_argument(
@@ -1323,8 +1503,6 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated batch sizes (default 1,4,16,64)")
     p.add_argument("--insert-fraction", type=float, default=0.5,
                    help="fraction of events that insert (default 0.5)")
-    p.add_argument("--seed", type=int, default=0,
-                   help="edge-log RNG seed")
     p.add_argument("--device", default="A100",
                    help="Titan V | A100 | Ryzen 2950X | Xeon 6226R")
     p.add_argument("--format", default="auto",
@@ -1343,7 +1521,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_dynamic)
 
     p = sub.add_parser(
-        "chaos", help="run ECL-SCC under a seeded fault plan"
+        "chaos", parents=[common], help="run ECL-SCC under a seeded fault plan"
     )
     p.add_argument(
         "workload",
@@ -1355,8 +1533,6 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--plan", default="chaos",
                    help="'monotone', 'chaos', or a FaultPlan JSON file")
-    p.add_argument("--seed", type=int, default=0,
-                   help="fault plan RNG seed (presets only)")
     p.add_argument("--device", default="A100",
                    help="Titan V | A100 | Ryzen 2950X | Xeon 6226R")
     p.add_argument("--format", default="auto",
@@ -1374,7 +1550,45 @@ def build_parser() -> argparse.ArgumentParser:
                    " (default: options default)")
     p.set_defaults(func=_cmd_chaos)
 
-    p = sub.add_parser("distributed", help="BSP cluster run: ECL vs FB-Trim")
+    p = sub.add_parser(
+        "serve", parents=[common],
+        help="SCC-as-a-service control-plane bench + chaos harness",
+    )
+    p.add_argument(
+        "mode", nargs="?", default="bench", choices=["bench", "chaos"],
+        help="'bench': Zipf scenario matrix with the breaker-win gate;"
+        " 'chaos': one fault plan with full verification",
+    )
+    p.add_argument("--plan", default="serve-crash",
+                   help="(chaos) preset name or FaultPlan JSON file"
+                   " (must carry service-layer faults)")
+    p.add_argument("--jobs", type=int, default=60,
+                   help="jobs in the generated workload (default 60)")
+    p.add_argument("--graphs", type=int, default=4,
+                   help="named graphs in the Zipf world (default 4)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="worker pool size (default 2)")
+    p.add_argument("--queue", type=int, default=8,
+                   help="bounded run-queue capacity (default 8)")
+    p.add_argument("--utilization", type=float, default=1.5,
+                   help="open-loop arrival rate as a multiple of service"
+                   " capacity (default 1.5 = overload)")
+    p.add_argument("--json", default=None,
+                   help="write results to this JSON file")
+    p.add_argument("--baseline", default=None,
+                   help="(bench) compare against this baseline JSON and"
+                   " gate throughput/shed-rate regressions")
+    p.add_argument("--tolerance", type=float, default=0.05,
+                   help="(bench) allowed throughput/shed-rate regression"
+                   " vs --baseline (default 0.05)")
+    p.add_argument("--backend", default=None, choices=_backend_choices(),
+                   help="engine accounting backend (default: dense)")
+    p.add_argument("--engine", default=None,
+                   choices=list(ENGINE_NAMES),
+                   help=f"data-plane Phase-2 engine: {engine_list}")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("distributed", parents=[common], help="BSP cluster run: ECL vs FB-Trim")
     p.add_argument("graph")
     p.add_argument("--ranks", type=int, default=8)
     p.add_argument("--random-partition", action="store_true")
@@ -1382,10 +1596,10 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["auto", "mtx", "edges", "dimacs", "npz"])
     p.set_defaults(func=_cmd_distributed)
 
-    p = sub.add_parser("devices", help="list virtual device models")
+    p = sub.add_parser("devices", parents=[common], help="list virtual device models")
     p.set_defaults(func=_cmd_devices)
 
-    p = sub.add_parser("sweep", help="run the full RTE pipeline on a mesh")
+    p = sub.add_parser("sweep", parents=[common], help="run the full RTE pipeline on a mesh")
     p.add_argument("mesh", help="mesh group name (e.g. toroid-hex)")
     p.add_argument("--ordinates", type=int, default=4)
     p.add_argument("--scale", type=float, default=None)

@@ -12,7 +12,13 @@ see ``docs/robustness.md`` and the ``repro chaos`` CLI.
 """
 
 from .inject import ExchangePerturbation, FaultEvent, FaultInjector, FaultReport
-from .plan import CORRUPTING_FAULT_KINDS, MONOTONE_FAULT_KINDS, FaultPlan
+from .plan import (
+    CORRUPTING_FAULT_KINDS,
+    MONOTONE_FAULT_KINDS,
+    PRESET_PLAN_NAMES,
+    FaultPlan,
+    preset_plan,
+)
 from .recovery import (
     MAX_HEAL_PASSES,
     Checkpoint,
@@ -25,6 +31,8 @@ __all__ = [
     "FaultPlan",
     "MONOTONE_FAULT_KINDS",
     "CORRUPTING_FAULT_KINDS",
+    "PRESET_PLAN_NAMES",
+    "preset_plan",
     "FaultEvent",
     "FaultReport",
     "FaultInjector",

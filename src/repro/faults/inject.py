@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..results import Status
 from ..trace import NULL_TRACER, Tracer
 from .plan import FaultPlan
 
@@ -336,10 +337,10 @@ class FaultInjector:
         return False
 
     # ------------------------------------------------------------------
-    def status(self) -> str:
+    def status(self) -> Status:
         """Run status implied by the record so far (driver may override)."""
         if self.report.failovers:
-            return "degraded"
+            return Status.DEGRADED
         if self.report.faults_injected:
-            return "recovered"
-        return "clean"
+            return Status.RECOVERED
+        return Status.CLEAN

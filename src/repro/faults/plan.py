@@ -30,6 +30,13 @@ Fault sites (see ``docs/robustness.md`` for the full fault model):
   ``message_delay_rate`` perturb the boundary exchange, and
   ``rank_crash_superstep`` crashes one rank, recovered by bounded
   superstep retry with exponential backoff and (optionally) failover.
+* **Service layer** (:class:`~repro.serve.SccService` job execution) —
+  ``worker_crash_rate`` kills an executing worker mid-attempt (the job
+  fails and is retried with bounded backoff), and ``message_delay_rate``
+  doubles as a per-attempt completion-delay probability.  Service-layer
+  crashes never corrupt state: update jobs are checkpointed before
+  execution and rolled back on a crash, so a retried attempt recomputes
+  from the pre-attempt graph exactly.
 """
 
 from __future__ import annotations
@@ -41,7 +48,13 @@ import numpy as np
 
 from ..errors import FaultPlanError
 
-__all__ = ["FaultPlan", "MONOTONE_FAULT_KINDS", "CORRUPTING_FAULT_KINDS"]
+__all__ = [
+    "FaultPlan",
+    "MONOTONE_FAULT_KINDS",
+    "CORRUPTING_FAULT_KINDS",
+    "PRESET_PLAN_NAMES",
+    "preset_plan",
+]
 
 #: fault kinds that can never change final labels (only delay convergence).
 MONOTONE_FAULT_KINDS = (
@@ -95,13 +108,25 @@ class FaultPlan:
         failed retry attempts before the rank comes back; if it exceeds
         ``max_retries`` the loss is permanent (failover or
         :class:`~repro.errors.RankLossError`).
+    worker_crash_rate:
+        per-execution-attempt probability that a :mod:`repro.serve`
+        worker crashes mid-job (the attempt fails, its partial work is
+        still charged, and the job is retried with bounded backoff).
     max_retries:
-        bounded superstep retry attempts for a crashed rank.
+        bounded retry attempts — superstep retries for a crashed rank,
+        and per-job retry attempts in :mod:`repro.serve`.
     backoff_base_us:
         base of the exponential retry backoff (attempt k waits
         ``backoff_base_us * 2**k`` microseconds, floored by the
         straggler-adjusted duration of the last superstep — the
         principled timeout basis).
+    backoff_jitter:
+        optional deterministic jitter fraction in ``[0, 1)`` applied by
+        :func:`repro.faults.backoff_seconds` when the caller passes a
+        plan-seeded RNG: attempt *k*'s wait is scaled by a seeded
+        uniform draw from ``[1 - jitter, 1 + jitter]`` so concurrent
+        retries de-synchronize.  ``0.0`` (the default) keeps the
+        backoff sequence bit-identical to the jitter-free formula.
     failover:
         after a permanent rank loss, redistribute the dead rank's work
         across survivors (status ``"degraded"``) instead of raising.
@@ -125,9 +150,12 @@ class FaultPlan:
     rank_crash_superstep: "int | None" = None
     rank_crash_rank: int = 0
     rank_recover_after: int = 1
+    # --- service (repro.serve) faults ---------------------------------
+    worker_crash_rate: float = 0.0
     # --- recovery knobs ------------------------------------------------
     max_retries: int = 3
     backoff_base_us: float = 50.0
+    backoff_jitter: float = 0.0
     failover: bool = True
     max_engine_faults: int = 16
     max_cluster_faults: int = 16
@@ -139,10 +167,15 @@ class FaultPlan:
             "message_drop_rate",
             "message_dup_rate",
             "message_delay_rate",
+            "worker_crash_rate",
         ):
             v = getattr(self, name)
             if not (0.0 <= v <= 1.0):
                 raise FaultPlanError(f"{name} must be in [0, 1], got {v}")
+        if not (0.0 <= self.backoff_jitter < 1.0):
+            raise FaultPlanError(
+                f"backoff_jitter must be in [0, 1), got {self.backoff_jitter}"
+            )
         if not (0.0 < self.victim_fraction <= 1.0):
             raise FaultPlanError(
                 f"victim_fraction must be in (0, 1], got {self.victim_fraction}"
@@ -195,6 +228,12 @@ class FaultPlan:
             or self.message_delay_rate > 0
             or self.rank_crash_superstep is not None
         )
+
+    @property
+    def has_serve_faults(self) -> bool:
+        """True when the plan perturbs the :mod:`repro.serve` layer
+        (worker crashes or completion delays)."""
+        return self.worker_crash_rate > 0 or self.message_delay_rate > 0
 
     def rng(self) -> np.random.Generator:
         """A fresh generator seeded by ``self.seed`` (the only RNG used)."""
@@ -261,3 +300,38 @@ class FaultPlan:
             message_delay_rate=0.2,
             rank_crash_superstep=3,
         )
+
+    @classmethod
+    def serve_crash(cls, seed: int = 0, *, rate: float = 0.6) -> "FaultPlan":
+        """Service-layer chaos: workers crash mid-job, jobs retry with
+        jittered backoff (the ``repro serve`` chaos-matrix crash plan)."""
+        return cls(seed=seed, worker_crash_rate=rate, backoff_jitter=0.25)
+
+    @classmethod
+    def serve_delay(cls, seed: int = 0, *, rate: float = 0.6) -> "FaultPlan":
+        """Service-layer slowdowns: job completions are stochastically
+        delayed (the ``repro serve`` chaos-matrix message-delay plan)."""
+        return cls(seed=seed, message_delay_rate=rate, backoff_jitter=0.25)
+
+
+#: every named preset, for CLIs and round-trip tests (name -> factory
+#: taking the seed).
+_PRESETS = {
+    "monotone": FaultPlan.monotone,
+    "chaos": FaultPlan.chaos,
+    "serve-crash": FaultPlan.serve_crash,
+    "serve-delay": FaultPlan.serve_delay,
+}
+
+PRESET_PLAN_NAMES = tuple(sorted(_PRESETS))
+
+
+def preset_plan(name: str, seed: int = 0) -> FaultPlan:
+    """Instantiate the named preset plan (see :data:`PRESET_PLAN_NAMES`)."""
+    try:
+        factory = _PRESETS[name]
+    except KeyError:
+        raise FaultPlanError(
+            f"unknown preset plan {name!r}; known: {list(PRESET_PLAN_NAMES)}"
+        ) from None
+    return factory(seed)

@@ -197,14 +197,28 @@ class CheckpointStore:
         return ckpt
 
 
-def backoff_seconds(plan, attempt: int, *, floor_s: float = 0.0) -> float:
+def backoff_seconds(
+    plan, attempt: int, *, floor_s: float = 0.0, rng=None
+) -> float:
     """Wait before retry *attempt* (0-based): exponential, floored.
 
     The floor is the straggler-adjusted duration of the last superstep —
     a retry cannot detect failure faster than the slowest surviving rank
     finishes its local compute.
+
+    With ``rng`` (a plan-seeded ``numpy`` generator) and a plan carrying
+    ``backoff_jitter > 0``, the exponential term is scaled by one seeded
+    uniform draw from ``[1 - jitter, 1 + jitter]`` so concurrent retries
+    de-synchronize deterministically (:mod:`repro.serve` passes its
+    service RNG here).  When ``rng`` is omitted or the plan's jitter is
+    zero, *no draw happens* and the result is bit-identical to the
+    jitter-free formula — existing callers are unaffected.
     """
-    return max(plan.backoff_base_us * 1e-6 * (2.0 ** attempt), floor_s)
+    base = plan.backoff_base_us * 1e-6 * (2.0 ** attempt)
+    jitter = getattr(plan, "backoff_jitter", 0.0)
+    if rng is not None and jitter > 0.0:
+        base *= 1.0 + jitter * (2.0 * float(rng.random()) - 1.0)
+    return max(base, floor_s)
 
 
 def heal_labels(

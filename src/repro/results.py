@@ -28,13 +28,45 @@ New code should use the named fields.
 
 from __future__ import annotations
 
+import enum
 import warnings
 from dataclasses import dataclass
 from typing import Any, Optional
 
 import numpy as np
 
-__all__ = ["AlgoResult", "count_sccs", "coerce_labels"]
+__all__ = ["AlgoResult", "Status", "count_sccs", "coerce_labels"]
+
+
+class Status(str, enum.Enum):
+    """Outcome classification of one algorithm run.
+
+    Promoted from the ad-hoc strings of PR 3 so callers (notably
+    :mod:`repro.serve`) can switch on terminal states safely.  The
+    ``str`` mixin is the string-compat shim: every member *is* its
+    legacy string (``Status.CLEAN == "clean"``, f-strings and
+    ``json.dumps`` render the bare value), so existing comparisons and
+    serializations are unchanged.
+
+    Members
+    -------
+    CLEAN:
+        no faults observed.
+    RECOVERED:
+        faults were injected and absorbed; labels verified.
+    DEGRADED:
+        permanent capacity loss absorbed by failover; labels correct,
+        cost profile changed.
+    """
+
+    CLEAN = "clean"
+    RECOVERED = "recovered"
+    DEGRADED = "degraded"
+
+    def __str__(self) -> str:  # stable across Python 3.10/3.11+
+        return self.value
+
+    __format__ = str.__format__
 
 
 def count_sccs(labels: np.ndarray) -> int:
@@ -77,10 +109,14 @@ class AlgoResult:
         the :class:`~repro.trace.Trace` recorded by the ``tracer=``
         argument, or None when tracing was off.
     status:
-        ``"clean"`` (no faults observed), ``"recovered"`` (faults were
-        injected and absorbed; labels verified), or ``"degraded"``
-        (permanent loss absorbed by failover).  Always ``"clean"``
-        when no :class:`~repro.faults.FaultPlan` was active.
+        a :class:`Status` member — :attr:`Status.CLEAN` (no faults
+        observed), :attr:`Status.RECOVERED` (faults were injected and
+        absorbed; labels verified), or :attr:`Status.DEGRADED`
+        (permanent loss absorbed by failover).  Always CLEAN when no
+        :class:`~repro.faults.FaultPlan` was active.  Known legacy
+        strings passed by constructors are coerced to the enum;
+        ``result.status == "clean"`` keeps working via the ``str``
+        mixin.
     fault_report:
         the run's :class:`~repro.faults.FaultReport` (every injected
         fault and recovery action), or None without a fault plan.
@@ -90,8 +126,18 @@ class AlgoResult:
     num_sccs: int
     device: Optional[Any] = None
     trace: Optional[Any] = None
-    status: str = "clean"
+    status: "Status | str" = Status.CLEAN
     fault_report: Optional[Any] = None
+
+    def __post_init__(self):
+        # string-compat shim: constructors may still pass the legacy
+        # strings; known values become Status members, unknown strings
+        # pass through untouched (callers can extend the vocabulary)
+        if not isinstance(self.status, Status):
+            try:
+                self.status = Status(self.status)
+            except ValueError:
+                pass
 
     # ------------------------------------------------------------------
     # legacy (labels, device) tuple contract

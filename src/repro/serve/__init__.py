@@ -1,0 +1,72 @@
+"""SCC-as-a-service: a deterministic multi-tenant control plane.
+
+The data plane (engines, dynamic graphs, faults, profiling) answers
+*one* question at a time; :mod:`repro.serve` puts a production-shaped
+request layer in front of it — tenants, named persistent graphs,
+budgets, bounded queues, WIP-limited workers, bounded retries,
+dead-letter lanes, and circuit breakers — all in simulated time with
+every random decision plan-seeded, so a service run replays bit for
+bit.
+
+Quick start::
+
+    from repro.graph import random_gnm
+    from repro.serve import SccService, JobSpec, JobKind, Budget
+
+    svc = SccService(workers=2, queue_capacity=8)
+    svc.register_graph("main", random_gnm(512, 2048, seed=0))
+    svc.set_budget("alice", Budget(model_seconds=1.0))
+    svc.submit(JobSpec("alice", JobKind.SOLVE, "main"), at=0.0)
+    report = svc.run()
+    report.by_state()          # {"done": 1}
+
+Module map:
+
+* :mod:`~repro.serve.jobs` — job specs, lifecycle states, decision
+  history, replayable artifacts;
+* :mod:`~repro.serve.budget` — per-tenant hard limits and the
+  structured ``BudgetExceeded`` rejection payload;
+* :mod:`~repro.serve.queues` — bounded run queue with an explicit
+  shed policy;
+* :mod:`~repro.serve.breaker` — per-workload circuit breakers;
+* :mod:`~repro.serve.workers` — the WIP-limited worker pool;
+* :mod:`~repro.serve.service` — the control plane itself;
+* :mod:`~repro.serve.metrics` — decision counters + Prometheus text;
+* :mod:`~repro.serve.bench` — the seeded Zipf load generator and the
+  chaos harness (``repro serve`` CLI).
+
+See ``docs/serve.md`` for the architecture and state machines.
+"""
+
+from .bench import ServeBenchConfig, run_serve_bench
+from .breaker import BreakerState, CircuitBreaker
+from .budget import UNLIMITED, Budget, BudgetExceeded, BudgetLedger
+from .jobs import TERMINAL_STATES, Job, JobKind, JobSpec, JobState
+from .metrics import ServiceMetrics, to_prometheus
+from .queues import BoundedQueue, ShedPolicy
+from .service import SccService, ServiceReport
+from .workers import Worker, WorkerPool
+
+__all__ = [
+    "SccService",
+    "ServiceReport",
+    "Job",
+    "JobKind",
+    "JobSpec",
+    "JobState",
+    "TERMINAL_STATES",
+    "Budget",
+    "BudgetExceeded",
+    "BudgetLedger",
+    "UNLIMITED",
+    "BoundedQueue",
+    "ShedPolicy",
+    "BreakerState",
+    "CircuitBreaker",
+    "Worker",
+    "WorkerPool",
+    "ServiceMetrics",
+    "to_prometheus",
+    "ServeBenchConfig",
+    "run_serve_bench",
+]

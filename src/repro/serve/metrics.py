@@ -1,0 +1,86 @@
+"""Service metrics: decision counters and a Prometheus exposition.
+
+Every control-plane decision increments a named counter here *and* a
+``serve:*`` trace counter when the service has a tracer attached — the
+two views are the same numbers at different granularities (aggregate
+vs. per-decision-with-timestamp).  :func:`to_prometheus` renders the
+aggregate view in the text exposition format, mirroring
+``repro.profile.to_prometheus`` (see ``docs/observability.md`` §9).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+__all__ = ["ServiceMetrics", "to_prometheus"]
+
+#: every counter the service emits, with its exposition HELP text.
+COUNTER_HELP = {
+    "submitted": "jobs submitted",
+    "rejected_budget": "jobs rejected at admission: tenant over budget",
+    "shed_backpressure": "jobs shed: bounded run queue full",
+    "shed_breaker": "jobs shed: workload circuit breaker open",
+    "admitted": "jobs admitted to the run queue",
+    "dispatched": "execution attempts dispatched to workers",
+    "completed": "jobs completed successfully",
+    "crashed": "execution attempts killed by injected worker crashes",
+    "delayed": "completions stretched by injected message delays",
+    "retries": "retry attempts scheduled (bounded, backoff)",
+    "dead_letter": "jobs moved to the dead-letter lane",
+    "deadline_expired": "jobs dead-lettered by their deadline",
+    "breaker_opened": "circuit-breaker open transitions",
+    "breaker_reopened": "failed half-open probes (breaker re-opened)",
+    "breaker_closed": "successful half-open probes (breaker closed)",
+}
+
+
+class ServiceMetrics:
+    """Aggregate decision counters plus a few service-level gauges."""
+
+    def __init__(self) -> None:
+        self.counters: "Counter[str]" = Counter()
+        self.gauges: "dict[str, float]" = {}
+
+    def incr(self, name: str, value: int = 1) -> None:
+        self.counters[name] += value
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = float(value)
+
+    def __getitem__(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def as_dict(self) -> "dict[str, object]":
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+        }
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
+
+
+def to_prometheus(
+    metrics: ServiceMetrics, *, prefix: str = "repro_serve"
+) -> str:
+    """Text exposition of the service counters and gauges.
+
+    Counter names become ``<prefix>_<name>_total``; gauges keep their
+    name.  Unknown counters (callers may add their own) get a generic
+    HELP line rather than being dropped.
+    """
+    lines: "list[str]" = []
+    for name in sorted(metrics.counters):
+        metric = f"{prefix}_{name}_total"
+        help_text = COUNTER_HELP.get(name, f"service counter {name}")
+        lines.append(f"# HELP {metric} {_escape(help_text)}")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {metrics.counters[name]}")
+    for name in sorted(metrics.gauges):
+        metric = f"{prefix}_{name}"
+        lines.append(f"# HELP {metric} service gauge {_escape(name)}")
+        lines.append(f"# TYPE {metric} gauge")
+        value = metrics.gauges[name]
+        lines.append(f"{metric} {value:.9g}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,95 @@
+"""Bounded admission queues with an explicit shed policy.
+
+Unbounded queues turn overload into unbounded latency; the service's
+run queue is a :class:`BoundedQueue` whose overflow behavior is an
+explicit :class:`ShedPolicy` decision, never silent growth:
+
+* ``REJECT_NEW`` (default) — a full queue sheds the *arriving* job
+  (classic load shedding: admitted work keeps its place);
+* ``DROP_OLDEST`` — a full queue evicts the *oldest queued* job to
+  admit the new one (freshness-first, e.g. for query-dominated loads
+  where a stale read is worth less than a fresh one).
+
+Either way the shed victim reaches the ``SHED`` terminal state with
+reason ``"backpressure"`` — the accounting never loses a job.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Iterator, Optional
+
+from .jobs import Job, JobKind
+
+__all__ = ["ShedPolicy", "BoundedQueue"]
+
+
+class ShedPolicy(str, enum.Enum):
+    """What a full queue sheds."""
+
+    REJECT_NEW = "reject-new"
+    DROP_OLDEST = "drop-oldest"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class BoundedQueue:
+    """FIFO run queue with a hard capacity and an explicit shed policy."""
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        policy: ShedPolicy = ShedPolicy.REJECT_NEW,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.policy = ShedPolicy(policy)
+        self._q: "deque[Job]" = deque()
+        self.peak_depth = 0
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self._q)
+
+    @property
+    def full(self) -> bool:
+        return len(self._q) >= self.capacity
+
+    def offer(self, job: Job) -> "Job | None":
+        """Enqueue *job*; returns the shed victim, if any.
+
+        None means the job was admitted with room to spare.  Under
+        ``REJECT_NEW`` a full queue returns *job* itself (not
+        enqueued); under ``DROP_OLDEST`` it returns the evicted head
+        (*job* is enqueued).
+        """
+        victim: Optional[Job] = None
+        if self.full:
+            if self.policy is ShedPolicy.REJECT_NEW:
+                return job
+            victim = self._q.popleft()
+        self._q.append(job)
+        self.peak_depth = max(self.peak_depth, len(self._q))
+        return victim
+
+    def pop_eligible(self, busy_graphs: "set[str]") -> "Job | None":
+        """Dequeue the first job whose graph handle is not locked.
+
+        ``UPDATE``/``QUERY`` jobs serialize per graph (they touch the
+        single-writer :class:`~repro.dynamic.DynamicGraph` handle); a
+        job against a busy graph stays queued, in order, while later
+        jobs against free graphs may overtake it — head-of-line
+        blocking is per-graph, not global.  ``SOLVE`` jobs read an
+        immutable committed snapshot and are always eligible.
+        """
+        for i, job in enumerate(self._q):
+            if job.spec.kind is JobKind.SOLVE or job.spec.graph not in busy_graphs:
+                del self._q[i]
+                return job
+        return None

@@ -1,0 +1,543 @@
+"""The control plane: :class:`SccService`.
+
+A deterministic, simulated-time request layer over the repro data
+plane.  Tenants submit :class:`~repro.serve.jobs.JobSpec`s against
+named persistent graphs; the service
+
+1. **admits** through per-tenant budget checks
+   (:mod:`repro.serve.budget` — hard limits, structured
+   ``BudgetExceeded`` rejections) and a bounded run queue
+   (:mod:`repro.serve.queues` — explicit shed policy, never silent
+   growth),
+2. **schedules** across a WIP-limited pool of
+   :class:`~repro.device.VirtualDevice` workers
+   (:mod:`repro.serve.workers`), serializing update/query jobs per
+   graph handle,
+3. **survives failure**: per-job deadlines, FaultPlan-injected worker
+   crashes and completion delays, bounded retry with the
+   :func:`repro.faults.backoff_seconds` exponential backoff (plan-
+   seeded jitter de-synchronizes concurrent retries), a dead-letter
+   lane for jobs that exhaust retries or blow their deadline, and
+   per-workload circuit breakers (:mod:`repro.serve.breaker`) that
+   fast-fail doomed workloads instead of letting their retries starve
+   healthy tenants.
+
+**Simulated time.** There is no wall clock anywhere: the service is a
+discrete-event loop over a heap of ``(time, seq, event)`` entries, and
+every random decision (crash, delay, backoff jitter) is drawn from one
+plan-seeded generator — the same plan and the same submissions replay
+the same schedule, decision for decision.  Job execution is host-side
+*at dispatch*: the data-plane call runs immediately (so its labels and
+counters are exact), its modelled cost becomes the service interval,
+and the completion event fires after that interval on the simulated
+clock.
+
+**Crash safety.** A crashed ``UPDATE`` attempt must not leave partial
+state: the handle is checkpointed before the attempt and rolled back
+(:meth:`~repro.dynamic.DynamicGraph.restore`) on a crash, so a retry
+recomputes from exactly the pre-attempt graph, and committed
+generations advance once per *successful* attempt.  Crashed attempts
+still charge their tenant for the wasted work.
+
+Every decision lands three ways: the job's own decision history
+(:meth:`~repro.serve.jobs.Job.artifact`), the aggregate
+:class:`~repro.serve.metrics.ServiceMetrics` counters, and ``serve:*``
+trace counters when a tracer is attached.  See ``docs/serve.md``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..core.options import EclOptions
+from ..device.spec import A100, DeviceSpec
+from ..dynamic.graph import DynamicGraph
+from ..errors import GraphFormatError
+from ..faults.plan import FaultPlan
+from ..faults.recovery import backoff_seconds
+from ..graph.csr import CSRGraph
+from ..profile.report import profile_run
+from ..trace import Tracer, ensure_tracer
+from .breaker import CircuitBreaker
+from .budget import Budget, BudgetLedger
+from .jobs import Job, JobKind, JobSpec, JobState
+from .metrics import ServiceMetrics
+from .queues import BoundedQueue, ShedPolicy
+from .workers import WorkerPool
+
+__all__ = ["SccService", "ServiceReport"]
+
+#: fallback breaker cooldown when the plan gives no backoff basis.
+_DEFAULT_COOLDOWN_S = 0.002
+
+
+@dataclass
+class ServiceReport:
+    """Everything one service run decided and measured."""
+
+    jobs: "list[Job]"
+    metrics: ServiceMetrics
+    makespan_s: float
+    breakers: "list[dict]" = field(default_factory=list)
+    workers: "dict | None" = None
+    budgets: "dict | None" = None
+    queue_peak_depth: int = 0
+
+    def by_state(self) -> "dict[str, int]":
+        counts: "dict[str, int]" = {}
+        for job in self.jobs:
+            counts[str(job.state)] = counts.get(str(job.state), 0) + 1
+        return counts
+
+    def done_latencies(self) -> "list[float]":
+        return sorted(
+            job.latency_s for job in self.jobs
+            if job.state is JobState.DONE
+        )
+
+    def artifacts(self) -> "list[dict]":
+        """The replayable per-job records, in submission order."""
+        return [job.artifact() for job in self.jobs]
+
+    def to_dict(self) -> "dict[str, Any]":
+        return {
+            "makespan_s": self.makespan_s,
+            "by_state": self.by_state(),
+            "metrics": self.metrics.as_dict(),
+            "queue_peak_depth": self.queue_peak_depth,
+            "breakers": list(self.breakers),
+            "workers": self.workers,
+            "budgets": self.budgets,
+            "jobs": self.artifacts(),
+        }
+
+
+class SccService:
+    """Multi-tenant SCC-as-a-service over named persistent graphs."""
+
+    def __init__(
+        self,
+        *,
+        workers: int = 2,
+        wip_limit: "int | None" = None,
+        queue_capacity: int = 16,
+        shed_policy: ShedPolicy = ShedPolicy.REJECT_NEW,
+        device: "DeviceSpec | None" = None,
+        engine: "str | None" = None,
+        backend: "str | None" = None,
+        options: "EclOptions | None" = None,
+        faults: "FaultPlan | None" = None,
+        breakers_enabled: bool = True,
+        breaker_threshold: int = 3,
+        breaker_cooldown_s: "float | None" = None,
+        default_deadline_s: "float | None" = None,
+        default_budget: "Budget | None" = None,
+        tracer: "Tracer | None" = None,
+        seed: int = 0,
+    ) -> None:
+        self.spec = device or A100
+        self.engine = engine
+        self.backend = backend
+        self.options = options
+        self.plan = faults
+        # one service RNG drives every stochastic decision (crashes,
+        # delays, backoff jitter); plan-seeded so chaos runs replay
+        self._rng = faults.rng() if faults is not None else np.random.default_rng(seed)
+        self.pool = WorkerPool(workers, spec=self.spec, wip_limit=wip_limit)
+        self.queue = BoundedQueue(queue_capacity, policy=shed_policy)
+        self.ledger = BudgetLedger(default=default_budget)
+        self.breakers_enabled = bool(breakers_enabled)
+        self.breaker_threshold = int(breaker_threshold)
+        if breaker_cooldown_s is None:
+            # default cooldown: the worst-case retry wait of one job, so
+            # an open breaker outlives the retries that opened it
+            if faults is not None:
+                breaker_cooldown_s = backoff_seconds(faults, faults.max_retries)
+            else:
+                breaker_cooldown_s = _DEFAULT_COOLDOWN_S
+        self.breaker_cooldown_s = float(breaker_cooldown_s)
+        self.default_deadline_s = default_deadline_s
+        self.metrics = ServiceMetrics()
+        self._tr = ensure_tracer(tracer)
+        self._graphs: "dict[str, DynamicGraph]" = {}
+        self._breakers: "dict[str, CircuitBreaker]" = {}
+        self._busy_graphs: "set[str]" = set()
+        self.jobs: "list[Job]" = []
+        self.now = 0.0
+        self._heap: "list[tuple[float, int, str, Any]]" = []
+        self._seq = 0
+        self._job_seq = 0
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+    def register_graph(
+        self,
+        name: str,
+        graph: CSRGraph,
+        *,
+        labels: "np.ndarray | None" = None,
+    ) -> DynamicGraph:
+        """Create the named persistent :class:`DynamicGraph` handle.
+
+        Registration's cold solve is service-owned (charged to the
+        handle's device, not to any tenant).
+        """
+        if name in self._graphs:
+            raise GraphFormatError(f"graph {name!r} is already registered")
+        handle = DynamicGraph(
+            graph,
+            options=self.options,
+            engine=self.engine,
+            backend=self.backend,
+            device=self.spec,
+            labels=labels,
+        )
+        self._graphs[name] = handle
+        return handle
+
+    def graph_handle(self, name: str) -> DynamicGraph:
+        try:
+            return self._graphs[name]
+        except KeyError:
+            raise GraphFormatError(
+                f"unknown graph {name!r}; registered: {sorted(self._graphs)}"
+            ) from None
+
+    def set_budget(self, tenant: str, budget: Budget) -> None:
+        self.ledger.set_budget(tenant, budget)
+
+    def breaker_for(self, workload: str) -> CircuitBreaker:
+        br = self._breakers.get(workload)
+        if br is None:
+            br = CircuitBreaker(
+                workload,
+                failure_threshold=self.breaker_threshold,
+                cooldown_s=self.breaker_cooldown_s,
+            )
+            self._breakers[workload] = br
+        return br
+
+    # ------------------------------------------------------------------
+    # submission + event loop
+    # ------------------------------------------------------------------
+    def _schedule(self, at: float, kind: str, payload: Any) -> None:
+        heapq.heappush(self._heap, (float(at), self._seq, kind, payload))
+        self._seq += 1
+
+    def submit(self, spec: JobSpec, *, at: float = 0.0) -> Job:
+        """Enqueue one job arrival at simulated time *at*."""
+        if spec.graph not in self._graphs:
+            raise GraphFormatError(
+                f"unknown graph {spec.graph!r}; registered:"
+                f" {sorted(self._graphs)}"
+            )
+        if at < 0:
+            raise ValueError(f"arrival time must be >= 0, got {at}")
+        job = Job(id=self._job_seq, spec=spec, submit_s=float(at))
+        self._job_seq += 1
+        self.jobs.append(job)
+        self._schedule(at, "arrival", job)
+        return job
+
+    def run(self) -> ServiceReport:
+        """Drain every event; returns when all jobs are terminal."""
+        while self._heap:
+            at, _, kind, payload = heapq.heappop(self._heap)
+            self.now = max(self.now, at)
+            if kind == "arrival":
+                self._on_arrival(payload)
+            elif kind == "retry":
+                self._on_retry(payload)
+            elif kind == "complete":
+                self._on_complete(*payload)
+            else:  # pragma: no cover - defensive
+                raise RuntimeError(f"unknown event kind {kind!r}")
+        self._ran = True
+        self.metrics.gauge("queue_peak_depth", self.queue.peak_depth)
+        self.metrics.gauge("makespan_s", self.now)
+        return self.report()
+
+    def report(self) -> ServiceReport:
+        return ServiceReport(
+            jobs=list(self.jobs),
+            metrics=self.metrics,
+            makespan_s=self.now,
+            breakers=[b.as_dict() for b in self._breakers.values()],
+            workers=self.pool.as_dict(),
+            budgets=self.ledger.snapshot(),
+            queue_peak_depth=self.queue.peak_depth,
+        )
+
+    # ------------------------------------------------------------------
+    # decision recording
+    # ------------------------------------------------------------------
+    def _decide(self, job: Job, decision: str, **detail: Any) -> None:
+        job.record(self.now, decision, **detail)
+        self._tr.counter(f"serve:{decision}", job=job.id, **detail)
+
+    def _shed(self, job: Job, reason: str) -> None:
+        counter = (
+            "shed_breaker" if reason == "breaker-open" else "shed_backpressure"
+        )
+        self.metrics.incr(counter)
+        self._decide(job, "shed", reason=reason)
+        job.finish(self.now, JobState.SHED, reason)
+
+    def _dead_letter(self, job: Job, reason: str) -> None:
+        self.metrics.incr("dead_letter")
+        if reason == "deadline":
+            self.metrics.incr("deadline_expired")
+        self._decide(job, "dead-letter", reason=reason)
+        job.finish(self.now, JobState.DEAD_LETTER, reason)
+
+    # ------------------------------------------------------------------
+    # event handlers
+    # ------------------------------------------------------------------
+    def _on_arrival(self, job: Job) -> None:
+        self.metrics.incr("submitted")
+        self._decide(job, "submit", tenant=job.spec.tenant,
+                     kind=str(job.spec.kind), graph=job.spec.graph)
+        self._admit(job)
+
+    def _admit(self, job: Job) -> None:
+        """Budget gate, then the bounded queue (breakers gate dispatch)."""
+        exceeded = self.ledger.check(job.spec.tenant)
+        if exceeded is not None:
+            self.metrics.incr("rejected_budget")
+            job.error = exceeded.as_dict()
+            self._decide(job, "reject-budget", resource=exceeded.resource,
+                         limit=exceeded.limit, spent=exceeded.spent)
+            job.finish(self.now, JobState.REJECTED, "budget")
+            return
+        victim = self.queue.offer(job)
+        if victim is not None:
+            self._shed(victim, "backpressure")
+            if victim is job:
+                return
+        job.state = JobState.QUEUED
+        self.metrics.incr("admitted")
+        self._decide(job, "admit", depth=len(self.queue))
+        self._dispatch()
+
+    def _on_retry(self, job: Job) -> None:
+        """A backoff wait elapsed: re-admit through the same gates."""
+        self._decide(job, "retry", attempt=job.attempts)
+        self._admit(job)
+
+    def _dispatch(self) -> None:
+        """Move eligible queued jobs onto idle workers (WIP-limited)."""
+        while self.pool.has_capacity:
+            job = self.queue.pop_eligible(self._busy_graphs)
+            if job is None:
+                return
+            deadline = job.deadline_at(self.default_deadline_s)
+            if deadline is not None and self.now > deadline:
+                self._dead_letter(job, "deadline")
+                continue
+            if self.breakers_enabled:
+                breaker = self.breaker_for(job.spec.workload)
+                if not breaker.allow(self.now):
+                    self._shed(job, "breaker-open")
+                    continue
+            worker = self.pool.acquire()
+            assert worker is not None  # has_capacity guaranteed a slot
+            self._execute(job, worker)
+
+    # ------------------------------------------------------------------
+    # execution (host-side at dispatch; completion on the simulated clock)
+    # ------------------------------------------------------------------
+    def _execute(self, job: Job, worker) -> None:
+        job.state = JobState.RUNNING
+        job.attempts += 1
+        self.metrics.incr("dispatched")
+        self._decide(job, "dispatch", worker=worker.id, attempt=job.attempts)
+        kind = job.spec.kind
+        if kind in (JobKind.UPDATE, JobKind.QUERY):
+            self._busy_graphs.add(job.spec.graph)
+        try:
+            payload, service_s, charges = self._run_attempt(job)
+        except Exception:
+            self._busy_graphs.discard(job.spec.graph)
+            self.pool.release(worker)
+            raise
+        # seeded fault draws: a crash truncates the attempt mid-service
+        # (partial work still charged); a delay stretches the completion
+        crashed = False
+        delay_s = 0.0
+        if self.plan is not None and self.plan.worker_crash_rate > 0:
+            if float(self._rng.random()) < self.plan.worker_crash_rate:
+                crashed = True
+                frac = 0.1 + 0.8 * float(self._rng.random())
+                service_s *= frac
+                charges = {k: v * frac for k, v in charges.items()}
+        if (
+            not crashed
+            and self.plan is not None
+            and self.plan.message_delay_rate > 0
+        ):
+            if float(self._rng.random()) < self.plan.message_delay_rate:
+                delay_s = service_s * (0.5 + 1.5 * float(self._rng.random()))
+                self.metrics.incr("delayed")
+        if crashed and kind is JobKind.UPDATE:
+            # roll the handle back: a crashed update commits nothing
+            handle, ckpt = payload["handle"], payload["checkpoint"]
+            handle.restore(ckpt)
+            payload = None
+        job.attempts_detail.append({
+            "attempt": job.attempts,
+            "t_dispatch": self.now,
+            "worker": worker.id,
+            "service_s": service_s,
+            "delay_s": delay_s,
+            "crashed": crashed,
+            "charges": dict(charges),
+            **({"generation": payload["generation"]} if payload else {}),
+        })
+        done_at = self.now + service_s + delay_s
+        self._schedule(
+            done_at, "complete",
+            (job, worker, payload, charges, crashed, self.now),
+        )
+
+    def _run_attempt(self, job: Job):
+        """Execute the data-plane call; returns (payload, seconds, charges)."""
+        kind = job.spec.kind
+        handle = self._graphs[job.spec.graph]
+        if kind is JobKind.SOLVE:
+            from ..bench.runners import run_algorithm
+
+            tracer = Tracer()
+            snapshot = handle.graph()
+            result = run_algorithm(
+                snapshot, "ecl-scc", self.spec,
+                options=self.options, backend=self.backend,
+                engine=self.engine, tracer=tracer,
+            )
+            service_s = float(result.model_seconds)
+            counters = result.counters
+            charges = {
+                "model_seconds": service_s,
+                "bytes": float(
+                    counters.get("bytes_moved", 0)
+                    + counters.get("bytes_streamed", 0)
+                ),
+            }
+            payload = {
+                "result": result,
+                "generation": handle.generation,
+                "profile": profile_run(result).to_dict(),
+            }
+            return payload, service_s, charges
+
+        seconds_before = handle.model_seconds()
+        bytes_before = (
+            handle.device.counters.bytes_moved
+            + handle.device.counters.bytes_streamed
+        )
+        if kind is JobKind.UPDATE:
+            ckpt = handle.checkpoint()
+            reports = handle.apply(
+                deletions=job.spec.delete_edges,
+                insertions=job.spec.insert_edges,
+            )
+            payload = {
+                "reports": reports,
+                "handle": handle,
+                "checkpoint": ckpt,
+                "generation": handle.generation,
+            }
+        else:  # QUERY
+            result = handle.query()
+            payload = {"result": result, "generation": handle.generation}
+        service_s = max(handle.model_seconds() - seconds_before, 0.0)
+        bytes_delta = (
+            handle.device.counters.bytes_moved
+            + handle.device.counters.bytes_streamed
+            - bytes_before
+        )
+        charges = {
+            "model_seconds": service_s,
+            "bytes": float(max(bytes_delta, 0)),
+        }
+        return payload, service_s, charges
+
+    def _on_complete(
+        self, job: Job, worker, payload, charges, crashed: bool,
+        dispatched_at: float,
+    ) -> None:
+        self.pool.release(worker, busy_s=self.now - dispatched_at)
+        self._busy_graphs.discard(job.spec.graph)
+        # every executed attempt is charged, crashed ones included
+        self.ledger.charge(
+            job.spec.tenant,
+            model_seconds=charges["model_seconds"],
+            bytes=charges["bytes"],
+        )
+        breaker = (
+            self.breaker_for(job.spec.workload)
+            if self.breakers_enabled else None
+        )
+        if not crashed:
+            worker.jobs_done += 1
+            if breaker is not None:
+                was_open = breaker.state.value != "closed"
+                breaker.record_success(self.now)
+                if was_open:
+                    self.metrics.incr("breaker_closed")
+                    self._tr.counter("serve:breaker-closed",
+                                     workload=breaker.workload)
+            self.metrics.incr("completed")
+            if job.spec.kind is JobKind.UPDATE:
+                job.result = payload["reports"]
+            else:
+                job.result = payload["result"]
+            self._decide(job, "complete", attempt=job.attempts,
+                         service_s=charges["model_seconds"])
+            job.finish(self.now, JobState.DONE)
+            self._dispatch()
+            return
+        # crashed attempt
+        worker.crashes += 1
+        self.metrics.incr("crashed")
+        self._decide(job, "crash", attempt=job.attempts, worker=worker.id)
+        if breaker is not None:
+            before = breaker.state.value
+            if breaker.record_failure(self.now):
+                self.metrics.incr(
+                    "breaker_reopened" if before == "half-open"
+                    else "breaker_opened"
+                )
+                self._tr.counter("serve:breaker-opened",
+                                 workload=breaker.workload)
+        retries_so_far = job.attempts - 1
+        max_retries = self.plan.max_retries if self.plan is not None else 0
+        if retries_so_far >= max_retries:
+            self._dead_letter(job, "retries-exhausted")
+            self._dispatch()
+            return
+        wait_s = backoff_seconds(self.plan, retries_so_far, rng=self._rng)
+        retry_at = self.now + wait_s
+        deadline = job.deadline_at(self.default_deadline_s)
+        if deadline is not None and retry_at > deadline:
+            self._dead_letter(job, "deadline")
+            self._dispatch()
+            return
+        job.state = JobState.RETRY_WAIT
+        self.metrics.incr("retries")
+        self._decide(job, "retry-scheduled", attempt=job.attempts,
+                     wait_s=wait_s)
+        self._schedule(retry_at, "retry", job)
+        self._dispatch()
+
+    # ------------------------------------------------------------------
+    def to_prometheus(self, *, prefix: str = "repro_serve") -> str:
+        """Text exposition of the service metrics (observability.md §9)."""
+        from .metrics import to_prometheus
+
+        return to_prometheus(self.metrics, prefix=prefix)

@@ -177,3 +177,32 @@ class TestDistributedCli:
     def test_randomize_ids_flag(self, graph_file, capsys):
         assert main(["scc", graph_file, "--randomize-ids", "--verify"]) == 0
         assert "SCCs:             10" in capsys.readouterr().out
+
+
+class TestSeedEverywhere:
+    def test_every_subcommand_accepts_seed(self):
+        """--seed comes from one shared parent parser: every subcommand
+        must parse it and default it to 0."""
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions
+            if isinstance(a, __import__("argparse")._SubParsersAction)
+        )
+        assert set(sub.choices) >= {
+            "scc", "stats", "gen", "bench", "trace", "dynamic", "chaos",
+            "serve", "devices", "sweep", "distributed", "profile",
+        }
+        for name, sp in sub.choices.items():
+            flags = {f for a in sp._actions for f in a.option_strings}
+            assert "--seed" in flags, f"{name} lost --seed"
+            defaults = {
+                a.dest: a.default for a in sp._actions if a.dest == "seed"
+            }
+            assert defaults == {"seed": 0}, f"{name} changed the default"
+
+    def test_seed_threads_through(self, graph_file, capsys):
+        assert main(["scc", graph_file, "--seed", "3"]) == 0
+        capsys.readouterr()
+        assert main(["devices", "--seed", "7"]) == 0

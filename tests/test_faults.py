@@ -112,6 +112,27 @@ class TestFaultPlan:
         assert plan.rng().random() == plan.rng().random()
         assert plan.with_seed(7).seed == 7
 
+    def test_every_preset_json_roundtrips(self):
+        from repro.faults import PRESET_PLAN_NAMES, preset_plan
+
+        for name in PRESET_PLAN_NAMES:
+            plan = preset_plan(name, seed=13)
+            assert FaultPlan.from_json(plan.to_json()) == plan, name
+            assert FaultPlan.from_dict(plan.to_dict()) == plan, name
+
+    def test_unknown_preset_rejected(self):
+        from repro.faults import preset_plan
+
+        with pytest.raises(FaultPlanError):
+            preset_plan("nope", seed=0)
+
+    def test_serve_presets_carry_serve_faults(self):
+        from repro.faults import preset_plan
+
+        assert preset_plan("serve-crash", 0).has_serve_faults
+        assert preset_plan("serve-delay", 0).has_serve_faults
+        assert not FaultPlan(seed=0).has_serve_faults
+
 
 # ---------------------------------------------------------------------------
 # chaos matrix: monotone invariance (fault kind x engine x backend)
@@ -339,6 +360,31 @@ def test_backoff_is_exponential_with_floor():
     waits = [backoff_seconds(plan, k) for k in range(4)]
     assert waits == [pytest.approx(100e-6 * 2**k) for k in range(4)]
     assert backoff_seconds(plan, 0, floor_s=0.5) == 0.5
+
+
+def test_backoff_without_jitter_is_bit_identical():
+    """Regression: plans without jitter (and calls without an rng) keep
+    the exact pre-jitter schedule — bit-identical, not approximately."""
+    plan = FaultPlan(seed=0, backoff_base_us=50.0)
+    jittery = FaultPlan(seed=0, backoff_base_us=50.0, backoff_jitter=0.25)
+    for k in range(5):
+        exact = plan.backoff_base_us * 1e-6 * 2**k
+        assert backoff_seconds(plan, k) == exact
+        # an rng on a jitter-free plan changes nothing...
+        assert backoff_seconds(plan, k, rng=plan.rng()) == exact
+        # ...and a jittery plan without an rng stays deterministic too
+        assert backoff_seconds(jittery, k) == exact
+
+
+def test_backoff_jitter_is_seeded_and_bounded():
+    plan = FaultPlan(seed=9, backoff_base_us=50.0, backoff_jitter=0.25)
+    a = [backoff_seconds(plan, k, rng=plan.rng()) for k in range(6)]
+    b = [backoff_seconds(plan, k, rng=plan.rng()) for k in range(6)]
+    assert a == b                       # same seed -> same jitter draws
+    for k, wait in enumerate(a):
+        base = plan.backoff_base_us * 1e-6 * 2**k
+        assert base * 0.75 <= wait <= base * 1.25
+    assert any(w != plan.backoff_base_us * 1e-6 * 2**k for k, w in enumerate(a))
 
 
 # ---------------------------------------------------------------------------

@@ -132,3 +132,46 @@ class TestLegacyCallSites:
 
     def test_count_sccs_empty(self):
         assert count_sccs(np.empty(0, dtype=np.int64)) == 0
+
+
+class TestStatusEnum:
+    """The Status enum is string-compatible with the old literals."""
+
+    def test_members_equal_legacy_strings(self):
+        from repro.results import Status
+
+        assert Status.CLEAN == "clean"
+        assert Status.RECOVERED == "recovered"
+        assert Status.DEGRADED == "degraded"
+        assert str(Status.RECOVERED) == "recovered"
+        assert f"{Status.DEGRADED}" == "degraded"
+
+    def test_json_renders_bare_value(self):
+        import json
+
+        from repro.results import Status
+
+        assert json.dumps({"status": Status.CLEAN}) == '{"status": "clean"}'
+
+    def test_post_init_coerces_known_strings(self):
+        from repro.results import Status
+
+        res = ecl_scc(scc_ladder(4))
+        assert isinstance(res.status, Status)
+        assert res.status is Status.CLEAN
+        res.status = "recovered"          # legacy writers assign strings
+        assert AlgoResult.__post_init__(res) is None
+        assert res.status is Status.RECOVERED
+
+    def test_unknown_status_passes_through(self):
+        import dataclasses
+
+        res = ecl_scc(scc_ladder(4))
+        custom = dataclasses.replace(res, status="experimental")
+        assert custom.status == "experimental"
+
+    def test_status_exported_at_top_level(self):
+        import repro
+        from repro.results import Status
+
+        assert repro.Status is Status

@@ -1,0 +1,503 @@
+"""Tests for :mod:`repro.serve` — the SCC-as-a-service control plane.
+
+The contract (docs/serve.md):
+
+* every submitted job reaches **exactly one** terminal state — done,
+  rejected, shed, or dead-letter — with its decision history attached;
+* budgets are hard limits on starting work, backpressure sheds are
+  explicit and counted, retries are bounded by the fault plan, and
+  circuit breakers measurably protect tail latency under crash storms;
+* the whole service runs in seeded simulated time: two runs of the
+  same config are byte-identical, and every completed solve/query is
+  bit-identical to an unserved ``repro.solve`` of the same graph
+  generation — even under chaos plans.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import solve
+from repro.errors import FaultPlanError, GraphFormatError
+from repro.faults import preset_plan
+from repro.graph import cycle_graph, scc_ladder
+from repro.graph.generators import random_gnm
+from repro.serve import (
+    TERMINAL_STATES,
+    BoundedQueue,
+    BreakerState,
+    Budget,
+    BudgetLedger,
+    CircuitBreaker,
+    Job,
+    JobKind,
+    JobSpec,
+    JobState,
+    SccService,
+    ServeBenchConfig,
+    ShedPolicy,
+    WorkerPool,
+    run_serve_bench,
+    to_prometheus,
+)
+from repro.serve.bench import (
+    _build_graphs,
+    _resolve_deletions,
+    breaker_comparison,
+    build_workload,
+    verify_report,
+)
+
+
+def _job(jid=0, kind=JobKind.SOLVE, graph="g0", tenant="t0"):
+    return Job(id=jid, spec=JobSpec(tenant=tenant, kind=kind, graph=graph),
+               submit_s=0.0)
+
+
+# ---------------------------------------------------------------------------
+# unit: budgets
+# ---------------------------------------------------------------------------
+
+class TestBudget:
+    def test_default_is_unlimited(self):
+        ledger = BudgetLedger()
+        assert ledger.check("anyone") is None
+        ledger.charge("anyone", model_seconds=1e9, bytes=1e15)
+        assert ledger.check("anyone") is None
+
+    def test_hard_limit_rejects_at_limit(self):
+        ledger = BudgetLedger()
+        ledger.set_budget("alice", Budget(model_seconds=1.0))
+        assert ledger.check("alice") is None
+        ledger.charge("alice", model_seconds=1.0, bytes=0.0)
+        exceeded = ledger.check("alice")
+        assert exceeded is not None
+        assert exceeded.tenant == "alice"
+        assert exceeded.resource == "model_seconds"
+        assert exceeded.limit == 1.0 and exceeded.spent >= 1.0
+        # the rejection payload is structured + JSON-safe
+        assert json.dumps(exceeded.as_dict())
+
+    def test_bytes_limit(self):
+        ledger = BudgetLedger()
+        ledger.set_budget("bob", Budget(bytes=100.0))
+        ledger.charge("bob", model_seconds=0.0, bytes=100.0)
+        assert ledger.check("bob").resource == "bytes"
+
+    def test_charges_accumulate_per_tenant(self):
+        ledger = BudgetLedger()
+        ledger.charge("a", model_seconds=1.0, bytes=10.0)
+        ledger.charge("a", model_seconds=2.0, bytes=5.0)
+        ledger.charge("b", model_seconds=0.5, bytes=1.0)
+        assert ledger.spent_of("a") == {"model_seconds": 3.0, "bytes": 15.0}
+        assert ledger.snapshot()["b"]["model_seconds"] == 0.5
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Budget(model_seconds=-1.0)
+
+
+# ---------------------------------------------------------------------------
+# unit: bounded queue + shed policy
+# ---------------------------------------------------------------------------
+
+class TestBoundedQueue:
+    def test_reject_new_sheds_arrival(self):
+        q = BoundedQueue(2, policy=ShedPolicy.REJECT_NEW)
+        a, b, c = (_job(i) for i in range(3))
+        assert q.offer(a) is None and q.offer(b) is None
+        assert q.offer(c) is c          # the arrival is the victim
+        assert list(q) == [a, b]
+
+    def test_drop_oldest_sheds_head(self):
+        q = BoundedQueue(2, policy=ShedPolicy.DROP_OLDEST)
+        a, b, c = (_job(i) for i in range(3))
+        q.offer(a), q.offer(b)
+        assert q.offer(c) is a          # the head is the victim
+        assert list(q) == [b, c]
+
+    def test_per_graph_head_of_line_blocking(self):
+        q = BoundedQueue(8)
+        upd_g0 = _job(0, JobKind.UPDATE, "g0")
+        qry_g0 = _job(1, JobKind.QUERY, "g0")
+        upd_g1 = _job(2, JobKind.UPDATE, "g1")
+        for j in (upd_g0, qry_g0, upd_g1):
+            q.offer(j)
+        # g0 busy: its update/query stay queued, g1's update overtakes
+        assert q.pop_eligible({"g0"}) is upd_g1
+        assert q.pop_eligible({"g0", "g1"}) is None
+        assert q.pop_eligible(set()) is upd_g0
+
+    def test_solve_is_always_eligible(self):
+        q = BoundedQueue(4)
+        s = _job(0, JobKind.SOLVE, "g0")
+        q.offer(_job(1, JobKind.UPDATE, "g0"))
+        q.offer(s)
+        assert q.pop_eligible({"g0"}) is s
+
+    def test_peak_depth_and_validation(self):
+        q = BoundedQueue(4)
+        for i in range(3):
+            q.offer(_job(i))
+        q.pop_eligible(set())
+        assert q.peak_depth == 3
+        with pytest.raises(ValueError):
+            BoundedQueue(0)
+
+
+# ---------------------------------------------------------------------------
+# unit: circuit breaker
+# ---------------------------------------------------------------------------
+
+class TestCircuitBreaker:
+    def test_opens_at_threshold(self):
+        br = CircuitBreaker("g0:solve", failure_threshold=3, cooldown_s=1.0)
+        assert not br.record_failure(0.0) and not br.record_failure(0.1)
+        assert br.state is BreakerState.CLOSED and br.allow(0.2)
+        assert br.record_failure(0.2)          # third failure opens
+        assert br.state is BreakerState.OPEN and br.opened == 1
+        assert not br.allow(0.5)               # still cooling down
+
+    def test_half_open_admits_one_probe(self):
+        br = CircuitBreaker("w", failure_threshold=1, cooldown_s=1.0)
+        br.record_failure(0.0)
+        assert br.allow(1.5)                   # past cooldown -> probe
+        assert br.state is BreakerState.HALF_OPEN
+        assert not br.allow(1.6)               # only one probe at a time
+
+    def test_probe_success_closes(self):
+        br = CircuitBreaker("w", failure_threshold=1, cooldown_s=1.0)
+        br.record_failure(0.0)
+        assert br.allow(1.5)
+        br.record_success(2.0)
+        assert br.state is BreakerState.CLOSED
+        assert br.closed_after_probe == 1
+        assert br.allow(2.1)
+
+    def test_probe_failure_reopens(self):
+        br = CircuitBreaker("w", failure_threshold=1, cooldown_s=1.0)
+        br.record_failure(0.0)
+        assert br.allow(1.5)
+        assert br.record_failure(2.0)
+        assert br.state is BreakerState.OPEN and br.reopened == 1
+        assert not br.allow(2.5)               # new cooldown from reopen
+
+    def test_success_resets_failure_streak(self):
+        br = CircuitBreaker("w", failure_threshold=3, cooldown_s=1.0)
+        br.record_failure(0.0), br.record_failure(0.1)
+        br.record_success(0.2)
+        assert not br.record_failure(0.3)      # streak restarted
+        assert br.state is BreakerState.CLOSED
+
+    def test_as_dict_and_transitions(self):
+        br = CircuitBreaker("w", failure_threshold=1, cooldown_s=1.0)
+        br.record_failure(0.0)
+        d = br.as_dict()
+        assert d["workload"] == "w" and d["state"] == "open"
+        assert br.transitions[0]["state"] == "open"
+        assert json.dumps(d)
+
+
+# ---------------------------------------------------------------------------
+# unit: jobs + workers + metrics
+# ---------------------------------------------------------------------------
+
+class TestJobs:
+    def test_exactly_one_terminal_transition(self):
+        job = _job()
+        job.finish(1.0, JobState.DONE)
+        assert job.terminal and job.latency_s == 1.0
+        with pytest.raises(RuntimeError):
+            job.finish(2.0, JobState.SHED)
+
+    def test_terminal_states_are_exactly_four(self):
+        assert TERMINAL_STATES == {
+            JobState.DONE, JobState.REJECTED, JobState.SHED,
+            JobState.DEAD_LETTER,
+        }
+        assert not JobState.RUNNING.terminal
+
+    def test_workload_key(self):
+        assert _job(kind=JobKind.QUERY, graph="g3").spec.workload == "g3:query"
+
+    def test_artifact_is_json_safe(self):
+        job = _job()
+        job.record(0.0, "admit")
+        job.finish(0.5, JobState.SHED, reason="backpressure")
+        art = job.artifact()
+        assert art["state"] == "shed" and art["reason"] == "backpressure"
+        assert json.dumps(art)
+
+
+class TestWorkerPool:
+    def test_acquire_is_deterministic_and_wip_limited(self):
+        pool = WorkerPool(3, wip_limit=2)
+        a, b = pool.acquire(), pool.acquire()
+        assert (a.id, b.id) == (0, 1)
+        assert pool.acquire() is None          # WIP limit, not pool size
+        pool.release(a, busy_s=2.0)
+        assert pool.acquire().id == 0          # lowest idle id again
+        assert pool.utilization(10.0) == pytest.approx(2.0 / 30.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0)
+
+
+def test_prometheus_exposition_format():
+    svc = SccService(workers=1, queue_capacity=2)
+    svc.register_graph("g0", cycle_graph(8))
+    svc.submit(JobSpec("t0", JobKind.SOLVE, "g0"))
+    svc.run()
+    text = svc.to_prometheus()
+    assert "# HELP repro_serve_submitted_total" in text
+    assert "# TYPE repro_serve_submitted_total counter" in text
+    assert "repro_serve_submitted_total 1" in text
+    assert "repro_serve_completed_total 1" in text
+    assert to_prometheus(svc.metrics) == text
+
+
+# ---------------------------------------------------------------------------
+# end to end: the control plane
+# ---------------------------------------------------------------------------
+
+class TestServiceEndToEnd:
+    def test_clean_run_all_done_and_bit_identical(self):
+        g = scc_ladder(8)
+        svc = SccService(workers=2, queue_capacity=8)
+        svc.register_graph("main", g)
+        for i in range(4):
+            svc.submit(JobSpec(f"tenant-{i % 2}", JobKind.SOLVE, "main"),
+                       at=0.001 * i)
+        report = svc.run()
+        assert report.by_state() == {"done": 4}
+        expected = solve(g).labels
+        for job in report.jobs:
+            assert np.array_equal(job.result.labels, expected)
+            assert job.decisions[-1]["decision"] == "done"
+        # completed work was charged to the submitting tenants
+        spent = svc.ledger.snapshot()
+        assert spent["tenant-0"]["model_seconds"] > 0
+        assert spent["tenant-1"]["bytes"] > 0
+
+    def test_budget_rejection_is_structured(self):
+        svc = SccService(workers=1, queue_capacity=8)
+        svc.register_graph("g0", cycle_graph(16))
+        svc.set_budget("cheap", Budget(model_seconds=0.0))  # nothing starts
+        job = svc.submit(JobSpec("cheap", JobKind.SOLVE, "g0"))
+        rich = svc.submit(JobSpec("rich", JobKind.SOLVE, "g0"), at=0.001)
+        report = svc.run()
+        assert job.state is JobState.REJECTED
+        assert job.error["resource"] == "model_seconds"
+        assert rich.state is JobState.DONE
+        assert report.metrics["rejected_budget"] == 1
+
+    def test_backpressure_shed_is_explicit(self):
+        svc = SccService(workers=1, wip_limit=1, queue_capacity=1)
+        svc.register_graph("g0", cycle_graph(32))
+        jobs = [
+            svc.submit(JobSpec("t", JobKind.SOLVE, "g0")) for _ in range(6)
+        ]
+        report = svc.run()
+        states = report.by_state()
+        assert states["shed"] >= 1 and states["done"] >= 1
+        assert states["shed"] == report.metrics["shed_backpressure"]
+        for job in jobs:
+            if job.state is JobState.SHED:
+                assert job.reason == "backpressure"
+
+    def test_deadline_dead_letters_before_burning_a_worker(self):
+        svc = SccService(workers=1, queue_capacity=8)
+        svc.register_graph("g0", cycle_graph(64))
+        first = svc.submit(JobSpec("t", JobKind.SOLVE, "g0"))
+        late = svc.submit(
+            JobSpec("t", JobKind.SOLVE, "g0", deadline_s=1e-12)
+        )
+        svc.run()
+        assert first.state is JobState.DONE
+        assert late.state is JobState.DEAD_LETTER
+        assert late.reason == "deadline"
+        assert late.attempts == 0              # never dispatched
+
+    def test_update_then_query_sees_new_generation(self):
+        g = cycle_graph(10)
+        svc = SccService(workers=1, queue_capacity=8)
+        svc.register_graph("g0", g)
+        # deleting one cycle edge splits the single SCC into 10
+        upd = svc.submit(
+            JobSpec("t", JobKind.UPDATE, "g0", delete_edges=([0], [1]))
+        )
+        qry = svc.submit(JobSpec("t", JobKind.QUERY, "g0"), at=1.0)
+        svc.run()
+        assert upd.state is JobState.DONE and qry.state is JobState.DONE
+        assert len(np.unique(np.asarray(qry.result))) == 10
+
+    def test_crash_plan_retries_are_bounded(self):
+        plan = preset_plan("serve-crash", seed=5)
+        svc = SccService(workers=2, queue_capacity=16, faults=plan)
+        svc.register_graph("g0", scc_ladder(6))
+        for i in range(10):
+            svc.submit(JobSpec("t", JobKind.SOLVE, "g0"), at=0.0005 * i)
+        report = svc.run()
+        assert report.metrics["crashed"] > 0
+        assert report.metrics["retries"] > 0
+        for job in report.jobs:
+            assert job.state in TERMINAL_STATES
+            assert job.attempts <= plan.max_retries + 1
+        # crashed attempts are still charged
+        assert svc.ledger.spent_of("t")["model_seconds"] > 0
+
+    def test_unknown_graph_rejected_at_submit(self):
+        svc = SccService()
+        with pytest.raises(GraphFormatError):
+            svc.submit(JobSpec("t", JobKind.SOLVE, "nope"))
+        svc.register_graph("g0", cycle_graph(4))
+        with pytest.raises(GraphFormatError):
+            svc.register_graph("g0", cycle_graph(4))
+
+
+# ---------------------------------------------------------------------------
+# bench + chaos harness
+# ---------------------------------------------------------------------------
+
+SMALL = ServeBenchConfig(
+    scenario="test", num_graphs=2, graph_vertices=40, graph_edges=120,
+    num_jobs=14, workers=2, queue_capacity=4, seed=0,
+)
+
+
+class TestBench:
+    def test_clean_bench_row_shape(self):
+        row = run_serve_bench(SMALL, verify=True)
+        assert row["algorithm"] == "serve-bench" and row["graph"] == "test"
+        assert row["jobs"] == 14
+        assert sum(row["by_state"].values()) == 14
+        assert row["throughput_jps"] > 0 and row["p99_ms"] >= row["p50_ms"]
+        assert row["verified"]["ok"]
+        assert json.dumps(row, default=str)
+
+    def test_bench_is_deterministic(self):
+        a = run_serve_bench(SMALL)
+        b = run_serve_bench(SMALL)
+        assert json.dumps(a, sort_keys=True, default=str) == \
+            json.dumps(b, sort_keys=True, default=str)
+
+    def test_chaos_crash_verifies(self):
+        cfg = ServeBenchConfig(
+            **{**SMALL.__dict__, "scenario": "crash",
+               "plan": preset_plan("serve-crash", 0)}
+        )
+        row = run_serve_bench(cfg, verify=True)
+        assert row["verified"]["ok"] and row["crashes"] > 0
+
+    def test_chaos_delay_verifies(self):
+        cfg = ServeBenchConfig(
+            **{**SMALL.__dict__, "scenario": "delay",
+               "plan": preset_plan("serve-delay", 0)}
+        )
+        row = run_serve_bench(cfg, verify=True)
+        assert row["verified"]["ok"]
+
+    def test_tenant_budget_exercises_rejection(self):
+        cfg = ServeBenchConfig(
+            **{**SMALL.__dict__, "scenario": "budget",
+               "tenant0_budget_s": 0.0}
+        )
+        row = run_serve_bench(cfg, verify=True)
+        assert row["reject_rate"] > 0 and row["verified"]["ok"]
+
+    def test_breaker_win_under_crash_storm(self):
+        cfg = ServeBenchConfig(
+            scenario="zipf-crash", plan=preset_plan("serve-crash", 0)
+        )
+        cmp = breaker_comparison(cfg)          # raises if the win is lost
+        win = cmp["breaker_win"]
+        assert win["ok"]
+        assert cmp["disabled"]["p99_ms"] > cmp["enabled"]["p99_ms"]
+        assert cmp["disabled"]["shed_rate"] > cmp["enabled"]["shed_rate"]
+
+    def test_breaker_comparison_needs_serve_plan(self):
+        with pytest.raises(ValueError):
+            breaker_comparison(SMALL)
+
+    def test_preset_plan_unknown_name(self):
+        with pytest.raises(FaultPlanError):
+            preset_plan("definitely-not-a-preset", 0)
+
+
+# ---------------------------------------------------------------------------
+# the chaos property, across engine x backend
+# ---------------------------------------------------------------------------
+
+@given(
+    seed=st.integers(0, 2**16),
+    engine=st.sampled_from([None, "frontier", "adaptive"]),
+    backend=st.sampled_from([None, "dense", "frontier"]),
+)
+@settings(max_examples=10, deadline=None)
+def test_chaos_every_job_terminal_and_bit_identical(seed, engine, backend):
+    """The service's safety contract, property-style.
+
+    Under a seeded crash plan, on any engine x backend: every job
+    reaches exactly one terminal state with a consistent decision
+    history, no attempt count exceeds the plan's retry bound, and
+    every completed solve/query is bit-identical to an unserved
+    ``repro.solve`` of the replayed graph at the same generation.
+    """
+    plan = preset_plan("serve-crash", seed)
+    cfg = ServeBenchConfig(
+        scenario="prop", num_graphs=2, graph_vertices=40, graph_edges=120,
+        num_jobs=12, workers=2, queue_capacity=4, plan=plan,
+        engine=engine, backend=backend, seed=seed,
+    )
+    graphs = _build_graphs(cfg)
+    initial_edges = {name: g.edges() for name, g in graphs.items()}
+    mean = float(
+        solve(graphs["g0"], engine=engine, backend=backend).model_seconds
+    )
+    svc = SccService(
+        workers=cfg.workers, queue_capacity=cfg.queue_capacity,
+        engine=engine, backend=backend, faults=plan, seed=seed,
+    )
+    for name, g in graphs.items():
+        svc.register_graph(name, g)
+    for at, spec in build_workload(cfg, mean_service_s=mean):
+        svc.submit(_resolve_deletions(spec, initial_edges), at=at)
+    report = svc.run()
+
+    assert len(report.jobs) == cfg.num_jobs          # no job lost
+    for job in report.jobs:
+        assert job.state in TERMINAL_STATES          # exactly one terminal
+        assert job.finish_s is not None
+        assert job.attempts <= plan.max_retries + 1  # bounded retry
+    assert sum(report.by_state().values()) == cfg.num_jobs
+
+    outcome = verify_report(report, graphs, engine=engine, backend=backend)
+    assert outcome["ok"], outcome["failures"]
+
+
+@given(seed=st.integers(0, 2**16))
+@settings(max_examples=8, deadline=None)
+def test_service_replays_bit_for_bit(seed):
+    """Same config, same seed -> byte-identical artifact streams."""
+    cfg = ServeBenchConfig(
+        scenario="replay", num_graphs=2, graph_vertices=30, graph_edges=90,
+        num_jobs=10, workers=2, queue_capacity=3,
+        plan=preset_plan("serve-crash", seed), seed=seed,
+    )
+    a = run_serve_bench(cfg)
+    b = run_serve_bench(cfg)
+    assert json.dumps(a, sort_keys=True, default=str) == \
+        json.dumps(b, sort_keys=True, default=str)
+
+
+def test_random_gnm_edges_support_deletion_slices():
+    """The bench's disjoint-slice deletion scheme rests on edges()
+    returning the construction edge list deterministically."""
+    g = random_gnm(20, 60, seed=1)
+    src, dst = g.edges()
+    assert len(src) == 60
+    src2, dst2 = random_gnm(20, 60, seed=1).edges()
+    assert np.array_equal(src, src2) and np.array_equal(dst, dst2)
