@@ -554,9 +554,14 @@ def _serve_row_failures(rows: "list[dict]", base_rows: "dict",
     Versus the baseline, per scenario: throughput must not drop more
     than *tolerance* (relative) and the backpressure shed rate must not
     rise more than *tolerance* (absolute — shed rates are fractions of
-    submitted jobs).  Within the new rows alone, the breaker win must
-    hold: the ``-nobreakers`` crash scenario must show strictly worse
-    p99 latency and shed rate than its ``+breakers`` twin.
+    submitted jobs); a cache-enabled row additionally must *strictly
+    beat* its baseline twin on throughput with no-worse p99 when that
+    baseline predates the cache (the PR9 acceptance gate).  Within the
+    new rows alone, two pair rules must hold: the ``-nobreakers`` crash
+    scenario must show strictly worse p99 latency and shed rate than
+    its ``+breakers`` twin (the breaker win), and a ``-nocache`` twin
+    must show strictly lower throughput at no-better p99 than its
+    cache-enabled scenario (the cache win).
     """
     failures: "list[str]" = []
     serve_rows = [r for r in rows if r["algorithm"] == "serve-bench"]
@@ -577,7 +582,45 @@ def _serve_row_failures(rows: "list[dict]", base_rows: "dict",
                 f" {b['shed_rate']:.3f} -> {row['shed_rate']:.3f}"
                 f" (> +{tolerance:.2f} absolute)"
             )
+        if row.get("cache_enabled") and not b.get("cache_enabled"):
+            # a pre-cache baseline: the short-circuit layer must be a
+            # strict improvement on the same workload.  The p99 half
+            # only binds fault-free rows — under an injected fault plan
+            # the cache *completes* jobs the baseline shed, so the two
+            # latency populations are not comparable.
+            if row["throughput_jps"] <= b["throughput_jps"]:
+                failures.append(
+                    f"{row['graph']}: cache win lost vs pre-cache baseline —"
+                    f" throughput {b['throughput_jps']:.1f} ->"
+                    f" {row['throughput_jps']:.1f} jobs/s not strictly up"
+                )
+            p99_b, p99_r = b["p99_ms"], row["p99_ms"]
+            if (row.get("plan") is None and p99_b is not None
+                    and p99_r is not None and p99_r > p99_b):
+                failures.append(
+                    f"{row['graph']}: cache win lost vs pre-cache baseline —"
+                    f" p99 {p99_b:.4f}ms -> {p99_r:.4f}ms worsened"
+                )
     by_scenario = {r["graph"]: r for r in serve_rows}
+    for name, off_row in by_scenario.items():
+        if not name.endswith("-nocache"):
+            continue
+        on_row = by_scenario.get(name[: -len("-nocache")])
+        if on_row is None or not on_row.get("cache_enabled"):
+            continue
+        if on_row["throughput_jps"] <= off_row["throughput_jps"]:
+            failures.append(
+                f"{name[: -len('-nocache')]}: cache win lost — throughput"
+                f" with cache ({on_row['throughput_jps']:.1f}/s) does not"
+                f" beat without ({off_row['throughput_jps']:.1f}/s)"
+            )
+        p99_on, p99_off = on_row["p99_ms"], off_row["p99_ms"]
+        if p99_on is not None and p99_off is not None and p99_on > p99_off:
+            failures.append(
+                f"{name[: -len('-nocache')]}: cache win lost — p99 with"
+                f" cache ({p99_on:.4f}ms) worse than without"
+                f" ({p99_off:.4f}ms)"
+            )
     for name, on_row in by_scenario.items():
         if not name.endswith("+breakers"):
             continue
@@ -1155,9 +1198,15 @@ def _cmd_distributed(args: argparse.Namespace) -> int:
     return 0
 
 
-def _serve_config(args: argparse.Namespace, scenario: str, plan):
+def _serve_config(args: argparse.Namespace, scenario: str, plan, *,
+                  shortcircuit: "bool | None" = None):
     from .serve.bench import ServeBenchConfig
 
+    # shortcircuit=False forces the cache+coalescing layer off for a
+    # row regardless of the flags (the nocache twin and the crash
+    # pair, which measure the raw dispatch path)
+    cache = not args.no_cache if shortcircuit is None else shortcircuit
+    coalesce = not args.no_coalesce if shortcircuit is None else shortcircuit
     return ServeBenchConfig(
         scenario=scenario,
         num_graphs=args.graphs,
@@ -1165,6 +1214,8 @@ def _serve_config(args: argparse.Namespace, scenario: str, plan):
         workers=args.workers,
         queue_capacity=args.queue,
         utilization=args.utilization,
+        cache_enabled=cache,
+        coalesce_enabled=coalesce,
         engine=args.engine,
         backend=args.backend,
         plan=plan,
@@ -1231,11 +1282,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"written to {args.json}")
         return 0
 
-    # bench: the scenario matrix; the breaker win is measured here and
-    # *enforced* by the --baseline gate (the CI serve-smoke job)
-    rows = [run_serve_bench(_serve_config(args, "zipf-clean", None))]
+    # bench: the scenario matrix; the breaker win and the cache win are
+    # measured here and *enforced* by the --baseline gate (the CI
+    # serve-smoke job).  zipf-clean runs with the short-circuit layer
+    # on (the flags' default) plus a forced-off twin so the cache win
+    # is a same-workload pair; the crash pair stays cache-off — the
+    # breaker win is a property of the raw dispatch path, which the
+    # cache would mostly absorb at this load.
+    rows = [
+        run_serve_bench(_serve_config(args, "zipf-clean", None)),
+        run_serve_bench(_serve_config(args, "zipf-clean-nocache", None,
+                                      shortcircuit=False)),
+    ]
     crash = _serve_config(
-        args, "zipf-crash", preset_plan("serve-crash", args.seed)
+        args, "zipf-crash", preset_plan("serve-crash", args.seed),
+        shortcircuit=False,
     )
     cmp = breaker_comparison(crash, require_win=False)
     rows += [cmp["enabled"], cmp["disabled"]]
@@ -1251,6 +1312,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"  breaker win: p99 x{win['p99_degradation']:.2f},"
         f" shed +{win['shed_rate_delta']:.3f} without breakers{status}"
     )
+    cached, cold = rows[0], rows[1]
+    if cached["cache_enabled"]:
+        print(
+            f"  cache win: thr {cold['throughput_jps']:.1f} ->"
+            f" {cached['throughput_jps']:.1f}/s"
+            f" (hits={cached['cache_hits']}"
+            f" coalesced={cached['coalesced_reads']}"
+            f"+{cached['coalesced_updates']})"
+        )
     doc = {
         "schema": "serve-bench/1",
         "seed": args.seed,
@@ -1573,6 +1643,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--utilization", type=float, default=1.5,
                    help="open-loop arrival rate as a multiple of service"
                    " capacity (default 1.5 = overload)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the generation-keyed solve cache")
+    p.add_argument("--no-coalesce", action="store_true",
+                   help="disable request coalescing (read attach +"
+                   " update merging)")
     p.add_argument("--json", default=None,
                    help="write results to this JSON file")
     p.add_argument("--baseline", default=None,

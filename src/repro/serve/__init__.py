@@ -28,6 +28,8 @@ Module map:
   structured ``BudgetExceeded`` rejection payload;
 * :mod:`~repro.serve.queues` — bounded run queue with an explicit
   shed policy;
+* :mod:`~repro.serve.cache` — the generation-keyed solve cache behind
+  the cache/coalesce fast paths;
 * :mod:`~repro.serve.breaker` — per-workload circuit breakers;
 * :mod:`~repro.serve.workers` — the WIP-limited worker pool;
 * :mod:`~repro.serve.service` — the control plane itself;
@@ -41,6 +43,7 @@ See ``docs/serve.md`` for the architecture and state machines.
 from .bench import ServeBenchConfig, run_serve_bench
 from .breaker import BreakerState, CircuitBreaker
 from .budget import UNLIMITED, Budget, BudgetExceeded, BudgetLedger
+from .cache import DEFAULT_CACHE_BYTES, CacheEntry, SolveCache
 from .jobs import TERMINAL_STATES, Job, JobKind, JobSpec, JobState
 from .metrics import ServiceMetrics, to_prometheus
 from .queues import BoundedQueue, ShedPolicy
@@ -61,6 +64,9 @@ __all__ = [
     "UNLIMITED",
     "BoundedQueue",
     "ShedPolicy",
+    "SolveCache",
+    "CacheEntry",
+    "DEFAULT_CACHE_BYTES",
     "BreakerState",
     "CircuitBreaker",
     "Worker",

@@ -17,11 +17,13 @@ deletion is valid both live and in replay, regardless of which update
 jobs crash, shed, or dead-letter.
 
 **Verification (chaos mode).**  :func:`verify_report` replays the
-committed updates (DONE update jobs, in generation order) against a
-fresh handle and checks, at every generation a DONE solve/query job
-observed, that the job's labels are **bit-identical** to an unserved
-``repro.solve`` of the reconstructed snapshot — the service adds
-scheduling, not semantics.  It also checks the terminal-state
+committed updates (DONE update jobs, in generation order; coalesced
+constituents regrouped into their one merged apply) against a fresh
+handle and checks, at every generation a DONE solve/query job
+observed — whether it executed cold, hit the solve cache, or coalesced
+onto a leader — that the job's labels are **bit-identical** to an
+unserved ``repro.solve`` of the reconstructed snapshot — the service
+adds scheduling, not semantics.  It also checks the terminal-state
 invariant: every submitted job ends in exactly one of
 done / rejected / shed / dead-letter.
 
@@ -43,9 +45,10 @@ from ..faults.plan import FaultPlan
 from ..graph.generators import random_gnm
 from ..solver import solve
 from .budget import Budget
+from .cache import DEFAULT_CACHE_BYTES
 from .jobs import JobKind, JobSpec, JobState
 from .queues import ShedPolicy
-from .service import SccService, ServiceReport
+from .service import SccService, ServiceReport, _merge_batches
 
 __all__ = [
     "ServeBenchConfig",
@@ -83,6 +86,12 @@ class ServeBenchConfig:
     deadline_factor: "float | None" = None
     breakers_enabled: bool = True
     breaker_threshold: int = 3
+    #: the PR9 short-circuit layer (docs/serve.md §6); both default on,
+    #: and the bench emits a cache-off twin row so the win is gated
+    cache_enabled: bool = True
+    cache_bytes: int = DEFAULT_CACHE_BYTES
+    coalesce_enabled: bool = True
+    merge_updates: int = 4
     plan: "FaultPlan | None" = None
     engine: "str | None" = None
     backend: "str | None" = None
@@ -194,6 +203,10 @@ def run_serve_bench(
         faults=cfg.plan,
         breakers_enabled=cfg.breakers_enabled,
         breaker_threshold=cfg.breaker_threshold,
+        cache_enabled=cfg.cache_enabled,
+        cache_bytes=cfg.cache_bytes,
+        coalesce_enabled=cfg.coalesce_enabled,
+        merge_updates=cfg.merge_updates,
         seed=cfg.seed,
     )
     for name, g in graphs.items():
@@ -235,6 +248,12 @@ def run_serve_bench(
         "retries": m["retries"],
         "crashes": m["crashed"],
         "breaker_opened": m["breaker_opened"],
+        "cache_enabled": cfg.cache_enabled,
+        "coalesce_enabled": cfg.coalesce_enabled,
+        "cache_hits": m["cache_hits"],
+        "coalesced_reads": m["coalesced_reads"],
+        "coalesced_updates": m["coalesced_updates"],
+        "cache": report.cache,
         "worker_utilization": service.pool.utilization(report.makespan_s),
         "metrics": m.as_dict(),
     }
@@ -257,11 +276,23 @@ def run_serve_bench(
 # chaos verification
 # ----------------------------------------------------------------------
 
-def _final_generation(job) -> int:
+def _final_detail(job) -> "dict | None":
+    """The attempt detail of the job's committed execution, if any."""
     for detail in reversed(job.attempts_detail):
         if "generation" in detail:
-            return int(detail["generation"])
-    return 0
+            return detail
+    return None
+
+
+def _final_generation(job) -> int:
+    detail = _final_detail(job)
+    return int(detail["generation"]) if detail is not None else 0
+
+
+def _merge_index(job) -> int:
+    """Position inside a merged update's single apply (0 = the leader)."""
+    detail = _final_detail(job)
+    return int(detail.get("merge_index", 0)) if detail is not None else 0
 
 
 def verify_report(
@@ -298,10 +329,19 @@ def verify_report(
             jobs_by_graph[job.spec.graph].append(job)
     for name, initial in graphs.items():
         done_jobs = jobs_by_graph[name]
-        updates = sorted(
-            (j for j in done_jobs if j.spec.kind is JobKind.UPDATE),
-            key=_final_generation,
-        )
+        # coalesced update constituents committed through one merged
+        # apply and share its final generation — replay groups them
+        # back into that single apply, in merge order (two *distinct*
+        # committed applies can never share a final generation, so the
+        # grouping is unambiguous)
+        update_groups: "dict[int, list]" = {}
+        for j in done_jobs:
+            if j.spec.kind is JobKind.UPDATE:
+                update_groups.setdefault(_final_generation(j), []).append(j)
+        updates = [
+            sorted(update_groups[gen], key=_merge_index)
+            for gen in sorted(update_groups)
+        ]
         checks: "dict[int, list]" = {}
         for job in done_jobs:
             if job.spec.kind is JobKind.UPDATE:
@@ -326,16 +366,18 @@ def verify_report(
                 checked += 1
 
         run_checks()
-        for job in updates:
+        for group in updates:
+            specs = [j.spec for j in group]
             replay.apply(
-                deletions=job.spec.delete_edges,
-                insertions=job.spec.insert_edges,
+                deletions=_merge_batches(s.delete_edges for s in specs),
+                insertions=_merge_batches(s.insert_edges for s in specs),
             )
-            expect = _final_generation(job)
+            expect = _final_generation(group[0])
             if replay.generation != expect:
+                ids = [j.id for j in group]
                 failures.append(
                     f"replay of {name} reached generation"
-                    f" {replay.generation}, update job {job.id} committed at"
+                    f" {replay.generation}, update job(s) {ids} committed at"
                     f" {expect}"
                 )
             run_checks()

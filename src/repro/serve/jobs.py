@@ -101,6 +101,10 @@ class Job:
     submit_s: float
     state: JobState = JobState.PENDING
     attempts: int = 0
+    #: simulated time of the last successful queue admission (stamped
+    #: by :meth:`BoundedQueue.offer`); shed records derive their
+    #: queue-wait time from it
+    queued_at: "float | None" = None
     finish_s: "float | None" = None
     #: why the job ended where it did ("backpressure", "breaker-open",
     #: "retries-exhausted", "deadline", ...)

@@ -31,6 +31,13 @@ COUNTER_HELP = {
     "breaker_opened": "circuit-breaker open transitions",
     "breaker_reopened": "failed half-open probes (breaker re-opened)",
     "breaker_closed": "successful half-open probes (breaker closed)",
+    "cache_hits": "read jobs completed from the solve cache (zero device cost)",
+    "cache_misses": "read executions that found no cache entry",
+    "cache_evictions": "solve-cache entries evicted by the LRU byte budget",
+    "cache_invalidations": "solve-cache entries dropped by a generation advance",
+    "coalesced_reads": "solve/query jobs completed from a coalesced leader's result",
+    "coalesced_updates": "update jobs merged into another update's single apply",
+    "coalesce_requeued": "coalesced followers returned to the queue by a leader crash",
 }
 
 

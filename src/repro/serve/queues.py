@@ -8,17 +8,25 @@ explicit :class:`ShedPolicy` decision, never silent growth:
   (classic load shedding: admitted work keeps its place);
 * ``DROP_OLDEST`` — a full queue evicts the *oldest queued* job to
   admit the new one (freshness-first, e.g. for query-dominated loads
-  where a stale read is worth less than a fresh one).
+  where a stale read is worth less than a fresh one).  Victim choice
+  is **eligible-aware**: the same per-graph eligibility view that
+  :meth:`BoundedQueue.pop_eligible` dispatches with also picks the
+  victim — the oldest job *blocked* behind a busy graph sheds first
+  (it was not about to run anyway), and only when every queued job is
+  dispatch-eligible does the plain oldest job shed.
 
 Either way the shed victim reaches the ``SHED`` terminal state with
-reason ``"backpressure"`` — the accounting never loses a job.
+reason ``"backpressure"`` — the accounting never loses a job, and the
+victim's record carries how long it waited in the queue
+(``Job.queued_at`` is stamped at :meth:`BoundedQueue.offer`; the
+service puts ``waited_s`` on the SHED decision).
 """
 
 from __future__ import annotations
 
 import enum
 from collections import deque
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional
 
 from .jobs import Job, JobKind
 
@@ -61,22 +69,43 @@ class BoundedQueue:
     def full(self) -> bool:
         return len(self._q) >= self.capacity
 
-    def offer(self, job: Job) -> "Job | None":
-        """Enqueue *job*; returns the shed victim, if any.
+    def offer(
+        self,
+        job: Job,
+        *,
+        now: float = 0.0,
+        busy_graphs: "frozenset[str] | set[str]" = frozenset(),
+    ) -> "Job | None":
+        """Enqueue *job* at *now*; returns the shed victim, if any.
 
         None means the job was admitted with room to spare.  Under
         ``REJECT_NEW`` a full queue returns *job* itself (not
-        enqueued); under ``DROP_OLDEST`` it returns the evicted head
-        (*job* is enqueued).
+        enqueued); under ``DROP_OLDEST`` it returns the evicted victim
+        (*job* is enqueued) — the oldest job *ineligible* for dispatch
+        against *busy_graphs* when one exists, else the oldest job,
+        so eviction and dispatch share one eligibility view.
+
+        Every admitted job gets ``job.queued_at = now`` so a later
+        shed can account its queue-wait time.
         """
         victim: Optional[Job] = None
         if self.full:
             if self.policy is ShedPolicy.REJECT_NEW:
+                job.queued_at = float(now)
                 return job
-            victim = self._q.popleft()
+            victim = self._evict_victim(busy_graphs)
+        job.queued_at = float(now)
         self._q.append(job)
         self.peak_depth = max(self.peak_depth, len(self._q))
         return victim
+
+    def _evict_victim(self, busy_graphs: "frozenset[str] | set[str]") -> Job:
+        """The DROP_OLDEST victim: oldest blocked job, else the head."""
+        for i, job in enumerate(self._q):
+            if job.spec.kind is not JobKind.SOLVE and job.spec.graph in busy_graphs:
+                del self._q[i]
+                return job
+        return self._q.popleft()
 
     def pop_eligible(self, busy_graphs: "set[str]") -> "Job | None":
         """Dequeue the first job whose graph handle is not locked.
@@ -93,3 +122,36 @@ class BoundedQueue:
                 del self._q[i]
                 return job
         return None
+
+    def requeue(self, jobs: "list[Job]") -> None:
+        """Return already-admitted *jobs* to the queue head, in order.
+
+        Used when a coalesced leader crashes: its followers go back to
+        the front (they are the oldest waiting work).  Capacity is
+        deliberately not re-enforced — these jobs were admitted once;
+        shedding them for their leader's crash would double-penalize —
+        so the queue may transiently exceed ``capacity`` until the
+        next dispatch drains it.
+        """
+        for job in reversed(jobs):
+            self._q.appendleft(job)
+        self.peak_depth = max(self.peak_depth, len(self._q))
+
+    def extract(self, pred: "Callable[[Job], bool]") -> "list[Job]":
+        """Remove and return every queued job matching *pred*, in order.
+
+        The coalescing sweep: the service pulls compatible reads (or
+        mergeable updates) out of the queue to attach them to a leader
+        without disturbing the relative order of everything else.
+        *pred* is called exactly once per queued job, in FIFO order, so
+        stateful predicates (e.g. "stop at the first incompatible job
+        on this graph") are safe.
+        """
+        matched: "list[Job]" = []
+        keep: "list[Job]" = []
+        for job in self._q:
+            (matched if pred(job) else keep).append(job)
+        if matched:
+            self._q.clear()
+            self._q.extend(keep)
+        return matched

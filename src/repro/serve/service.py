@@ -9,11 +9,21 @@ named persistent graphs; the service
    ``BudgetExceeded`` rejections) and a bounded run queue
    (:mod:`repro.serve.queues` — explicit shed policy, never silent
    growth),
-2. **schedules** across a WIP-limited pool of
+2. **short-circuits redundant work** between admission and dispatch:
+   a generation-keyed :class:`~repro.serve.cache.SolveCache` completes
+   repeat ``SOLVE``/``QUERY`` jobs from memoized labels at zero device
+   cost, queued reads against the same ``(graph, generation)`` as an
+   in-flight read **coalesce** onto that leader and complete from its
+   single result, and consecutive small ``UPDATE`` batches against one
+   graph **merge** into a single incremental
+   :meth:`~repro.dynamic.DynamicGraph.apply` (the one execution's
+   charges split evenly across the coalition — the share rule in
+   ``docs/serve.md`` §6),
+3. **schedules** across a WIP-limited pool of
    :class:`~repro.device.VirtualDevice` workers
    (:mod:`repro.serve.workers`), serializing update/query jobs per
    graph handle,
-3. **survives failure**: per-job deadlines, FaultPlan-injected worker
+4. **survives failure**: per-job deadlines, FaultPlan-injected worker
    crashes and completion delays, bounded retry with the
    :func:`repro.faults.backoff_seconds` exponential backoff (plan-
    seeded jitter de-synchronizes concurrent retries), a dead-letter
@@ -61,9 +71,11 @@ from ..faults.plan import FaultPlan
 from ..faults.recovery import backoff_seconds
 from ..graph.csr import CSRGraph
 from ..profile.report import profile_run
+from ..results import AlgoResult
 from ..trace import Tracer, ensure_tracer
 from .breaker import CircuitBreaker
 from .budget import Budget, BudgetLedger
+from .cache import DEFAULT_CACHE_BYTES, CacheEntry, SolveCache
 from .jobs import Job, JobKind, JobSpec, JobState
 from .metrics import ServiceMetrics
 from .queues import BoundedQueue, ShedPolicy
@@ -73,6 +85,34 @@ __all__ = ["SccService", "ServiceReport"]
 
 #: fallback breaker cooldown when the plan gives no backoff basis.
 _DEFAULT_COOLDOWN_S = 0.002
+
+
+def _edge_pairs(batch) -> "set[tuple[int, int]]":
+    """The ``(src, dst)`` pair set of one update batch (empty for None)."""
+    if batch is None:
+        return set()
+    src, dst = batch
+    return {(int(s), int(d)) for s, d in zip(src, dst)}
+
+
+def _merge_batches(batches) -> "tuple[list, list] | None":
+    """Concatenate ``(src, dst)`` batches in order; None if all are None.
+
+    The merged-update fast path: constituent batches become one
+    combined batch per phase, so a merged ``apply`` runs exactly one
+    delete pass and one insert pass.
+    """
+    src: "list" = []
+    dst: "list" = []
+    any_batch = False
+    for batch in batches:
+        if batch is None:
+            continue
+        any_batch = True
+        s, d = batch
+        src.extend(s)
+        dst.extend(d)
+    return (src, dst) if any_batch else None
 
 
 @dataclass
@@ -86,6 +126,8 @@ class ServiceReport:
     workers: "dict | None" = None
     budgets: "dict | None" = None
     queue_peak_depth: int = 0
+    #: :meth:`SolveCache.as_dict` snapshot (None when caching is off)
+    cache: "dict | None" = None
 
     def by_state(self) -> "dict[str, int]":
         counts: "dict[str, int]" = {}
@@ -112,6 +154,7 @@ class ServiceReport:
             "breakers": list(self.breakers),
             "workers": self.workers,
             "budgets": self.budgets,
+            "cache": self.cache,
             "jobs": self.artifacts(),
         }
 
@@ -134,6 +177,10 @@ class SccService:
         breakers_enabled: bool = True,
         breaker_threshold: int = 3,
         breaker_cooldown_s: "float | None" = None,
+        cache_enabled: bool = True,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+        coalesce_enabled: bool = True,
+        merge_updates: int = 4,
         default_deadline_s: "float | None" = None,
         default_budget: "Budget | None" = None,
         tracer: "Tracer | None" = None,
@@ -160,12 +207,23 @@ class SccService:
             else:
                 breaker_cooldown_s = _DEFAULT_COOLDOWN_S
         self.breaker_cooldown_s = float(breaker_cooldown_s)
+        self.cache = SolveCache(max_bytes=cache_bytes) if cache_enabled else None
+        self.coalesce_enabled = bool(coalesce_enabled)
+        if merge_updates < 1:
+            raise ValueError(f"merge_updates must be >= 1, got {merge_updates}")
+        self.merge_updates = int(merge_updates)
         self.default_deadline_s = default_deadline_s
         self.metrics = ServiceMetrics()
         self._tr = ensure_tracer(tracer)
         self._graphs: "dict[str, DynamicGraph]" = {}
         self._breakers: "dict[str, CircuitBreaker]" = {}
         self._busy_graphs: "set[str]" = set()
+        #: leader job id -> coalesced followers completing from its result
+        self._followers: "dict[int, list[Job]]" = {}
+        #: graph name -> (in-flight read leader, generation it
+        #: observed, simulated time its completion event fires)
+        self._inflight_reads: "dict[str, tuple[Job, int, float]]" = {}
+        self._shed_wait_s = 0.0
         self.jobs: "list[Job]" = []
         self.now = 0.0
         self._heap: "list[tuple[float, int, str, Any]]" = []
@@ -261,6 +319,10 @@ class SccService:
         self._ran = True
         self.metrics.gauge("queue_peak_depth", self.queue.peak_depth)
         self.metrics.gauge("makespan_s", self.now)
+        self.metrics.gauge("shed_wait_s_total", self._shed_wait_s)
+        if self.cache is not None:
+            self.metrics.gauge("cache_bytes", self.cache.bytes)
+            self.metrics.gauge("cache_entries", len(self.cache))
         return self.report()
 
     def report(self) -> ServiceReport:
@@ -272,6 +334,7 @@ class SccService:
             workers=self.pool.as_dict(),
             budgets=self.ledger.snapshot(),
             queue_peak_depth=self.queue.peak_depth,
+            cache=self.cache.as_dict() if self.cache is not None else None,
         )
 
     # ------------------------------------------------------------------
@@ -286,7 +349,14 @@ class SccService:
             "shed_breaker" if reason == "breaker-open" else "shed_backpressure"
         )
         self.metrics.incr(counter)
-        self._decide(job, "shed", reason=reason)
+        # the victim's queue-wait rides its SHED record — shed work is
+        # work the service made wait and then threw away
+        waited_s = (
+            max(self.now - job.queued_at, 0.0)
+            if job.queued_at is not None else 0.0
+        )
+        self._shed_wait_s += waited_s
+        self._decide(job, "shed", reason=reason, waited_s=waited_s)
         job.finish(self.now, JobState.SHED, reason)
 
     def _dead_letter(self, job: Job, reason: str) -> None:
@@ -315,7 +385,9 @@ class SccService:
                          limit=exceeded.limit, spent=exceeded.spent)
             job.finish(self.now, JobState.REJECTED, "budget")
             return
-        victim = self.queue.offer(job)
+        victim = self.queue.offer(
+            job, now=self.now, busy_graphs=self._busy_graphs
+        )
         if victim is not None:
             self._shed(victim, "backpressure")
             if victim is job:
@@ -331,13 +403,27 @@ class SccService:
         self._admit(job)
 
     def _dispatch(self) -> None:
-        """Move eligible queued jobs onto idle workers (WIP-limited)."""
-        while self.pool.has_capacity:
+        """Drain the queue: serve reads worker-free, then dispatch.
+
+        Each pass first **sweeps** the queue for reads that need no
+        worker — cache hits at the current generation and reads that
+        coalesce onto an in-flight leader — then moves one eligible
+        job onto an idle worker.  Dispatching a read leader makes new
+        coalesce attaches possible, so the loop re-sweeps after every
+        dispatch and exits only when neither path makes progress.
+        """
+        while True:
+            self._sweep_reads()
+            if not self.pool.has_capacity:
+                return
             job = self.queue.pop_eligible(self._busy_graphs)
             if job is None:
                 return
             deadline = job.deadline_at(self.default_deadline_s)
-            if deadline is not None and self.now > deadline:
+            if deadline is not None and self.now >= deadline:
+                # >= : a job at exactly its deadline is expired — the
+                # same boundary the retry path uses (no dispatch/retry
+                # disagreement at t == deadline)
                 self._dead_letter(job, "deadline")
                 continue
             if self.breakers_enabled:
@@ -345,25 +431,179 @@ class SccService:
                 if not breaker.allow(self.now):
                     self._shed(job, "breaker-open")
                     continue
+            merge_followers: "list[Job]" = []
+            if (
+                self.coalesce_enabled
+                and job.spec.kind is JobKind.UPDATE
+                and self.merge_updates > 1
+            ):
+                merge_followers = self._collect_update_merge(job)
             worker = self.pool.acquire()
             assert worker is not None  # has_capacity guaranteed a slot
-            self._execute(job, worker)
+            self._execute(job, worker, merge_followers)
+
+    # ------------------------------------------------------------------
+    # the fast paths: cache hits, read coalescing, update merging
+    # ------------------------------------------------------------------
+    def _sweep_reads(self) -> int:
+        """Complete queued reads that need no worker; returns the count.
+
+        A queued ``SOLVE``/``QUERY`` is served worker-free when either
+        (a) an in-flight read leader on the same graph observed the
+        same generation — the job attaches to it and will complete
+        from the leader's single result at the leader's completion
+        time — or (b) the solve cache holds an entry for
+        ``(graph, generation, engine, backend)`` — the job completes
+        immediately at zero device cost.  ``QUERY`` jobs keep their
+        per-graph serialization: a graph made busy by an *update*
+        blocks its queries here exactly as it does at dispatch (the
+        generation check makes leader-attach safe: a busy read leader
+        matches, a busy update never does).
+        """
+        if self.cache is None and not self.coalesce_enabled:
+            return 0
+        # per-graph program order: a QUERY never overtakes an UPDATE
+        # queued ahead of it on the same graph (SOLVE reads committed
+        # snapshots and may overtake, exactly as at dispatch)
+        update_blocked: "set[str]" = set()
+
+        def fastpath(job: Job) -> bool:
+            kind, graph = job.spec.kind, job.spec.graph
+            if kind is JobKind.UPDATE:
+                update_blocked.add(graph)
+                return False
+            if kind is JobKind.QUERY and graph in update_blocked:
+                return False
+            generation = self._graphs[graph].generation
+            if self.coalesce_enabled:
+                inflight = self._inflight_reads.get(graph)
+                if inflight is not None and inflight[1] == generation:
+                    leader, _, leader_done_at = inflight
+                    deadline = job.deadline_at(self.default_deadline_s)
+                    if deadline is None or leader_done_at < deadline:
+                        job._fastpath = ("attach", leader)
+                        return True
+                    # the leader completes at or past this job's
+                    # deadline: attaching would knowingly serve a dead
+                    # result — stay queued; the dispatch deadline
+                    # check rules on it (and the cache below may still
+                    # serve it instantly)
+            if kind is JobKind.QUERY and graph in self._busy_graphs:
+                return False  # an in-flight update: queries stay ordered
+            if self.cache is not None:
+                entry = self.cache.get(
+                    self.cache.key(graph, generation, self.engine, self.backend)
+                )
+                if entry is not None:
+                    job._fastpath = ("cache", entry)
+                    return True
+            return False
+
+        served = 0
+        for job in self.queue.extract(fastpath):
+            deadline = job.deadline_at(self.default_deadline_s)
+            if deadline is not None and self.now >= deadline:
+                self._dead_letter(job, "deadline")
+                continue
+            plan, leader_or_entry = job._fastpath  # set by the predicate
+            del job._fastpath
+            if plan == "attach":
+                self._attach_follower(leader_or_entry, job)
+            else:
+                self._serve_cache_hit(job, leader_or_entry)
+            served += 1
+        return served
+
+    def _serve_cache_hit(self, job: Job, entry: CacheEntry) -> None:
+        """Complete *job* from the cache: zero device cost, no worker."""
+        self.metrics.incr("cache_hits")
+        self._decide(job, "cache_hit", graph=job.spec.graph,
+                     generation=entry.generation)
+        job.attempts_detail.append({
+            "cache_hit": True,
+            "t_complete": self.now,
+            "generation": entry.generation,
+            "service_s": 0.0,
+        })
+        job.result = AlgoResult(
+            labels=entry.labels.copy(), num_sccs=entry.num_sccs
+        )
+        self.metrics.incr("completed")
+        self._decide(job, "complete", attempt=job.attempts, service_s=0.0)
+        job.finish(self.now, JobState.DONE)
+
+    def _attach_follower(self, leader: Job, job: Job) -> None:
+        """Coalesce *job* onto the in-flight read *leader*."""
+        self.metrics.incr("coalesced_reads")
+        self._decide(job, "coalesce_attach", leader=leader.id)
+        job.state = JobState.RUNNING
+        self._followers[leader.id].append(job)
+
+    def _collect_update_merge(self, leader: Job) -> "list[Job]":
+        """Pull queued updates that merge into *leader*'s single apply.
+
+        Merge partners are taken in queue order, same graph only, and
+        the scan **stops at the first same-graph job that cannot
+        merge** (a query, a solve, an over-cap update, or one whose
+        deletions overlap the batch's pending insertions) so per-graph
+        ordering is never reordered around an incompatible job.  The
+        overlap rule keeps merged semantics exact: ``apply`` deletes
+        before it inserts, so a constituent may not delete an edge an
+        earlier constituent inserts.
+        """
+        graph = leader.spec.graph
+        pending_inserts = _edge_pairs(leader.spec.insert_edges)
+        taken = [leader]
+        stopped = False
+
+        def mergeable(job: Job) -> bool:
+            nonlocal stopped
+            if stopped or job.spec.graph != graph:
+                return False
+            if job.spec.kind is not JobKind.UPDATE or len(taken) >= self.merge_updates:
+                stopped = True
+                return False
+            deadline = job.deadline_at(self.default_deadline_s)
+            if deadline is not None and self.now >= deadline:
+                # already expired: never commit its batch — it stays
+                # queued and dead-letters at its own dispatch
+                return False
+            deletes = _edge_pairs(job.spec.delete_edges)
+            if deletes & pending_inserts:
+                stopped = True
+                return False
+            pending_inserts.update(_edge_pairs(job.spec.insert_edges))
+            taken.append(job)
+            return True
+
+        followers = self.queue.extract(mergeable)
+        for i, job in enumerate(followers, start=1):
+            self.metrics.incr("coalesced_updates")
+            self._decide(job, "coalesce_merge", leader=leader.id,
+                         merge_index=i)
+            job.state = JobState.RUNNING
+        return followers
 
     # ------------------------------------------------------------------
     # execution (host-side at dispatch; completion on the simulated clock)
     # ------------------------------------------------------------------
-    def _execute(self, job: Job, worker) -> None:
+    def _execute(
+        self, job: Job, worker, merge_followers: "list[Job] | None" = None
+    ) -> None:
         job.state = JobState.RUNNING
         job.attempts += 1
         self.metrics.incr("dispatched")
         self._decide(job, "dispatch", worker=worker.id, attempt=job.attempts)
         kind = job.spec.kind
+        merge_followers = merge_followers or []
+        self._followers[job.id] = merge_followers
         if kind in (JobKind.UPDATE, JobKind.QUERY):
             self._busy_graphs.add(job.spec.graph)
         try:
-            payload, service_s, charges = self._run_attempt(job)
+            payload, service_s, charges = self._run_attempt(job, merge_followers)
         except Exception:
             self._busy_graphs.discard(job.spec.graph)
+            self._followers.pop(job.id, None)
             self.pool.release(worker)
             raise
         # seeded fault draws: a crash truncates the attempt mid-service
@@ -385,10 +625,32 @@ class SccService:
                 delay_s = service_s * (0.5 + 1.5 * float(self._rng.random()))
                 self.metrics.incr("delayed")
         if crashed and kind is JobKind.UPDATE:
-            # roll the handle back: a crashed update commits nothing
+            # roll the handle back: a crashed update commits nothing —
+            # merged constituents included, the checkpoint predates the
+            # whole merged apply
             handle, ckpt = payload["handle"], payload["checkpoint"]
             handle.restore(ckpt)
             payload = None
+        done_at = self.now + service_s + delay_s
+        if not crashed:
+            if kind in (JobKind.SOLVE, JobKind.QUERY) and self.coalesce_enabled:
+                # later-queued reads at this generation may attach
+                # until the completion event fires at done_at (the
+                # sweep rejects attaches whose deadline lands earlier)
+                self._inflight_reads[job.spec.graph] = (
+                    job, payload["generation"], done_at
+                )
+            elif kind is JobKind.UPDATE and self.cache is not None:
+                # the commit happened host-side just now: entries from
+                # older generations never survive the advance
+                handle = self._graphs[job.spec.graph]
+                dropped = self.cache.invalidate(
+                    job.spec.graph, handle.generation
+                )
+                if dropped:
+                    self.metrics.incr("cache_invalidations", dropped)
+                    self._tr.counter("serve:cache_invalidation",
+                                     graph=job.spec.graph, dropped=dropped)
         job.attempts_detail.append({
             "attempt": job.attempts,
             "t_dispatch": self.now,
@@ -397,18 +659,33 @@ class SccService:
             "delay_s": delay_s,
             "crashed": crashed,
             "charges": dict(charges),
-            **({"generation": payload["generation"]} if payload else {}),
+            **({"merged": len(merge_followers)} if merge_followers else {}),
+            **({"generation": payload["generation"], "merge_index": 0}
+               if payload and kind is JobKind.UPDATE and merge_followers
+               else {}),
+            **({"generation": payload["generation"]}
+               if payload and not (kind is JobKind.UPDATE and merge_followers)
+               else {}),
         })
-        done_at = self.now + service_s + delay_s
         self._schedule(
             done_at, "complete",
             (job, worker, payload, charges, crashed, self.now),
         )
 
-    def _run_attempt(self, job: Job):
-        """Execute the data-plane call; returns (payload, seconds, charges)."""
+    def _run_attempt(self, job: Job, merge_followers: "list[Job]"):
+        """Execute the data-plane call; returns (payload, seconds, charges).
+
+        *merge_followers* are the coalesced update constituents riding
+        *job*'s single :meth:`~repro.dynamic.DynamicGraph.apply` (empty
+        for reads and unmerged updates).
+        """
         kind = job.spec.kind
         handle = self._graphs[job.spec.graph]
+        if kind is not JobKind.UPDATE and self.cache is not None:
+            # the dispatch sweep already proved there is no usable
+            # entry: one miss per actual read execution, not per probe
+            self.cache.count_miss()
+            self.metrics.incr("cache_misses")
         if kind is JobKind.SOLVE:
             from ..bench.runners import run_algorithm
 
@@ -442,9 +719,10 @@ class SccService:
         )
         if kind is JobKind.UPDATE:
             ckpt = handle.checkpoint()
+            specs = [job.spec] + [f.spec for f in merge_followers]
             reports = handle.apply(
-                deletions=job.spec.delete_edges,
-                insertions=job.spec.insert_edges,
+                deletions=_merge_batches(s.delete_edges for s in specs),
+                insertions=_merge_batches(s.insert_edges for s in specs),
             )
             payload = {
                 "reports": reports,
@@ -473,17 +751,27 @@ class SccService:
     ) -> None:
         self.pool.release(worker, busy_s=self.now - dispatched_at)
         self._busy_graphs.discard(job.spec.graph)
-        # every executed attempt is charged, crashed ones included
-        self.ledger.charge(
-            job.spec.tenant,
-            model_seconds=charges["model_seconds"],
-            bytes=charges["bytes"],
-        )
+        followers = self._followers.pop(job.id, [])
+        if self._inflight_reads.get(job.spec.graph, (None,))[0] is job:
+            # identity-guarded: a newer read leader at an advanced
+            # generation may already have overwritten the slot
+            del self._inflight_reads[job.spec.graph]
+        kind = job.spec.kind
         breaker = (
             self.breaker_for(job.spec.workload)
             if self.breakers_enabled else None
         )
         if not crashed:
+            # the share rule (docs/serve.md §6): the one execution's
+            # charges split evenly across the coalition; a lone job is
+            # charged whole
+            share = 1.0 / (1 + len(followers))
+            for member in (job, *followers):
+                self.ledger.charge(
+                    member.spec.tenant,
+                    model_seconds=charges["model_seconds"] * share,
+                    bytes=charges["bytes"] * share,
+                )
             worker.jobs_done += 1
             if breaker is not None:
                 was_open = breaker.state.value != "closed"
@@ -493,16 +781,36 @@ class SccService:
                     self._tr.counter("serve:breaker-closed",
                                      workload=breaker.workload)
             self.metrics.incr("completed")
-            if job.spec.kind is JobKind.UPDATE:
+            if kind is JobKind.UPDATE:
                 job.result = payload["reports"]
             else:
                 job.result = payload["result"]
             self._decide(job, "complete", attempt=job.attempts,
-                         service_s=charges["model_seconds"])
+                         service_s=charges["model_seconds"],
+                         **({"coalesced": len(followers)} if followers else {}))
             job.finish(self.now, JobState.DONE)
+            for i, follower in enumerate(followers, start=1):
+                self._complete_follower(job, follower, payload, charges,
+                                        share, i)
+            if self.cache is not None and kind is not JobKind.UPDATE:
+                self._cache_put(job, payload)
             self._dispatch()
             return
-        # crashed attempt
+        # crashed attempt: the leader's tenant owns the whole
+        # partial-work charge; followers ride back to the queue head
+        # for free (nothing of theirs executed — the rollback restored
+        # the pre-attempt graph)
+        self.ledger.charge(
+            job.spec.tenant,
+            model_seconds=charges["model_seconds"],
+            bytes=charges["bytes"],
+        )
+        if followers:
+            for follower in followers:
+                follower.state = JobState.QUEUED
+                self.metrics.incr("coalesce_requeued")
+                self._decide(follower, "coalesce_requeue", leader=job.id)
+            self.queue.requeue(followers)
         worker.crashes += 1
         self.metrics.incr("crashed")
         self._decide(job, "crash", attempt=job.attempts, worker=worker.id)
@@ -524,7 +832,9 @@ class SccService:
         wait_s = backoff_seconds(self.plan, retries_so_far, rng=self._rng)
         retry_at = self.now + wait_s
         deadline = job.deadline_at(self.default_deadline_s)
-        if deadline is not None and retry_at > deadline:
+        if deadline is not None and retry_at >= deadline:
+            # >= : the same expiry boundary dispatch uses — a retry
+            # landing exactly at the deadline is already too late
             self._dead_letter(job, "deadline")
             self._dispatch()
             return
@@ -534,6 +844,57 @@ class SccService:
                      wait_s=wait_s)
         self._schedule(retry_at, "retry", job)
         self._dispatch()
+
+    def _complete_follower(
+        self, leader: Job, job: Job, payload, charges, share: float,
+        index: int,
+    ) -> None:
+        """Finish one coalesced follower from its leader's single result."""
+        detail = {
+            "coalesced_with": leader.id,
+            "t_complete": self.now,
+            "generation": payload["generation"],
+            "service_s": 0.0,
+            "charges": {k: v * share for k, v in charges.items()},
+        }
+        if job.spec.kind is JobKind.UPDATE:
+            detail["merge_index"] = index
+            job.result = list(payload["reports"])
+        else:
+            result = payload["result"]
+            job.result = AlgoResult(
+                labels=result.labels.copy(), num_sccs=result.num_sccs
+            )
+        job.attempts_detail.append(detail)
+        self.metrics.incr("completed")
+        self._decide(job, "complete", leader=leader.id, service_s=0.0)
+        job.finish(self.now, JobState.DONE)
+
+    def _cache_put(self, job: Job, payload) -> None:
+        """Memoize a completed read (skipped if the generation moved on)."""
+        graph = job.spec.graph
+        generation = payload["generation"]
+        if self._graphs[graph].generation != generation:
+            # a concurrent update committed mid-flight (SOLVE reads a
+            # snapshot, so this can happen): nothing current to cache
+            self.cache.stats.stale_puts += 1
+            return
+        result = payload["result"]
+        entry = CacheEntry(
+            labels=result.labels.copy(),
+            num_sccs=int(result.num_sccs),
+            generation=generation,
+            profile=payload.get("profile"),
+        )
+        evicted = self.cache.put(
+            self.cache.key(graph, generation, self.engine, self.backend),
+            entry,
+        )
+        if evicted:
+            self.metrics.incr("cache_evictions", len(evicted))
+            self._tr.counter("serve:cache_eviction", count=len(evicted))
+        self._tr.counter("serve:cache_put", graph=graph,
+                         generation=generation)
 
     # ------------------------------------------------------------------
     def to_prometheus(self, *, prefix: str = "repro_serve") -> str:

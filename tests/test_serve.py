@@ -30,6 +30,7 @@ from repro.serve import (
     BreakerState,
     Budget,
     BudgetLedger,
+    CacheEntry,
     CircuitBreaker,
     Job,
     JobKind,
@@ -38,6 +39,7 @@ from repro.serve import (
     SccService,
     ServeBenchConfig,
     ShedPolicy,
+    SolveCache,
     WorkerPool,
     run_serve_bench,
     to_prometheus,
@@ -277,10 +279,13 @@ class TestServiceEndToEnd:
         for job in report.jobs:
             assert np.array_equal(job.result.labels, expected)
             assert job.decisions[-1]["decision"] == "done"
-        # completed work was charged to the submitting tenants
+        # the first solve pays; the repeats ride the short-circuit layer
+        # (cache hit or coalesced onto the in-flight leader) for free
         spent = svc.ledger.snapshot()
         assert spent["tenant-0"]["model_seconds"] > 0
-        assert spent["tenant-1"]["bytes"] > 0
+        m = report.metrics
+        assert m["dispatched"] < 4
+        assert m["cache_hits"] + m["coalesced_reads"] == 4 - m["dispatched"]
 
     def test_budget_rejection_is_structured(self):
         svc = SccService(workers=1, queue_capacity=8)
@@ -295,7 +300,10 @@ class TestServiceEndToEnd:
         assert report.metrics["rejected_budget"] == 1
 
     def test_backpressure_shed_is_explicit(self):
-        svc = SccService(workers=1, wip_limit=1, queue_capacity=1)
+        # short-circuit layer off: identical solves would otherwise
+        # coalesce onto one leader and the queue would never fill
+        svc = SccService(workers=1, wip_limit=1, queue_capacity=1,
+                         cache_enabled=False, coalesce_enabled=False)
         svc.register_graph("g0", cycle_graph(32))
         jobs = [
             svc.submit(JobSpec("t", JobKind.SOLVE, "g0")) for _ in range(6)
@@ -336,7 +344,10 @@ class TestServiceEndToEnd:
 
     def test_crash_plan_retries_are_bounded(self):
         plan = preset_plan("serve-crash", seed=5)
-        svc = SccService(workers=2, queue_capacity=16, faults=plan)
+        # short-circuit layer off: identical solves would coalesce
+        # down to a couple of dispatches and starve the crash draws
+        svc = SccService(workers=2, queue_capacity=16, faults=plan,
+                         cache_enabled=False, coalesce_enabled=False)
         svc.register_graph("g0", scc_ladder(6))
         for i in range(10):
             svc.submit(JobSpec("t", JobKind.SOLVE, "g0"), at=0.0005 * i)
@@ -409,8 +420,12 @@ class TestBench:
         assert row["reject_rate"] > 0 and row["verified"]["ok"]
 
     def test_breaker_win_under_crash_storm(self):
+        # cache/coalescing off: the breaker win is measured on the
+        # raw dispatch path (the short-circuit layer absorbs so much
+        # load the nobreakers queue never backs up)
         cfg = ServeBenchConfig(
-            scenario="zipf-crash", plan=preset_plan("serve-crash", 0)
+            scenario="zipf-crash", plan=preset_plan("serve-crash", 0),
+            cache_enabled=False, coalesce_enabled=False,
         )
         cmp = breaker_comparison(cfg)          # raises if the win is lost
         win = cmp["breaker_win"]
@@ -435,18 +450,25 @@ class TestBench:
     seed=st.integers(0, 2**16),
     engine=st.sampled_from([None, "frontier", "adaptive"]),
     backend=st.sampled_from([None, "dense", "frontier"]),
+    plan_name=st.sampled_from(["serve-crash", "serve-delay"]),
+    cache_on=st.booleans(),
+    merge=st.integers(1, 4),
 )
-@settings(max_examples=10, deadline=None)
-def test_chaos_every_job_terminal_and_bit_identical(seed, engine, backend):
+@settings(max_examples=12, deadline=None)
+def test_chaos_every_job_terminal_and_bit_identical(
+    seed, engine, backend, plan_name, cache_on, merge
+):
     """The service's safety contract, property-style.
 
-    Under a seeded crash plan, on any engine x backend: every job
-    reaches exactly one terminal state with a consistent decision
-    history, no attempt count exceeds the plan's retry bound, and
-    every completed solve/query is bit-identical to an unserved
-    ``repro.solve`` of the replayed graph at the same generation.
+    Under a seeded fault plan, on any engine x backend x short-circuit
+    configuration: every job reaches exactly one terminal state with a
+    consistent decision history, no attempt count exceeds the plan's
+    retry bound, every completed solve/query — cold, cached, or
+    coalesced — is bit-identical to an unserved ``repro.solve`` of the
+    replayed graph at the same generation, and no cache entry outlives
+    its graph's committed generation.
     """
-    plan = preset_plan("serve-crash", seed)
+    plan = preset_plan(plan_name, seed)
     cfg = ServeBenchConfig(
         scenario="prop", num_graphs=2, graph_vertices=40, graph_edges=120,
         num_jobs=12, workers=2, queue_capacity=4, plan=plan,
@@ -460,6 +482,8 @@ def test_chaos_every_job_terminal_and_bit_identical(seed, engine, backend):
     svc = SccService(
         workers=cfg.workers, queue_capacity=cfg.queue_capacity,
         engine=engine, backend=backend, faults=plan, seed=seed,
+        cache_enabled=cache_on, coalesce_enabled=cache_on,
+        merge_updates=merge,
     )
     for name, g in graphs.items():
         svc.register_graph(name, g)
@@ -476,6 +500,14 @@ def test_chaos_every_job_terminal_and_bit_identical(seed, engine, backend):
 
     outcome = verify_report(report, graphs, engine=engine, backend=backend)
     assert outcome["ok"], outcome["failures"]
+
+    if svc.cache is not None:
+        # entries never survive a generation advance: whatever is left
+        # in the cache is keyed at its graph's final committed
+        # generation (older generations were invalidated on commit)
+        for key, entry in svc.cache.entries():
+            final = svc.graph_handle(key[0]).generation
+            assert entry.generation == key[1] == final
 
 
 @given(seed=st.integers(0, 2**16))
@@ -501,3 +533,384 @@ def test_random_gnm_edges_support_deletion_slices():
     assert len(src) == 60
     src2, dst2 = random_gnm(20, 60, seed=1).edges()
     assert np.array_equal(src, src2) and np.array_equal(dst, dst2)
+
+
+# ---------------------------------------------------------------------------
+# unit: the generation-keyed solve cache
+# ---------------------------------------------------------------------------
+
+class TestSolveCache:
+    def _entry(self, gen=0, n=8):
+        return CacheEntry(
+            labels=np.zeros(n, dtype=np.int64), num_sccs=1, generation=gen
+        )
+
+    def test_get_put_and_lru_eviction_by_bytes(self):
+        one = self._entry().nbytes
+        cache = SolveCache(max_bytes=2 * one)       # room for two entries
+        ka = SolveCache.key("a", 0, None, None)
+        kb = SolveCache.key("b", 0, None, None)
+        kc = SolveCache.key("c", 0, None, None)
+        assert cache.put(ka, self._entry()) == []
+        assert cache.put(kb, self._entry()) == []
+        assert cache.get(ka) is not None            # bumps a to MRU
+        assert cache.put(kc, self._entry()) == [kb]  # b was LRU
+        assert kb not in cache and ka in cache and kc in cache
+        assert cache.stats.evictions == 1 and cache.stats.hits == 1
+        assert cache.bytes == 2 * one and len(cache) == 2
+
+    def test_oversized_entry_refused_not_evicting_everything(self):
+        cache = SolveCache(max_bytes=64)            # smaller than any entry
+        k = SolveCache.key("a", 0, None, None)
+        assert cache.put(k, self._entry(n=64)) == []
+        assert k not in cache and cache.stats.stale_puts == 1
+
+    def test_invalidate_drops_stale_generations_only(self):
+        cache = SolveCache()
+        cache.put(SolveCache.key("a", 0, None, None), self._entry(gen=0))
+        cache.put(SolveCache.key("a", 2, None, None), self._entry(gen=2))
+        cache.put(SolveCache.key("b", 0, None, None), self._entry(gen=0))
+        assert cache.invalidate("a", current_generation=2) == 1
+        assert SolveCache.key("a", 0, None, None) not in cache
+        assert SolveCache.key("a", 2, None, None) in cache      # current kept
+        assert SolveCache.key("b", 0, None, None) in cache      # other graph
+        assert cache.stats.invalidations == 1
+
+    def test_replace_same_key_does_not_leak_bytes(self):
+        cache = SolveCache()
+        k = SolveCache.key("a", 0, None, None)
+        cache.put(k, self._entry())
+        cache.put(k, self._entry())
+        assert cache.bytes == self._entry().nbytes and len(cache) == 1
+
+    def test_as_dict_and_validation(self):
+        cache = SolveCache(max_bytes=1024)
+        d = cache.as_dict()
+        assert d["max_bytes"] == 1024 and d["entries"] == 0
+        for field in ("hits", "misses", "evictions", "invalidations"):
+            assert d[field] == 0
+        with pytest.raises(ValueError):
+            SolveCache(max_bytes=0)
+
+
+# ---------------------------------------------------------------------------
+# unit: eligible-aware eviction, queued_at, requeue/extract
+# ---------------------------------------------------------------------------
+
+class TestQueueEligibleAwareEviction:
+    def test_drop_oldest_prefers_blocked_victim(self):
+        q = BoundedQueue(2, policy=ShedPolicy.DROP_OLDEST)
+        upd_g0 = _job(0, JobKind.UPDATE, "g0")      # eligible (g0 free)
+        qry_g1 = _job(1, JobKind.QUERY, "g1")       # blocked (g1 busy)
+        q.offer(upd_g0), q.offer(qry_g1)
+        c = _job(2)
+        # the oldest job *blocked* behind a busy graph sheds first,
+        # not the plain head
+        assert q.offer(c, busy_graphs={"g1"}) is qry_g1
+        assert list(q) == [upd_g0, c]
+
+    def test_drop_oldest_falls_back_to_head_when_all_eligible(self):
+        q = BoundedQueue(2, policy=ShedPolicy.DROP_OLDEST)
+        a, b = _job(0, JobKind.UPDATE, "g0"), _job(1, JobKind.QUERY, "g1")
+        q.offer(a), q.offer(b)
+        assert q.offer(_job(2), busy_graphs=set()) is a
+
+    def test_solve_never_picked_as_blocked_victim(self):
+        q = BoundedQueue(2, policy=ShedPolicy.DROP_OLDEST)
+        s = _job(0, JobKind.SOLVE, "g0")            # always eligible
+        upd = _job(1, JobKind.UPDATE, "g0")
+        q.offer(s), q.offer(upd)
+        assert q.offer(_job(2), busy_graphs={"g0"}) is upd
+
+    def test_offer_stamps_queued_at(self):
+        q = BoundedQueue(1, policy=ShedPolicy.REJECT_NEW)
+        a, b = _job(0), _job(1)
+        q.offer(a, now=1.5)
+        assert a.queued_at == 1.5
+        assert q.offer(b, now=2.5) is b             # rejected arrival...
+        assert b.queued_at == 2.5                   # ...still stamped
+
+    def test_requeue_prepends_in_order_and_may_overfill(self):
+        q = BoundedQueue(2)
+        a, b = _job(0), _job(1)
+        q.offer(a), q.offer(b)
+        x, y = _job(2), _job(3)
+        q.requeue([x, y])
+        assert list(q) == [x, y, a, b]              # transient overfill ok
+        assert len(q) == 4 and q.peak_depth == 4
+
+    def test_extract_preserves_order_and_calls_pred_once(self):
+        q = BoundedQueue(8)
+        jobs = [_job(i) for i in range(5)]
+        for j in jobs:
+            q.offer(j)
+        seen = []
+        out = q.extract(lambda j: (seen.append(j.id), j.id % 2 == 0)[1])
+        assert [j.id for j in out] == [0, 2, 4]
+        assert [j.id for j in q] == [1, 3]
+        assert seen == [0, 1, 2, 3, 4]              # exactly once, in order
+
+
+# ---------------------------------------------------------------------------
+# regression: the deadline expiry boundary (>= in dispatch AND retry)
+# ---------------------------------------------------------------------------
+
+class TestDeadlineBoundary:
+    def _completion_time(self, g):
+        """When one cold solve of *g* completes on a fresh service."""
+        probe = SccService(workers=1, cache_enabled=False,
+                           coalesce_enabled=False)
+        probe.register_graph("g0", g)
+        job = probe.submit(JobSpec("t", JobKind.SOLVE, "g0"))
+        probe.run()
+        return job.finish_s
+
+    def test_dispatch_at_exact_deadline_expires(self):
+        g = cycle_graph(32)
+        t1 = self._completion_time(g)
+        svc = SccService(workers=1, queue_capacity=8,
+                         cache_enabled=False, coalesce_enabled=False)
+        svc.register_graph("g0", g)
+        svc.submit(JobSpec("t", JobKind.SOLVE, "g0"))
+        # dequeued exactly when the worker frees at t1 == its deadline:
+        # a job at its deadline is expired, not dispatched
+        late = svc.submit(JobSpec("t", JobKind.SOLVE, "g0", deadline_s=t1))
+        svc.run()
+        assert late.state is JobState.DEAD_LETTER
+        assert late.reason == "deadline"
+        assert svc.metrics["deadline_expired"] == 1
+
+    def test_retry_landing_at_exact_deadline_expires(self, monkeypatch):
+        from repro.faults.plan import FaultPlan
+        from repro.serve import service as service_mod
+
+        g = cycle_graph(32)
+        plan = FaultPlan(worker_crash_rate=1.0, max_retries=3)
+        # pin the backoff so retry_at is exactly computable
+        wait = 1e-4
+        monkeypatch.setattr(service_mod, "backoff_seconds",
+                            lambda *a, **k: wait)
+        # probe run: when does the (always-crashing) first attempt end?
+        probe = SccService(workers=1, faults=plan, cache_enabled=False,
+                           coalesce_enabled=False)
+        probe.register_graph("g0", g)
+        pj = probe.submit(JobSpec("t", JobKind.SOLVE, "g0"))
+        probe.run()
+        d = pj.attempts_detail[0]
+        t_crash = d["t_dispatch"] + d["service_s"] + d["delay_s"]
+        # same seed => same crash draw; deadline exactly at retry_at
+        svc = SccService(workers=1, faults=plan, cache_enabled=False,
+                         coalesce_enabled=False)
+        svc.register_graph("g0", g)
+        job = svc.submit(JobSpec("t", JobKind.SOLVE, "g0",
+                                 deadline_s=t_crash + wait))
+        svc.run()
+        # a retry landing exactly at the deadline is dead on arrival:
+        # it must be dead-lettered *now*, not scheduled and re-judged
+        assert job.state is JobState.DEAD_LETTER
+        assert job.reason == "deadline"
+        assert svc.metrics["retries"] == 0
+        assert not any(dec["decision"] == "retry-scheduled"
+                       for dec in job.decisions)
+
+
+# ---------------------------------------------------------------------------
+# end to end: the short-circuit layer (cache + coalescing)
+# ---------------------------------------------------------------------------
+
+class TestShortCircuitLayer:
+    def test_cache_hit_serves_repeat_solve_free(self):
+        g = scc_ladder(8)
+        svc = SccService(workers=1, queue_capacity=8)
+        svc.register_graph("main", g)
+        first = svc.submit(JobSpec("alice", JobKind.SOLVE, "main"), at=0.0)
+        svc.run()                                   # first completes, cached
+        hit = svc.submit(JobSpec("bob", JobKind.SOLVE, "main"),
+                         at=first.finish_s + 1.0)
+        svc.run()
+        assert hit.state is JobState.DONE
+        assert np.array_equal(hit.result.labels, first.result.labels)
+        assert svc.metrics["cache_hits"] == 1
+        assert svc.metrics["dispatched"] == 1       # the hit used no worker
+        # zero device cost: bob was never charged
+        assert "bob" not in svc.ledger.snapshot()
+        # the artifact records the hit
+        assert hit.attempts_detail[-1]["cache_hit"] is True
+        assert any(d["decision"] == "cache_hit" for d in hit.decisions)
+
+    def test_coalesced_reads_split_the_charge_evenly(self):
+        g = scc_ladder(8)
+        svc = SccService(workers=1, queue_capacity=8)
+        svc.register_graph("main", g)
+        tenants = ["a", "b", "c"]
+        jobs = [svc.submit(JobSpec(t, JobKind.SOLVE, "main"), at=0.0)
+                for t in tenants]
+        svc.run()
+        assert all(j.state is JobState.DONE for j in jobs)
+        assert svc.metrics["dispatched"] == 1
+        assert svc.metrics["coalesced_reads"] == 2
+        expected = solve(g).labels
+        for j in jobs:
+            assert np.array_equal(j.result.labels, expected)
+        spent = svc.ledger.snapshot()
+        # the one execution's charge split three ways, evenly
+        assert spent["a"]["model_seconds"] == pytest.approx(
+            spent["b"]["model_seconds"]) and spent["b"]["model_seconds"] == \
+            pytest.approx(spent["c"]["model_seconds"])
+        assert spent["a"]["model_seconds"] > 0
+
+    def test_update_commit_invalidates_cache(self):
+        g = cycle_graph(16)
+        svc = SccService(workers=1, queue_capacity=8)
+        svc.register_graph("g0", g)
+        s1 = svc.submit(JobSpec("t", JobKind.SOLVE, "g0"), at=0.0)
+        svc.run()
+        assert len(svc.cache) == 1
+        # break the cycle: the committed update must drop the entry
+        svc.submit(JobSpec("t", JobKind.UPDATE, "g0",
+                           delete_edges=([0], [1])), at=s1.finish_s + 1.0)
+        svc.run()
+        assert svc.cache.stats.invalidations == 1
+        q = svc.submit(JobSpec("t", JobKind.QUERY, "g0"), at=1.0)
+        svc.run()
+        cold = solve(svc.graph_handle("g0").graph())
+        assert np.array_equal(q.result.labels, cold.labels)
+        assert q.result.num_sccs == 16              # cycle fully split
+
+    def test_consecutive_updates_merge_into_one_apply(self):
+        svc = SccService(workers=1, queue_capacity=16, merge_updates=4)
+        svc.register_graph("big", cycle_graph(64))   # occupies the worker
+        svc.register_graph("g1", cycle_graph(8))
+        svc.submit(JobSpec("t", JobKind.SOLVE, "big"), at=0.0)
+        ups = [
+            svc.submit(JobSpec("t", JobKind.UPDATE, "g1",
+                               insert_edges=([i], [(i + 3) % 8])),
+                       at=1e-9 * (i + 1))
+            for i in range(3)
+        ]
+        svc.run()
+        assert all(u.state is JobState.DONE for u in ups)
+        assert svc.metrics["coalesced_updates"] == 2
+        # one merged apply: insertions only => generation advanced once
+        assert svc.graph_handle("g1").generation == 1
+        gens = [u.attempts_detail[-1]["generation"] for u in ups]
+        assert gens == [1, 1, 1]                     # shared final generation
+        idx = [u.attempts_detail[-1].get("merge_index") for u in ups]
+        assert idx == [0, 1, 2]                      # leader first, in order
+        cold = solve(svc.graph_handle("g1").graph())
+        q = svc.submit(JobSpec("t", JobKind.QUERY, "g1"), at=1.0)
+        svc.run()
+        assert np.array_equal(q.result.labels, cold.labels)
+
+    def test_merge_stops_at_interleaved_read(self):
+        svc = SccService(workers=1, queue_capacity=16)
+        svc.register_graph("big", cycle_graph(64))
+        svc.register_graph("g1", cycle_graph(8))
+        svc.submit(JobSpec("t", JobKind.SOLVE, "big"), at=0.0)
+        u1 = svc.submit(JobSpec("t", JobKind.UPDATE, "g1",
+                                insert_edges=([0], [3])), at=1e-9)
+        q = svc.submit(JobSpec("t", JobKind.QUERY, "g1"), at=2e-9)
+        u2 = svc.submit(JobSpec("t", JobKind.UPDATE, "g1",
+                                insert_edges=([1], [4])), at=3e-9)
+        svc.run()
+        # program order per graph: u2 may not commit past the query
+        assert svc.metrics["coalesced_updates"] == 0
+        assert all(j.state is JobState.DONE for j in (u1, q, u2))
+        gen_q = q.attempts_detail[-1]["generation"]
+        assert _fg(u1) <= gen_q < _fg(u2)
+
+    def test_merge_respects_delete_insert_overlap(self):
+        svc = SccService(workers=1, queue_capacity=16)
+        svc.register_graph("big", cycle_graph(64))
+        svc.register_graph("g1", cycle_graph(8))
+        svc.submit(JobSpec("t", JobKind.SOLVE, "big"), at=0.0)
+        u1 = svc.submit(JobSpec("t", JobKind.UPDATE, "g1",
+                                insert_edges=([0], [3])), at=1e-9)
+        # u2 deletes the edge u1 inserts: merging would break apply's
+        # delete-before-insert phase order, so it must not merge
+        u2 = svc.submit(JobSpec("t", JobKind.UPDATE, "g1",
+                                delete_edges=([0], [3])), at=2e-9)
+        svc.run()
+        assert svc.metrics["coalesced_updates"] == 0
+        assert u1.state is JobState.DONE and u2.state is JobState.DONE
+        assert _fg(u1) < _fg(u2)                    # committed sequentially
+        cold = solve(svc.graph_handle("g1").graph())
+        assert cold.num_sccs == 1                   # net effect: ring intact
+
+    def test_leader_crash_requeues_followers_without_partial_commit(self):
+        from repro.faults.plan import FaultPlan
+
+        plan = FaultPlan(worker_crash_rate=1.0, max_retries=1)
+        svc = SccService(workers=1, queue_capacity=16, faults=plan,
+                         breakers_enabled=False)
+        svc.register_graph("big", cycle_graph(64))
+        svc.register_graph("g1", cycle_graph(8))
+        svc.submit(JobSpec("t", JobKind.SOLVE, "big"), at=0.0)
+        ups = [
+            svc.submit(JobSpec("t", JobKind.UPDATE, "g1",
+                               insert_edges=([i], [(i + 3) % 8])),
+                       at=1e-9 * (i + 1))
+            for i in range(3)
+        ]
+        svc.run()
+        # every dispatch crashes: followers were requeued (at least
+        # once), every job still reached exactly one terminal state
+        assert svc.metrics["coalesce_requeued"] >= 1
+        assert all(u.terminal for u in ups)
+        assert all(u.state is JobState.DEAD_LETTER for u in ups)
+        # crash-restore left no partial commit behind
+        assert svc.graph_handle("g1").generation == 0
+        assert solve(svc.graph_handle("g1").graph()).num_sccs == 1
+
+    def test_follower_past_leader_deadline_is_not_attached(self):
+        g = cycle_graph(64)
+        svc = SccService(workers=1, queue_capacity=8)
+        svc.register_graph("g0", g)
+        first = svc.submit(JobSpec("t", JobKind.SOLVE, "g0"))
+        # its deadline expires long before the in-flight leader
+        # completes: attaching would knowingly deliver a dead result
+        late = svc.submit(JobSpec("t", JobKind.SOLVE, "g0",
+                                  deadline_s=1e-12))
+        svc.run()
+        assert first.state is JobState.DONE
+        assert late.state is JobState.DEAD_LETTER
+        assert late.reason == "deadline"
+        assert svc.metrics["coalesced_reads"] == 0
+
+    def test_shed_record_carries_queue_wait(self):
+        svc = SccService(workers=1, wip_limit=1, queue_capacity=1,
+                         shed_policy=ShedPolicy.DROP_OLDEST,
+                         cache_enabled=False, coalesce_enabled=False)
+        svc.register_graph("g0", cycle_graph(32))
+        for i in range(4):
+            svc.submit(JobSpec("t", JobKind.SOLVE, "g0"), at=1e-7 * i)
+        report = svc.run()
+        shed = [j for j in report.jobs if j.state is JobState.SHED]
+        assert shed
+        for j in shed:
+            d = next(dec for dec in j.decisions if dec["decision"] == "shed")
+            assert d["waited_s"] >= 0.0
+            assert d["waited_s"] == pytest.approx(j.finish_s - j.queued_at)
+        assert report.metrics.gauges["shed_wait_s_total"] >= 0.0
+
+    def test_disabled_layer_is_inert(self):
+        g = scc_ladder(8)
+        svc = SccService(workers=2, queue_capacity=8,
+                         cache_enabled=False, coalesce_enabled=False)
+        svc.register_graph("main", g)
+        for i in range(4):
+            svc.submit(JobSpec("t", JobKind.SOLVE, "main"), at=0.001 * i)
+        report = svc.run()
+        assert report.by_state() == {"done": 4}
+        assert svc.metrics["dispatched"] == 4       # nothing short-circuited
+        assert svc.metrics["cache_hits"] == 0
+        assert svc.metrics["coalesced_reads"] == 0
+        assert report.cache is None
+
+
+def _fg(job):
+    """Final committed generation of a DONE job (test helper)."""
+    for d in reversed(job.attempts_detail):
+        if "generation" in d:
+            return d["generation"]
+    return 0
