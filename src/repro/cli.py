@@ -1337,6 +1337,125 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _obs_run(args: argparse.Namespace):
+    """One observed serve run: ``(row, recorder)`` for the obs modes."""
+    from .obs import ObsRecorder
+    from .serve.bench import run_serve_bench
+
+    plan = _chaos_plan(args) if args.plan else None
+    scenario = args.scenario if plan is None else f"{args.scenario}+{args.plan}"
+    cfg = _serve_config(args, scenario, plan)
+    obs = ObsRecorder(growth=args.growth)
+    row = run_serve_bench(cfg, obs=obs)
+    return row, obs
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """The observability pipeline over one serve run.
+
+    ``report`` prints the over-time digest (latency quantiles with
+    their error bound, per-phase decomposition, sampled series);
+    ``export`` writes the Chrome-trace/Perfetto ``trace.json`` (and,
+    with ``--jsonl``, the schema-v3 trace with ``sample``/``timeline``
+    lines); ``slo`` judges a declarative SLO spec against the run and
+    exits nonzero on a violated objective — the ``obs-slo`` CI gate.
+    """
+    import json as _json
+
+    row, obs = _obs_run(args)
+    report = obs.report
+
+    if args.mode == "slo":
+        from .obs import SLOSpec, evaluate_slo
+
+        if not args.spec:
+            raise SystemExit("obs slo needs --spec SLO_JSON")
+        spec = SLOSpec.from_json(Path(args.spec).read_text())
+        outcome = evaluate_slo(spec, report)
+        print(f"SLO spec {spec.name!r} over {row['graph']}"
+              f" (seed {args.seed}):")
+        for r in outcome.results:
+            o = r.objective
+            what = (
+                f"latency <= {o.threshold_ms:g}ms" if o.kind == "latency"
+                else "availability"
+            )
+            verdict = "ok" if r.ok else "VIOLATED"
+            print(
+                f"  {o.name:<20s} {what:<24s} target={o.target:.3%}"
+                f" bad={r.bad}/{r.population}"
+                f" budget={r.budget_consumed:6.1%}  {verdict}"
+            )
+            for alert in r.alerts:
+                rate = alert["burn_rate"]
+                rate_s = f" burn x{rate:.1f}" if rate is not None else ""
+                print(f"    alert t={alert['t']:.4f}s"
+                      f" {alert['type']}{rate_s} (bad={alert['bad']})")
+        if args.json:
+            Path(args.json).write_text(
+                _json.dumps(outcome.as_dict(), indent=2, sort_keys=True)
+                + "\n"
+            )
+            print(f"written to {args.json}")
+        print(f"obs-slo gate: {'pass' if outcome.ok else 'FAIL'}")
+        return 0 if outcome.ok else 1
+
+    if args.mode == "export":
+        from .obs import dump_perfetto
+
+        out = args.out or "trace.json"
+        obj = dump_perfetto(report, out, recorder=obs)
+        print(
+            f"perfetto trace written to {out}:"
+            f" {len(obj['traceEvents'])} events over"
+            f" {report.makespan_s:.4f}s simulated"
+            f" ({len(report.jobs)} jobs, {len(obs.timelines)} timelines,"
+            f" {len(obs.registry)} samples)"
+        )
+        if args.jsonl:
+            from .trace import Trace
+
+            trace = obs.to_trace(Trace(meta={"scenario": row["graph"],
+                                             "seed": args.seed}))
+            trace.to_jsonl(args.jsonl)
+            print(f"schema-v{trace.schema} trace written to {args.jsonl}"
+                  f" ({len(trace.samples)} sample lines,"
+                  f" {len(trace.timelines)} timeline lines)")
+        return 0
+
+    # report
+    _print_serve_row(row)
+    q = obs.quantiles_ms(0.5, 0.9, 0.99, 0.999)
+    err = obs.latency_hist.quantile_error
+    parts = ", ".join(
+        f"{name}={v:.4f}ms" for name, v in q.items() if v is not None
+    )
+    print(f"  latency ({obs.latency_hist.total} done): {parts}"
+          f"  (rel err <= {err:.2%})")
+    print("  phase decomposition (seconds in phase, across all jobs):")
+    for phase in sorted(obs.phase_hists):
+        h = obs.phase_hists[phase]
+        p50 = h.quantile(0.5)
+        p99 = h.quantile(0.99)
+        print(f"    {phase:<12s} n={h.total:4d}"
+              f" p50={p50 * 1e3:9.4f}ms p99={p99 * 1e3:9.4f}ms"
+              f" max={h.max * 1e3:9.4f}ms")
+    print(f"  series sampled on the simulated clock"
+          f" ({len(obs.registry)} points):")
+    for name in obs.registry.names():
+        samples = obs.registry.series(name)
+        peak = obs.registry.peak(name)
+        print(f"    {name:<28s} {obs.registry.kind_of(name):<8s}"
+              f" points={len(samples):4d} peak={peak:g}")
+    if args.json:
+        Path(args.json).write_text(
+            _json.dumps(obs.summary(), indent=2, sort_keys=True,
+                        default=str) + "\n"
+        )
+        print(f"written to {args.json}")
+    return 0
+
+
 def _cmd_devices(_args: argparse.Namespace) -> int:
     from .device import ALL_DEVICES
 
@@ -1662,6 +1781,59 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=list(ENGINE_NAMES),
                    help=f"data-plane Phase-2 engine: {engine_list}")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "obs", parents=[common],
+        help="observability pipeline: time series, timelines, Perfetto"
+        " export, SLO gate over a serve run",
+    )
+    p.add_argument(
+        "mode", nargs="?", default="report",
+        choices=["report", "export", "slo"],
+        help="'report': over-time digest; 'export': Chrome-trace"
+        " trace.json for ui.perfetto.dev; 'slo': judge --spec and exit"
+        " nonzero on violation (the obs-slo CI gate)",
+    )
+    p.add_argument("--scenario", default="zipf-clean",
+                   help="scenario label for the observed run"
+                   " (default zipf-clean)")
+    p.add_argument("--plan", default=None,
+                   help="optional fault plan: preset name or FaultPlan"
+                   " JSON file")
+    p.add_argument("--spec", default=None,
+                   help="(slo) SLO spec JSON (objectives + burn-rate"
+                   " alert policy)")
+    p.add_argument("--out", default=None,
+                   help="(export) Perfetto trace path (default"
+                   " trace.json)")
+    p.add_argument("--jsonl", default=None,
+                   help="(export) also write the schema-v3 JSONL trace"
+                   " with sample/timeline lines")
+    p.add_argument("--growth", type=float, default=1.04,
+                   help="histogram bucket growth factor; quantile"
+                   " relative error is sqrt(growth)-1 (default 1.04)")
+    p.add_argument("--jobs", type=int, default=60,
+                   help="jobs in the generated workload (default 60)")
+    p.add_argument("--graphs", type=int, default=4,
+                   help="named graphs in the Zipf world (default 4)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="worker pool size (default 2)")
+    p.add_argument("--queue", type=int, default=8,
+                   help="bounded run-queue capacity (default 8)")
+    p.add_argument("--utilization", type=float, default=1.5,
+                   help="open-loop arrival rate multiple (default 1.5)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the generation-keyed solve cache")
+    p.add_argument("--no-coalesce", action="store_true",
+                   help="disable request coalescing")
+    p.add_argument("--json", default=None,
+                   help="write the mode's JSON document to this file")
+    p.add_argument("--backend", default=None, choices=_backend_choices(),
+                   help="engine accounting backend (default: dense)")
+    p.add_argument("--engine", default=None,
+                   choices=list(ENGINE_NAMES),
+                   help=f"data-plane Phase-2 engine: {engine_list}")
+    p.set_defaults(func=_cmd_obs)
 
     p = sub.add_parser("distributed", parents=[common], help="BSP cluster run: ECL vs FB-Trim")
     p.add_argument("graph")

@@ -1,0 +1,206 @@
+"""The observer that turns a live service run into observability data.
+
+:class:`ObsRecorder` plugs into ``SccService(observer=...)``.  The
+service calls :meth:`on_event` after every simulated event it
+processes; the recorder samples the control plane's state onto a
+:class:`~repro.obs.timeseries.SeriesRegistry` (change-driven step
+series, so flat stretches cost nothing), streams terminal-job
+latencies into :class:`~repro.obs.timeseries.StreamingHistogram`
+sketches, and folds each newly-terminal job's decision history into a
+:class:`~repro.obs.timeline.JobTimeline`.
+
+The coupling is duck-typed on purpose: ``repro.serve`` never imports
+``repro.obs`` — any object with an ``on_event(service)`` method works
+as an observer, and the recorder only touches public service surface
+(``now``, ``queue``, ``pool``, ``metrics``, ``cache``, ``ledger``,
+``jobs``, ``breaker_for``'s backing table).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from .timeline import JobTimeline, job_timeline
+from .timeseries import SeriesRegistry, StreamingHistogram
+
+__all__ = ["ObsRecorder", "BREAKER_STATE_LEVELS"]
+
+#: gauge encoding of circuit-breaker states (closed is healthy/low).
+BREAKER_STATE_LEVELS = {"closed": 0.0, "half-open": 1.0, "open": 2.0}
+
+#: cumulative service counters worth a time series (the rest stay
+#: visible as run totals in ``ServiceMetrics``).
+_SAMPLED_COUNTERS = (
+    "submitted",
+    "admitted",
+    "dispatched",
+    "completed",
+    "crashed",
+    "retries",
+    "shed_backpressure",
+    "shed_breaker",
+    "dead_letter",
+    "cache_hits",
+    "coalesced_reads",
+)
+
+
+class ObsRecorder:
+    """Samples an :class:`~repro.serve.service.SccService` as it runs.
+
+    Parameters
+    ----------
+    growth:
+        Bucket growth factor of the latency histograms; the reported
+        quantiles have relative error at most ``sqrt(growth) - 1``.
+    """
+
+    def __init__(self, *, growth: float = 1.04) -> None:
+        self.registry = SeriesRegistry()
+        #: DONE-job end-to-end latency, seconds
+        self.latency_hist = StreamingHistogram(growth)
+        #: per-phase dwell time across all terminal jobs, seconds
+        self.phase_hists: "dict[str, StreamingHistogram]" = {}
+        self.timelines: "list[JobTimeline]" = []
+        self.report: Any = None
+        self._growth = growth
+        self._pending: "dict[int, Any]" = {}
+        self._jobs_cursor = 0
+        self.events_observed = 0
+
+    # ------------------------------------------------------------------
+    # service hook
+    # ------------------------------------------------------------------
+    def on_event(self, service: Any) -> None:
+        """Called by the service after each simulated event."""
+        self.events_observed += 1
+        now = service.now
+        reg = self.registry
+        self._gauge_changed("queue_depth", now, float(len(service.queue)))
+        self._gauge_changed("wip_in_flight", now, float(service.pool.in_flight))
+
+        counters = service.metrics.counters
+        for name in _SAMPLED_COUNTERS:
+            value = float(counters.get(name, 0))
+            last = reg.last(f"metric:{name}")
+            if last is None or last.value != value:
+                reg.counter(f"metric:{name}", now, value)
+
+        cache = service.cache
+        if cache is not None:
+            hits = cache.stats.hits
+            misses = cache.stats.misses
+            lookups = hits + misses
+            if lookups:
+                self._gauge_changed("cache_hit_rate", now, hits / lookups)
+            self._gauge_changed("cache_bytes", now, float(cache.bytes))
+
+        for workload, breaker in sorted(service._breakers.items()):
+            level = BREAKER_STATE_LEVELS[breaker.state.value]
+            self._gauge_changed(f"breaker:{workload}", now, level)
+
+        ledger = service.ledger
+        for tenant, spent in ledger.snapshot().items():
+            limit = ledger.budget_of(tenant).model_seconds
+            if math.isfinite(limit) and limit > 0:
+                self._gauge_changed(
+                    f"budget_util:{tenant}", now,
+                    spent["model_seconds"] / limit,
+                )
+
+        self._sweep_jobs(service)
+
+    def _gauge_changed(self, series: str, t: float, value: float) -> None:
+        """Record a gauge point only when the level actually moved."""
+        last = self.registry.last(series)
+        if last is None or last.value != value:
+            self.registry.gauge(series, t, value)
+
+    def _sweep_jobs(self, service: Any) -> None:
+        jobs = service.jobs
+        while self._jobs_cursor < len(jobs):
+            job = jobs[self._jobs_cursor]
+            self._pending[job.id] = job
+            self._jobs_cursor += 1
+        finished = [j for j in self._pending.values() if j.terminal]
+        for job in finished:
+            del self._pending[job.id]
+            self._on_terminal(job)
+
+    def _on_terminal(self, job: Any) -> None:
+        tl = job_timeline(job)
+        self.timelines.append(tl)
+        if str(job.state) == "done":
+            self.latency_hist.observe(job.latency_s)
+        for phase, seconds in tl.by_phase().items():
+            hist = self.phase_hists.get(phase)
+            if hist is None:
+                hist = self.phase_hists[phase] = StreamingHistogram(self._growth)
+            hist.observe(seconds)
+
+    # ------------------------------------------------------------------
+    # end of run
+    # ------------------------------------------------------------------
+    def finalize(self, report: Any) -> "ObsRecorder":
+        """Attach the finished run's :class:`ServiceReport`."""
+        self.report = report
+        return self
+
+    def quantiles_ms(self, *qs: float) -> "dict[str, float | None]":
+        """DONE-latency quantiles in milliseconds, keyed ``p50``-style."""
+        out: "dict[str, float | None]" = {}
+        for q in qs:
+            v = self.latency_hist.quantile(q)
+            key = f"p{q * 100:g}".replace(".", "")
+            out[key] = None if v is None else v * 1e3
+        return out
+
+    def summary(self) -> "dict[str, Any]":
+        """JSON-safe digest: series, histograms, timelines, run totals."""
+        phases: "dict[str, Any]" = {}
+        for name in sorted(self.phase_hists):
+            hist = self.phase_hists[name]
+            phases[name] = {
+                "total": hist.total,
+                "p50_s": hist.quantile(0.5),
+                "p99_s": hist.quantile(0.99),
+                "max_s": hist.max,
+            }
+        out: "dict[str, Any]" = {
+            "events_observed": self.events_observed,
+            "series": self.registry.as_dict(),
+            "latency_hist": self.latency_hist.as_dict(),
+            "latency_ms": self.quantiles_ms(0.5, 0.99, 0.999),
+            "quantile_error": self.latency_hist.quantile_error,
+            "phases": phases,
+            "timelines": [tl.as_dict() for tl in self.timelines],
+        }
+        if self.report is not None:
+            out["makespan_s"] = self.report.makespan_s
+            out["by_state"] = self.report.by_state()
+        return out
+
+    def to_trace(self, trace: Any) -> Any:
+        """Append samples + timelines to a ``repro.trace.Trace`` (v3)."""
+        from repro.trace.records import SampleRecord, TimelineRecord
+
+        for s in self.registry.samples:
+            trace.samples.append(
+                SampleRecord(series=s.series, kind=s.kind, t=s.t, value=s.value)
+            )
+        for tl in self.timelines:
+            trace.timelines.append(
+                TimelineRecord(
+                    job_id=tl.job_id,
+                    tenant=tl.tenant,
+                    workload=tl.workload,
+                    state=tl.state,
+                    submit_s=tl.submit_s,
+                    finish_s=tl.finish_s,
+                    segments=tuple(
+                        (seg.phase, seg.t0, seg.t1) for seg in tl.segments
+                    ),
+                )
+            )
+        return trace

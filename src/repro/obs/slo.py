@@ -1,0 +1,267 @@
+"""Declarative SLOs over simulated time, with error-budget burn alerts.
+
+An :class:`SLObjective` states a promise about a serve run:
+
+* ``latency``     — at least ``target`` of completed (DONE) jobs finish
+  within ``threshold_ms`` end-to-end.
+* ``availability`` — at least ``target`` of admitted jobs (everything
+  except budget-REJECTED submissions) reach DONE.
+
+Each objective carries an **error budget**: with population *n*, at
+most ``(1 - target) * n`` jobs may be *bad* before the objective is
+violated.  :func:`evaluate_slo` replays the run's terminal events in
+simulated-time order, charges each bad job against the budget, emits a
+``burn`` alert whenever the budget consumption rate over a sliding
+window exceeds ``alert_burn_rate`` (the classic multi-window burn-rate
+alarm, here on the simulated clock), and an ``exhausted`` alert the
+moment the budget runs out.  A spec fails — and the ``obs-slo`` CI
+gate exits nonzero — iff any objective ends the run violated.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "SLObjective",
+    "SLOSpec",
+    "ObjectiveResult",
+    "SLOReport",
+    "evaluate_slo",
+]
+
+_KINDS = ("latency", "availability")
+
+
+@dataclass(frozen=True)
+class SLObjective:
+    """One promise: ``kind`` with success ratio ``target``.
+
+    ``threshold_ms`` is required for ``latency`` objectives (what
+    counts as fast enough) and ignored for ``availability``.
+    """
+
+    name: str
+    kind: str
+    target: float
+    threshold_ms: "float | None" = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"objective {self.name!r}: kind must be one of {_KINDS},"
+                f" got {self.kind!r}"
+            )
+        if not 0.0 < self.target <= 1.0:
+            raise ValueError(
+                f"objective {self.name!r}: target must be in (0, 1],"
+                f" got {self.target}"
+            )
+        if self.kind == "latency" and self.threshold_ms is None:
+            raise ValueError(
+                f"latency objective {self.name!r} needs threshold_ms"
+            )
+
+    def as_dict(self) -> "dict[str, Any]":
+        out: "dict[str, Any]" = {
+            "name": self.name, "kind": self.kind, "target": self.target,
+        }
+        if self.threshold_ms is not None:
+            out["threshold_ms"] = self.threshold_ms
+        return out
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """A named set of objectives, serializable to/from JSON."""
+
+    name: str
+    objectives: "tuple[SLObjective, ...]"
+    #: burn alert fires when the sliding-window burn rate (budget
+    #: consumed per window, normalized so 1.0 = "exactly on track to
+    #: spend the whole budget over the run") exceeds this.
+    alert_burn_rate: float = 4.0
+    #: sliding window as a fraction of the run's makespan.
+    window_frac: float = 0.125
+
+    def __post_init__(self) -> None:
+        if not self.objectives:
+            raise ValueError(f"spec {self.name!r} has no objectives")
+        if self.alert_burn_rate <= 0:
+            raise ValueError("alert_burn_rate must be > 0")
+        if not 0.0 < self.window_frac <= 1.0:
+            raise ValueError("window_frac must be in (0, 1]")
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "name": self.name,
+                "alert_burn_rate": self.alert_burn_rate,
+                "window_frac": self.window_frac,
+                "objectives": [o.as_dict() for o in self.objectives],
+            },
+            indent=2,
+        ) + "\n"
+
+    @classmethod
+    def from_dict(cls, data: "dict[str, Any]") -> "SLOSpec":
+        return cls(
+            name=data["name"],
+            alert_burn_rate=float(data.get("alert_burn_rate", 4.0)),
+            window_frac=float(data.get("window_frac", 0.125)),
+            objectives=tuple(
+                SLObjective(
+                    name=o["name"],
+                    kind=o["kind"],
+                    target=float(o["target"]),
+                    threshold_ms=(
+                        float(o["threshold_ms"])
+                        if o.get("threshold_ms") is not None else None
+                    ),
+                )
+                for o in data["objectives"]
+            ),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "SLOSpec":
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass
+class ObjectiveResult:
+    """One objective's outcome over a run."""
+
+    objective: SLObjective
+    population: int
+    bad: int
+    allowed_bad: float
+    #: fraction of the error budget consumed (may exceed 1.0)
+    budget_consumed: float
+    ok: bool
+    #: ``{"t", "type" ("burn"|"exhausted"), "burn_rate", "bad"}`` events
+    alerts: "list[dict]" = field(default_factory=list)
+
+    def as_dict(self) -> "dict[str, Any]":
+        return {
+            "objective": self.objective.as_dict(),
+            "population": self.population,
+            "bad": self.bad,
+            "allowed_bad": self.allowed_bad,
+            "budget_consumed": self.budget_consumed,
+            "ok": self.ok,
+            "alerts": list(self.alerts),
+        }
+
+
+@dataclass
+class SLOReport:
+    """All objectives' outcomes; ``ok`` iff every objective held."""
+
+    spec_name: str
+    makespan_s: float
+    results: "list[ObjectiveResult]"
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    def as_dict(self) -> "dict[str, Any]":
+        return {
+            "spec": self.spec_name,
+            "makespan_s": self.makespan_s,
+            "ok": self.ok,
+            "results": [r.as_dict() for r in self.results],
+        }
+
+
+def _bad_events(objective: SLObjective, artifacts: "list[dict]"):
+    """``(population, [(t_terminal, is_bad), ...])`` for one objective."""
+    events: "list[tuple[float, bool]]" = []
+    for art in artifacts:
+        state = art["state"]
+        if objective.kind == "latency":
+            if state != "done":
+                continue
+            bad = art["latency_s"] * 1e3 > objective.threshold_ms
+        else:  # availability
+            if state == "rejected":
+                continue  # budget rejections are the tenant's doing
+            bad = state != "done"
+        events.append((art["finish_s"], bad))
+    events.sort(key=lambda e: e[0])
+    return len(events), events
+
+
+def evaluate_slo(spec: SLOSpec, report: Any) -> SLOReport:
+    """Judge every objective in *spec* against a finished serve run.
+
+    *report* is a :class:`~repro.serve.service.ServiceReport` or its
+    ``to_dict()`` form.
+    """
+    data = report if isinstance(report, dict) else report.to_dict()
+    artifacts = data["jobs"]
+    makespan = float(data["makespan_s"])
+    window = max(spec.window_frac * makespan, 1e-12)
+
+    results: "list[ObjectiveResult]" = []
+    for objective in spec.objectives:
+        population, events = _bad_events(objective, artifacts)
+        allowed = (1.0 - objective.target) * population
+        bad_times = [t for t, bad in events if bad]
+        bad = len(bad_times)
+
+        alerts: "list[dict]" = []
+        if allowed > 0 and makespan > 0:
+            # normalized burn rate: fraction of budget consumed in the
+            # window, divided by the window's share of the run.  1.0 =
+            # spending the budget exactly over the full run.
+            exhausted_at: "float | None" = None
+            alarming = False
+            lo = 0
+            for i, t in enumerate(bad_times):
+                while bad_times[lo] < t - window:
+                    lo += 1
+                in_window = i - lo + 1
+                rate = (in_window / allowed) / (window / makespan)
+                if rate > spec.alert_burn_rate:
+                    if not alarming:  # rising edge only
+                        alerts.append({
+                            "t": t, "type": "burn",
+                            "burn_rate": rate, "bad": i + 1,
+                        })
+                    alarming = True
+                else:
+                    alarming = False
+                if exhausted_at is None and i + 1 > allowed:
+                    exhausted_at = t
+            if exhausted_at is not None:
+                alerts.append({
+                    "t": exhausted_at, "type": "exhausted",
+                    "burn_rate": None, "bad": bad,
+                })
+        elif bad:
+            # zero budget (target == 1.0 or empty population): any bad
+            # job exhausts it immediately
+            alerts.append({
+                "t": bad_times[0], "type": "exhausted",
+                "burn_rate": None, "bad": bad,
+            })
+
+        results.append(ObjectiveResult(
+            objective=objective,
+            population=population,
+            bad=bad,
+            allowed_bad=allowed,
+            budget_consumed=(bad / allowed) if allowed > 0 else (
+                0.0 if bad == 0 else float("inf")
+            ),
+            ok=bad <= allowed,
+            alerts=alerts,
+        ))
+
+    return SLOReport(
+        spec_name=spec.name, makespan_s=makespan, results=results,
+    )

@@ -1,0 +1,194 @@
+"""Per-job lifecycle timelines: decompose latency into phase segments.
+
+Every :class:`~repro.serve.jobs.Job` already carries its full decision
+history (``job.decisions``: timestamped control-plane decisions from
+submit to terminal).  This module folds that history into a
+:class:`JobTimeline` — an ordered, non-overlapping, **contiguous**
+sequence of named phase segments:
+
+    SUBMIT → admission → queued → execute → (backoff → admission →
+    queued → execute)* → finalize → TERMINAL
+
+Exactness is structural, not arithmetic: consecutive segments *share*
+their breakpoint floats (``seg[i].t1 is seg[i+1].t0`` bit-for-bit), the
+first segment starts at ``submit_s`` and the last ends at ``finish_s``.
+So the decomposition "sums" to the end-to-end latency exactly — there
+is no telescoping float error to accumulate, because nothing is summed
+to verify it: the endpoints are the latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["PHASE_OF_DECISION", "Segment", "JobTimeline", "job_timeline"]
+
+#: Phase the job is in *after* each control-plane decision.  Terminal
+#: decisions (``done``/``rejected``/``shed``/``dead-letter`` written by
+#: ``Job.finish``) end the timeline and contribute no segment.
+PHASE_OF_DECISION = {
+    "submit": "admission",            # arrival -> admission verdict
+    "reject-budget": "finalize",
+    "admit": "queued",
+    "retry": "admission",             # re-entering admission after backoff
+    "dispatch": "execute",
+    "crash": "crashed",               # zero-width marker before backoff
+    "retry-scheduled": "backoff",
+    "cache_hit": "finalize",
+    "coalesce_attach": "coalesced",   # riding on a leader's execution
+    "coalesce_merge": "finalize",
+    "coalesce_requeue": "queued",
+    "complete": "finalize",
+    "shed": "finalize",
+    "dead-letter": "finalize",
+    "done": "finalize",
+    "rejected": "finalize",
+}
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One contiguous phase of a job's life, ``[t0, t1]`` simulated s."""
+
+    phase: str
+    t0: float
+    t1: float
+
+    def __post_init__(self) -> None:
+        if self.t1 < self.t0:
+            raise ValueError(
+                f"segment {self.phase} runs backwards"
+                f" ({self.t0} -> {self.t1})"
+            )
+
+    @property
+    def duration_s(self) -> float:
+        return self.t1 - self.t0
+
+    def as_dict(self) -> "dict[str, Any]":
+        return {"phase": self.phase, "t0": self.t0, "t1": self.t1}
+
+
+@dataclass(frozen=True)
+class JobTimeline:
+    """A terminal job's latency decomposed into contiguous segments."""
+
+    job_id: int
+    tenant: str
+    workload: str
+    state: str
+    submit_s: float
+    finish_s: float
+    segments: "tuple[Segment, ...]"
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise ValueError(f"job {self.job_id}: empty timeline")
+        segs = self.segments
+        if segs[0].t0 != self.submit_s:
+            raise ValueError(
+                f"job {self.job_id}: timeline starts at {segs[0].t0},"
+                f" not submit_s={self.submit_s}"
+            )
+        if segs[-1].t1 != self.finish_s:
+            raise ValueError(
+                f"job {self.job_id}: timeline ends at {segs[-1].t1},"
+                f" not finish_s={self.finish_s}"
+            )
+        for a, b in zip(segs, segs[1:]):
+            if a.t1 != b.t0:
+                raise ValueError(
+                    f"job {self.job_id}: gap/overlap between"
+                    f" {a.phase}@{a.t1} and {b.phase}@{b.t0}"
+                )
+        for s in segs:
+            if s.t1 < s.t0:
+                raise ValueError(
+                    f"job {self.job_id}: segment {s.phase} runs backwards"
+                    f" ({s.t0} -> {s.t1})"
+                )
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end latency; equals the segment span by construction."""
+        return self.finish_s - self.submit_s
+
+    def by_phase(self) -> "dict[str, float]":
+        """Total seconds spent in each phase."""
+        out: "dict[str, float]" = {}
+        for s in self.segments:
+            out[s.phase] = out.get(s.phase, 0.0) + s.duration_s
+        return out
+
+    def as_dict(self) -> "dict[str, Any]":
+        return {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "workload": self.workload,
+            "state": self.state,
+            "submit_s": self.submit_s,
+            "finish_s": self.finish_s,
+            "segments": [s.as_dict() for s in self.segments],
+        }
+
+
+def job_timeline(job: Any) -> JobTimeline:
+    """Fold a terminal job's decision history into a :class:`JobTimeline`.
+
+    Accepts a live :class:`~repro.serve.jobs.Job` or its
+    :meth:`~repro.serve.jobs.Job.artifact` dict.  Raises ``ValueError``
+    for jobs still in flight (no terminal decision yet) or for decision
+    names this module does not know (fail loud: an unknown decision
+    means the service grew a phase the timeline would silently lose).
+    """
+    art = job if isinstance(job, dict) else job.artifact()
+    finish_s = art.get("finish_s")
+    if finish_s is None:
+        raise ValueError(f"job {art.get('id')} is not terminal yet")
+    decisions = art["decisions"]
+    if not decisions:
+        raise ValueError(f"job {art['id']} has no decision history")
+    submit_s = art["submit_s"]
+
+    raw: "list[Segment]" = []
+    # decision i opens the phase that lasts until decision i+1; the
+    # final (terminal) decision closes the timeline at finish_s.
+    for cur, nxt in zip(decisions, decisions[1:]):
+        name = cur["decision"]
+        phase = PHASE_OF_DECISION.get(name)
+        if phase is None:
+            raise ValueError(
+                f"job {art['id']}: unknown decision {name!r} at t={cur['t']}"
+            )
+        raw.append(Segment(phase=phase, t0=cur["t"], t1=nxt["t"]))
+
+    if not raw:
+        # single-decision history cannot happen (finish always follows
+        # at least a submit), but guard with a zero-width admission span
+        raw.append(Segment(phase="admission", t0=submit_s, t1=finish_s))
+
+    # merge adjacent same-phase segments (shared breakpoints preserved),
+    # then drop zero-width ones — removal keeps contiguity because a
+    # zero-width segment's endpoints are the same float.
+    merged: "list[Segment]" = []
+    for seg in raw:
+        if merged and merged[-1].phase == seg.phase:
+            merged[-1] = Segment(phase=seg.phase, t0=merged[-1].t0, t1=seg.t1)
+        else:
+            merged.append(seg)
+    slim = [s for s in merged if s.t1 != s.t0]
+    if not slim:  # zero-latency job: keep one zero-width segment
+        slim = [merged[0]] if len(merged) == 1 else [
+            Segment(phase=merged[0].phase, t0=submit_s, t1=finish_s)
+        ]
+
+    return JobTimeline(
+        job_id=art["id"],
+        tenant=art["tenant"],
+        workload=art["workload"],
+        state=art["state"],
+        submit_s=submit_s,
+        finish_s=finish_s,
+        segments=tuple(slim),
+    )

@@ -172,13 +172,20 @@ def _resolve_deletions(spec: JobSpec, initial_edges) -> JobSpec:
 
 
 def _percentile(values: "list[float]", q: float) -> "float | None":
+    """Nearest-rank order statistic from a sorted list (test reference).
+
+    Kept as the exact reference the streaming histogram's bounded-error
+    quantiles are checked against (``tests/test_obs.py``); the bench
+    rows themselves now report histogram quantiles.
+    """
     if not values:
         return None
-    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+    rank = max(1, min(len(values), int(np.ceil(q / 100.0 * len(values)))))
+    return float(sorted(values)[rank - 1])
 
 
 def run_serve_bench(
-    cfg: ServeBenchConfig, *, verify: bool = False
+    cfg: ServeBenchConfig, *, verify: bool = False, obs: Any = None
 ) -> "dict[str, Any]":
     """Run one scenario end to end; returns the JSON-safe result row.
 
@@ -186,7 +193,16 @@ def run_serve_bench(
     :func:`verify_report` outcome (terminal-state invariant + label
     bit-identity against unserved solves) and raises ``AssertionError``
     on any violation — chaos mode's contract.
+
+    *obs* is an optional :class:`repro.obs.ObsRecorder`; one is created
+    internally when omitted (the latency quantiles in the row come from
+    its streaming histogram either way).  Pass your own to keep the
+    time series, timelines, and the finished report for export.
     """
+    if obs is None:
+        from ..obs import ObsRecorder  # serve->obs is one-way; obs never imports serve
+
+        obs = ObsRecorder()
     graphs = _build_graphs(cfg)
     initial_edges = {name: g.edges() for name, g in graphs.items()}
     # calibrate the arrival rate against the hot graph's cold-solve cost
@@ -207,6 +223,7 @@ def run_serve_bench(
         cache_bytes=cfg.cache_bytes,
         coalesce_enabled=cfg.coalesce_enabled,
         merge_updates=cfg.merge_updates,
+        observer=obs,
         seed=cfg.seed,
     )
     for name, g in graphs.items():
@@ -216,11 +233,13 @@ def run_serve_bench(
     for at, spec in build_workload(cfg, mean_service_s=mean_service_s):
         service.submit(_resolve_deletions(spec, initial_edges), at=at)
     report = service.run()
+    obs.finalize(report)
 
     by_state = report.by_state()
     submitted = len(report.jobs)
     done = by_state.get("done", 0)
-    latencies = report.done_latencies()
+    hist = obs.latency_hist
+    quantiles = obs.quantiles_ms(0.5, 0.99, 0.999)
     m = report.metrics
     row: "dict[str, Any]" = {
         "algorithm": "serve-bench",
@@ -239,8 +258,13 @@ def run_serve_bench(
         "throughput_jps": (
             done / report.makespan_s if report.makespan_s > 0 else 0.0
         ),
-        "p50_ms": _percentile(latencies, 50),
-        "p99_ms": _percentile(latencies, 99),
+        # bounded-error streaming-histogram quantiles (repro.obs); the
+        # sketch guarantees each is within one log-bucket width of the
+        # nearest-rank sorted-list value
+        "p50_ms": quantiles["p50"],
+        "p99_ms": quantiles["p99"],
+        "p999_ms": quantiles["p999"],
+        "quantile_error": hist.quantile_error,
         "shed_rate": m["shed_backpressure"] / submitted if submitted else 0.0,
         "breaker_shed_rate": m["shed_breaker"] / submitted if submitted else 0.0,
         "reject_rate": m["rejected_budget"] / submitted if submitted else 0.0,
@@ -257,10 +281,6 @@ def run_serve_bench(
         "worker_utilization": service.pool.utilization(report.makespan_s),
         "metrics": m.as_dict(),
     }
-    if row["p50_ms"] is not None:
-        row["p50_ms"] *= 1e3
-    if row["p99_ms"] is not None:
-        row["p99_ms"] *= 1e3
     if verify:
         outcome = verify_report(report, graphs, engine=cfg.engine,
                                 backend=cfg.backend)

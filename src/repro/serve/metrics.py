@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from collections import Counter
 
-__all__ = ["ServiceMetrics", "to_prometheus"]
+__all__ = ["ServiceMetrics", "to_prometheus", "COUNTER_HELP", "GAUGE_HELP"]
 
 #: every counter the service emits, with its exposition HELP text.
 COUNTER_HELP = {
@@ -38,6 +38,17 @@ COUNTER_HELP = {
     "coalesced_reads": "solve/query jobs completed from a coalesced leader's result",
     "coalesced_updates": "update jobs merged into another update's single apply",
     "coalesce_requeued": "coalesced followers returned to the queue by a leader crash",
+}
+
+#: every gauge the service emits, with its exposition HELP text —
+#: mirrors :data:`COUNTER_HELP`; unknown names fall back to a generic
+#: ``service gauge <name>`` line rather than being dropped.
+GAUGE_HELP = {
+    "queue_peak_depth": "deepest the bounded run queue got during the run",
+    "makespan_s": "simulated seconds from first arrival to last terminal job",
+    "shed_wait_s_total": "queue seconds wasted by jobs that were later shed",
+    "cache_bytes": "bytes resident in the solve cache at end of run",
+    "cache_entries": "entries resident in the solve cache at end of run",
 }
 
 
@@ -86,7 +97,8 @@ def to_prometheus(
         lines.append(f"{metric} {metrics.counters[name]}")
     for name in sorted(metrics.gauges):
         metric = f"{prefix}_{name}"
-        lines.append(f"# HELP {metric} service gauge {_escape(name)}")
+        help_text = GAUGE_HELP.get(name, f"service gauge {name}")
+        lines.append(f"# HELP {metric} {_escape(help_text)}")
         lines.append(f"# TYPE {metric} gauge")
         value = metrics.gauges[name]
         lines.append(f"{metric} {value:.9g}")

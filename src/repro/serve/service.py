@@ -184,6 +184,7 @@ class SccService:
         default_deadline_s: "float | None" = None,
         default_budget: "Budget | None" = None,
         tracer: "Tracer | None" = None,
+        observer: Any = None,
         seed: int = 0,
     ) -> None:
         self.spec = device or A100
@@ -214,6 +215,11 @@ class SccService:
         self.merge_updates = int(merge_updates)
         self.default_deadline_s = default_deadline_s
         self.metrics = ServiceMetrics()
+        #: duck-typed observability hook (e.g. ``repro.obs.ObsRecorder``):
+        #: any object with ``on_event(service)`` — called after every
+        #: simulated event the run loop processes.  Kept duck-typed so
+        #: this package never imports ``repro.obs``.
+        self.observer = observer
         self._tr = ensure_tracer(tracer)
         self._graphs: "dict[str, DynamicGraph]" = {}
         self._breakers: "dict[str, CircuitBreaker]" = {}
@@ -316,6 +322,8 @@ class SccService:
                 self._on_complete(*payload)
             else:  # pragma: no cover - defensive
                 raise RuntimeError(f"unknown event kind {kind!r}")
+            if self.observer is not None:
+                self.observer.on_event(self)
         self._ran = True
         self.metrics.gauge("queue_peak_depth", self.queue.peak_depth)
         self.metrics.gauge("makespan_s", self.now)

@@ -25,7 +25,9 @@ from .records import (
     SCHEMA_VERSION,
     EventRecord,
     LaunchRecord,
+    SampleRecord,
     SpanRecord,
+    TimelineRecord,
     Trace,
 )
 from .tracer import NULL_TRACER, NullTracer, Tracer, ensure_tracer
@@ -41,6 +43,8 @@ __all__ = [
     "SpanRecord",
     "EventRecord",
     "LaunchRecord",
+    "SampleRecord",
+    "TimelineRecord",
     "COUNTER",
     "GAUGE",
     "SCHEMA_VERSION",

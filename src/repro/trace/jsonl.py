@@ -14,11 +14,18 @@ One JSON object per line.  Line types (the ``type`` field):
 * ``launch`` — one device-ledger charge (schema >= 2):
   ``{"type": "launch", "seq": int, "kind": str, "path": [str, ...],
   "span": int|null, <nonzero counter deltas>}``
+* ``sample`` — one simulated-clock time-series point (schema >= 3,
+  written by ``repro.obs``): ``{"type": "sample", "series": str,
+  "kind": "counter"|"gauge", "t": float, "value": float}``
+* ``timeline`` — one terminal job's phase decomposition (schema >= 3):
+  ``{"type": "timeline", "job": int, "tenant": str, "workload": str,
+  "state": str, "submit": float, "finish": float,
+  "segments": [[phase, t0, t1], ...]}``
 
 ``t1`` is ``null`` for spans left open (a crashed run); import maps that
 back to NaN.  The format is append-friendly and diff-friendly: spans are
 written in start order, events in emission order, launches in charge
-order.
+order, samples in sampling order, timelines in job-completion order.
 """
 
 from __future__ import annotations
@@ -28,7 +35,15 @@ import math
 from pathlib import Path
 from typing import IO, Any, Iterable, Union
 
-from .records import SCHEMA_VERSION, EventRecord, LaunchRecord, SpanRecord, Trace
+from .records import (
+    SCHEMA_VERSION,
+    EventRecord,
+    LaunchRecord,
+    SampleRecord,
+    SpanRecord,
+    TimelineRecord,
+    Trace,
+)
 
 __all__ = ["dump_jsonl", "dumps_jsonl", "load_jsonl", "loads_jsonl"]
 
@@ -97,6 +112,29 @@ def _launch_obj(rec: LaunchRecord) -> "dict[str, Any]":
     return obj
 
 
+def _sample_obj(rec: SampleRecord) -> "dict[str, Any]":
+    return {
+        "type": "sample",
+        "series": rec.series,
+        "kind": rec.kind,
+        "t": rec.t,
+        "value": rec.value,
+    }
+
+
+def _timeline_obj(rec: TimelineRecord) -> "dict[str, Any]":
+    return {
+        "type": "timeline",
+        "job": rec.job_id,
+        "tenant": rec.tenant,
+        "workload": rec.workload,
+        "state": rec.state,
+        "submit": rec.submit_s,
+        "finish": rec.finish_s,
+        "segments": [[phase, t0, t1] for phase, t0, t1 in rec.segments],
+    }
+
+
 def _lines(trace: Trace) -> "Iterable[str]":
     # the header always carries the schema version, even with empty meta,
     # so readers (and `repro trace diff`) can reject mixed-version input
@@ -110,6 +148,10 @@ def _lines(trace: Trace) -> "Iterable[str]":
         yield json.dumps(_event_obj(e), default=_json_default)
     for rec in trace.launches:
         yield json.dumps(_launch_obj(rec), default=_json_default)
+    for rec in trace.samples:
+        yield json.dumps(_sample_obj(rec), default=_json_default)
+    for rec in trace.timelines:
+        yield json.dumps(_timeline_obj(rec), default=_json_default)
 
 
 def dumps_jsonl(trace: Trace) -> str:
@@ -181,6 +223,30 @@ def loads_jsonl(text: str) -> Trace:
                     path=tuple(obj.get("path", ())),
                     span_id=None if obj.get("span") is None else int(obj["span"]),
                     **{f: int(obj.get(f, 0)) for f in _LAUNCH_FIELDS},
+                )
+            )
+        elif kind == "sample":
+            trace.samples.append(
+                SampleRecord(
+                    series=obj["series"],
+                    kind=obj["kind"],
+                    t=float(obj["t"]),
+                    value=float(obj["value"]),
+                )
+            )
+        elif kind == "timeline":
+            trace.timelines.append(
+                TimelineRecord(
+                    job_id=int(obj["job"]),
+                    tenant=obj["tenant"],
+                    workload=obj["workload"],
+                    state=obj["state"],
+                    submit_s=float(obj["submit"]),
+                    finish_s=float(obj["finish"]),
+                    segments=tuple(
+                        (str(phase), float(t0), float(t1))
+                        for phase, t0, t1 in obj.get("segments", ())
+                    ),
                 )
             )
         else:

@@ -17,6 +17,8 @@ __all__ = [
     "SpanRecord",
     "EventRecord",
     "LaunchRecord",
+    "SampleRecord",
+    "TimelineRecord",
     "Trace",
     "COUNTER",
     "GAUGE",
@@ -29,8 +31,10 @@ GAUGE = "gauge"
 
 #: JSONL schema version written by :mod:`repro.trace.jsonl`.  Version 1
 #: (PR 1) had no header version and no launch records; version 2 adds
-#: both.  Bump whenever the line format changes incompatibly.
-SCHEMA_VERSION = 2
+#: both; version 3 adds observability ``sample`` (simulated-clock time
+#: series points) and ``timeline`` (per-job phase decompositions)
+#: lines.  Bump whenever the line format changes incompatibly.
+SCHEMA_VERSION = 3
 
 
 def _plain(value: Any) -> Any:
@@ -126,12 +130,50 @@ class LaunchRecord:
 
 
 @dataclass
+class SampleRecord:
+    """One simulated-clock time-series point (``repro.obs`` export).
+
+    ``kind`` distinguishes cumulative ``counter`` series (monotone
+    totals; a rate is the slope between points) from instantaneous
+    ``gauge`` series (queue depth, cache hit rate, breaker level).
+    ``t`` is simulated seconds on the service clock.
+    """
+
+    series: str
+    kind: str  # COUNTER | GAUGE
+    t: float
+    value: float
+
+
+@dataclass
+class TimelineRecord:
+    """One terminal job's latency decomposed into phase segments.
+
+    ``segments`` is a tuple of ``(phase, t0, t1)`` triples that are
+    ordered, non-overlapping and contiguous: consecutive segments share
+    their breakpoint, the first starts at ``submit_s`` and the last
+    ends at ``finish_s`` — so the decomposition spans the end-to-end
+    latency exactly.
+    """
+
+    job_id: int
+    tenant: str
+    workload: str
+    state: str
+    submit_s: float
+    finish_s: float
+    segments: "tuple[tuple[str, float, float], ...]" = ()
+
+
+@dataclass
 class Trace:
     """A finished trace: spans in start order plus counter/gauge events.
 
     ``launches`` holds the per-charge device ledger (empty unless the run
-    was profiled via :func:`repro.profile.attach_ledger`); ``schema`` is
-    the JSONL schema version the trace was read from (or will be written
+    was profiled via :func:`repro.profile.attach_ledger`); ``samples``
+    and ``timelines`` hold the observability export (empty unless a
+    ``repro.obs`` recorder was attached, schema v3); ``schema`` is the
+    JSONL schema version the trace was read from (or will be written
     as).
     """
 
@@ -139,6 +181,8 @@ class Trace:
     events: "list[EventRecord]" = field(default_factory=list)
     meta: "dict[str, Any]" = field(default_factory=dict)
     launches: "list[LaunchRecord]" = field(default_factory=list)
+    samples: "list[SampleRecord]" = field(default_factory=list)
+    timelines: "list[TimelineRecord]" = field(default_factory=list)
     schema: int = SCHEMA_VERSION
 
     # ------------------------------------------------------------------

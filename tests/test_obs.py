@@ -1,0 +1,660 @@
+"""Tests for :mod:`repro.obs` — the unified observability pipeline.
+
+The contract (docs/observability.md §10):
+
+* streaming log-bucket histograms answer any quantile within one bucket
+  width of the nearest-rank sorted-list value, on any input stream;
+* every terminal job's decision history folds into a phase timeline
+  whose segments are ordered, non-overlapping, and **contiguous** —
+  shared breakpoints, first segment starting at ``submit_s``, last
+  ending at ``finish_s`` — so the decomposition spans the end-to-end
+  latency bit-exactly, under every chaos plan;
+* the Perfetto export is valid Chrome-trace JSON (``json.loads``
+  round-trip, well-formed ``ph``/``ts``/``dur``) whose job-phase lanes
+  carry the exact simulated endpoints;
+* SLO evaluation passes a loose spec and fails a tightened one, with
+  burn-rate alerts preceding exhaustion;
+* trace JSONL schema v3 round-trips ``sample``/``timeline`` lines,
+  still accepts v2/v1 files, and still rejects newer schemas.
+"""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faults import preset_plan
+from repro.graph import cycle_graph
+from repro.obs import (
+    ObsRecorder,
+    PHASE_OF_DECISION,
+    Sample,
+    Segment,
+    SeriesRegistry,
+    SLObjective,
+    SLOSpec,
+    StreamingHistogram,
+    dump_perfetto,
+    evaluate_slo,
+    export_perfetto,
+    job_timeline,
+)
+from repro.serve import (
+    JobKind,
+    JobSpec,
+    SccService,
+    ServeBenchConfig,
+    run_serve_bench,
+)
+from repro.serve.bench import _percentile
+from repro.trace import SCHEMA_VERSION, SampleRecord, TimelineRecord, Trace
+
+
+# ---------------------------------------------------------------------------
+# streaming histogram: bounded-error quantiles
+# ---------------------------------------------------------------------------
+
+class TestStreamingHistogram:
+    def test_empty_quantile_is_none(self):
+        assert StreamingHistogram().quantile(0.5) is None
+
+    def test_growth_validation(self):
+        with pytest.raises(ValueError):
+            StreamingHistogram(1.0)
+        with pytest.raises(ValueError):
+            StreamingHistogram(0.5)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingHistogram().observe(-1.0)
+
+    def test_quantile_range_validation(self):
+        h = StreamingHistogram()
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_zeros_get_their_own_bucket(self):
+        h = StreamingHistogram()
+        for _ in range(9):
+            h.observe(0.0)
+        h.observe(100.0)
+        assert h.quantile(0.5) == 0.0
+        assert h.quantile(1.0) == pytest.approx(100.0, rel=h.quantile_error)
+
+    def test_error_bound_is_sqrt_growth(self):
+        h = StreamingHistogram(1.21)
+        assert h.quantile_error == pytest.approx(math.sqrt(1.21) - 1.0)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=1e-9, max_value=1e9,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=300,
+        ),
+        q=st.sampled_from([0.0, 0.01, 0.5, 0.9, 0.99, 0.999, 1.0]),
+        growth=st.sampled_from([1.02, 1.04, 1.25, 2.0]),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_quantile_within_one_bucket_of_nearest_rank(
+        self, values, q, growth
+    ):
+        """The sketch's core guarantee, property-style.
+
+        For any stream and any q, the histogram quantile lands in the
+        same bucket as the nearest-rank order statistic — so it is
+        within one bucket width absolutely and ``sqrt(growth) - 1``
+        relatively.
+        """
+        h = StreamingHistogram(growth)
+        for v in values:
+            h.observe(v)
+        exact = sorted(values)[
+            max(1, min(len(values), math.ceil(q * len(values)))) - 1
+        ]
+        est = h.quantile(q)
+        lo, hi = h.bucket_bounds(exact)
+        assert lo <= est < hi or est == pytest.approx(exact)
+        assert abs(est - exact) < h.bucket_width(exact)
+        assert abs(est - exact) <= h.quantile_error * max(est, exact)
+
+    def test_as_dict_round_trips_counts(self):
+        h = StreamingHistogram()
+        for v in (0.0, 1.0, 2.0, 4.0):
+            h.observe(v)
+        d = h.as_dict()
+        assert d["total"] == 4 and d["zeros"] == 1
+        assert sum(d["buckets"].values()) == 3
+        assert d["min"] == 0.0 and d["max"] == 4.0
+
+
+# ---------------------------------------------------------------------------
+# series registry
+# ---------------------------------------------------------------------------
+
+class TestSeriesRegistry:
+    def test_kind_is_fixed_per_series(self):
+        reg = SeriesRegistry()
+        reg.counter("jobs", 0.0, 1.0)
+        with pytest.raises(ValueError, match="is a counter"):
+            reg.gauge("jobs", 1.0, 2.0)
+
+    def test_counter_must_not_decrease(self):
+        reg = SeriesRegistry()
+        reg.counter("jobs", 0.0, 5.0)
+        with pytest.raises(ValueError, match="decreased"):
+            reg.counter("jobs", 1.0, 4.0)
+
+    def test_time_must_not_go_backwards(self):
+        reg = SeriesRegistry()
+        reg.gauge("depth", 1.0, 3.0)
+        with pytest.raises(ValueError, match="backwards"):
+            reg.gauge("depth", 0.5, 3.0)
+
+    def test_duplicate_points_dedup(self):
+        reg = SeriesRegistry()
+        reg.gauge("depth", 1.0, 3.0)
+        reg.gauge("depth", 1.0, 3.0)
+        assert len(reg) == 1
+        reg.gauge("depth", 1.0, 4.0)  # same t, new value: kept
+        assert len(reg) == 2
+
+    def test_queries_and_as_dict(self):
+        reg = SeriesRegistry()
+        reg.gauge("depth", 0.0, 1.0)
+        reg.gauge("depth", 1.0, 5.0)
+        reg.counter("done", 1.0, 2.0)
+        assert reg.names() == ["depth", "done"]
+        assert reg.kind_of("depth") == "gauge"
+        assert reg.peak("depth") == 5.0
+        assert reg.last("done") == Sample("done", "counter", 1.0, 2.0)
+        d = reg.as_dict()
+        assert d["depth"]["points"] == [[0.0, 1.0], [1.0, 5.0]]
+        assert d["done"]["kind"] == "counter"
+
+
+# ---------------------------------------------------------------------------
+# timelines: the bit-exact decomposition property, across chaos plans
+# ---------------------------------------------------------------------------
+
+def _assert_exact_decomposition(tl, art):
+    """Ordered, non-overlapping, contiguous, spanning exactly."""
+    segs = tl.segments
+    assert segs[0].t0 == art["submit_s"]
+    assert segs[-1].t1 == art["finish_s"]
+    for a, b in zip(segs, segs[1:]):
+        assert a.t1 == b.t0          # shared breakpoint, bit-exact
+        assert a.t0 <= a.t1          # ordered, non-overlapping
+    # because breakpoints are shared floats, the telescoping sum *is*
+    # terminal_time - submit_time with no arithmetic involved
+    assert segs[-1].t1 - segs[0].t0 == art["latency_s"]
+
+
+@given(
+    seed=st.integers(0, 2**16),
+    plan_name=st.sampled_from([None, "serve-crash", "serve-delay"]),
+    cache_on=st.booleans(),
+)
+@settings(max_examples=12, deadline=None)
+def test_timeline_decomposition_is_exact_under_chaos(
+    seed, plan_name, cache_on
+):
+    """Every job, every chaos plan: the timeline spans latency exactly.
+
+    Crash/retry ladders, delays, coalesced reads and merged updates,
+    cache hits, sheds, budget rejections — whatever path a job takes,
+    its segments are ordered, non-overlapping, contiguous, and their
+    span equals ``finish_s - submit_s`` bit-for-bit.
+    """
+    plan = preset_plan(plan_name, seed) if plan_name else None
+    cfg = ServeBenchConfig(
+        scenario="tl-prop", num_graphs=2, graph_vertices=40,
+        graph_edges=120, num_jobs=12, workers=2, queue_capacity=4,
+        plan=plan, cache_enabled=cache_on, coalesce_enabled=cache_on,
+        seed=seed,
+    )
+    obs = ObsRecorder()
+    run_serve_bench(cfg, obs=obs)
+    report = obs.report
+    assert len(obs.timelines) == len(report.jobs)
+    by_id = {tl.job_id: tl for tl in obs.timelines}
+    for job in report.jobs:
+        art = job.artifact()
+        tl = by_id[job.id]
+        _assert_exact_decomposition(tl, art)
+        # rebuilding from the JSON-safe artifact gives the same timeline
+        assert job_timeline(art).as_dict() == tl.as_dict()
+        assert set(tl.by_phase()) <= set(PHASE_OF_DECISION.values())
+
+
+class TestTimelineEdges:
+    def test_in_flight_job_rejected(self):
+        svc = SccService(workers=1, queue_capacity=2)
+        svc.register_graph("g0", cycle_graph(6))
+        job = svc.submit(JobSpec("t0", JobKind.SOLVE, "g0"))
+        with pytest.raises(ValueError, match="not terminal"):
+            job_timeline(job)
+        svc.run()
+        tl = job_timeline(job)
+        _assert_exact_decomposition(tl, job.artifact())
+
+    def test_unknown_decision_fails_loud(self):
+        art = {
+            "id": 0, "tenant": "t", "workload": "g:solve", "state": "done",
+            "submit_s": 0.0, "finish_s": 1.0, "latency_s": 1.0,
+            "decisions": [
+                {"t": 0.0, "decision": "submit"},
+                {"t": 0.5, "decision": "teleport"},
+                {"t": 1.0, "decision": "done"},
+            ],
+        }
+        with pytest.raises(ValueError, match="teleport"):
+            job_timeline(art)
+
+    def test_segment_validation(self):
+        with pytest.raises(ValueError, match="backwards"):
+            Segment("x", 1.0, 0.5)
+
+    def test_adjacent_same_phase_segments_merge(self):
+        art = {
+            "id": 1, "tenant": "t", "workload": "g:solve", "state": "done",
+            "submit_s": 0.0, "finish_s": 3.0, "latency_s": 3.0,
+            "decisions": [
+                {"t": 0.0, "decision": "submit"},
+                {"t": 1.0, "decision": "admit"},
+                {"t": 1.5, "decision": "coalesce_requeue"},  # still queued
+                {"t": 2.0, "decision": "dispatch"},
+                {"t": 3.0, "decision": "complete"},
+                {"t": 3.0, "decision": "done"},
+            ],
+        }
+        tl = job_timeline(art)
+        assert [s.phase for s in tl.segments] == [
+            "admission", "queued", "execute"
+        ]
+        _assert_exact_decomposition(tl, art)
+
+
+# ---------------------------------------------------------------------------
+# the recorder on a live service
+# ---------------------------------------------------------------------------
+
+class TestObsRecorder:
+    def run_observed(self, **kwargs):
+        obs = ObsRecorder()
+        svc = SccService(workers=2, queue_capacity=8, observer=obs, **kwargs)
+        svc.register_graph("g0", cycle_graph(12))
+        for i in range(6):
+            svc.submit(JobSpec(f"t{i % 2}", JobKind.SOLVE, "g0"),
+                       at=0.0005 * i)
+        report = svc.run()
+        obs.finalize(report)
+        return obs, report
+
+    def test_series_sampled_and_counters_monotone(self):
+        obs, report = self.run_observed()
+        assert obs.events_observed > 0
+        reg = obs.registry
+        assert "queue_depth" in reg.names()
+        assert "metric:completed" in reg.names()
+        done = [s.value for s in reg.series("metric:completed")]
+        assert done == sorted(done) and done[-1] == report.metrics["completed"]
+        peak = reg.peak("queue_depth")
+        assert peak is not None and peak <= report.queue_peak_depth
+
+    def test_latency_histogram_counts_done_jobs(self):
+        obs, report = self.run_observed()
+        assert obs.latency_hist.total == report.by_state().get("done", 0)
+        assert len(obs.timelines) == len(report.jobs)
+
+    def test_cache_hit_rate_gauge(self):
+        obs, _ = self.run_observed(cache_enabled=True)
+        assert "cache_hit_rate" in obs.registry.names()
+
+    def test_summary_is_json_safe(self):
+        obs, _ = self.run_observed()
+        doc = json.loads(json.dumps(obs.summary()))
+        assert doc["events_observed"] == obs.events_observed
+        assert doc["latency_ms"]["p50"] is not None
+        assert doc["quantile_error"] == obs.latency_hist.quantile_error
+
+    def test_quantiles_ms_key_shapes(self):
+        obs, _ = self.run_observed()
+        q = obs.quantiles_ms(0.5, 0.99, 0.999)
+        assert set(q) == {"p50", "p99", "p999"}
+
+
+# ---------------------------------------------------------------------------
+# bench rows: histogram quantiles replace the sorted list
+# ---------------------------------------------------------------------------
+
+SMALL = ServeBenchConfig(
+    scenario="obs-test", num_graphs=2, graph_vertices=40, graph_edges=120,
+    num_jobs=14, workers=2, queue_capacity=4, seed=0,
+)
+
+
+class TestBenchQuantiles:
+    @pytest.mark.parametrize("plan_name", [None, "serve-crash", "serve-delay"])
+    def test_row_p99_within_one_bucket_of_sorted_list(self, plan_name):
+        """The PR acceptance bound, on every bench scenario."""
+        plan = preset_plan(plan_name, 0) if plan_name else None
+        cfg = ServeBenchConfig(**{
+            **SMALL.__dict__,
+            "scenario": f"obs-{plan_name or 'clean'}", "plan": plan,
+        })
+        obs = ObsRecorder()
+        row = run_serve_bench(cfg, obs=obs)
+        latencies = obs.report.done_latencies()
+        if not latencies:
+            assert row["p99_ms"] is None
+            return
+        for q, key in ((50, "p50_ms"), (99, "p99_ms"), (99.9, "p999_ms")):
+            exact_s = _percentile(latencies, q)
+            hist_s = row[key] / 1e3
+            assert abs(hist_s - exact_s) < obs.latency_hist.bucket_width(
+                exact_s
+            )
+        assert row["quantile_error"] == obs.latency_hist.quantile_error
+        assert row["p50_ms"] <= row["p99_ms"] <= row["p999_ms"]
+
+    def test_rows_stay_deterministic_with_recorder(self):
+        a = run_serve_bench(SMALL)
+        b = run_serve_bench(SMALL, obs=ObsRecorder())
+        assert json.dumps(a, sort_keys=True, default=str) == \
+            json.dumps(b, sort_keys=True, default=str)
+
+    def test_old_baseline_rows_without_new_keys_still_gate(self):
+        """BENCH_pr8/pr9 rows lack p999_ms/quantile_error — the serve
+        gate must not require them of the baseline side."""
+        from repro.cli import _serve_row_failures
+
+        row = run_serve_bench(SMALL)
+        old = {k: v for k, v in row.items()
+               if k not in ("p999_ms", "quantile_error")}
+        base = {(old["algorithm"], old.get("engine"), old["graph"]): old}
+        failures = _serve_row_failures([row], base, tolerance=0.05)
+        assert failures == []
+
+
+# ---------------------------------------------------------------------------
+# perfetto export
+# ---------------------------------------------------------------------------
+
+_VALID_PH = {"M", "X", "C", "b", "e"}
+
+
+class TestPerfettoExport:
+    def export(self, cfg=SMALL):
+        obs = ObsRecorder()
+        run_serve_bench(cfg, obs=obs)
+        return obs, export_perfetto(obs.report, recorder=obs)
+
+    def test_round_trips_through_json(self, tmp_path):
+        obs, obj = self.export()
+        path = tmp_path / "trace.json"
+        dumped = dump_perfetto(obs.report, path, recorder=obs)
+        back = json.loads(path.read_text())
+        assert back == json.loads(json.dumps(obj)) == \
+            json.loads(json.dumps(dumped))
+        assert back["displayTimeUnit"] == "ms"
+
+    def test_events_are_well_formed(self):
+        _, obj = self.export()
+        events = obj["traceEvents"]
+        assert events, "export produced no events"
+        for ev in events:
+            assert ev["ph"] in _VALID_PH
+            assert isinstance(ev["pid"], int) and isinstance(ev["tid"], int)
+            if ev["ph"] != "M":
+                assert isinstance(ev["ts"], float) and ev["ts"] >= 0.0
+            if ev["ph"] == "X":
+                assert isinstance(ev["dur"], float) and ev["dur"] >= 0.0
+            if ev["ph"] in ("b", "e"):
+                assert "id" in ev and "cat" in ev
+
+    def test_async_pairs_balance(self):
+        _, obj = self.export()
+        opens: "dict[tuple, int]" = {}
+        for ev in obj["traceEvents"]:
+            if ev["ph"] == "b":
+                key = (ev["cat"], ev["id"], ev["name"])
+                opens[key] = opens.get(key, 0) + 1
+            elif ev["ph"] == "e":
+                key = (ev["cat"], ev["id"], ev["name"])
+                opens[key] = opens.get(key, 0) - 1
+        assert all(v == 0 for v in opens.values())
+
+    def test_job_lane_segments_sum_exactly_to_latency(self):
+        """The acceptance criterion: per-job track segments sum exactly
+        to the reported latency, read back from the exported JSON."""
+        obs, obj = self.export()
+        events = json.loads(json.dumps(obj))["traceEvents"]
+        lanes: "dict[str, list]" = {}
+        for ev in events:
+            if ev["ph"] == "b" and ev["cat"] == "job-phase":
+                lanes.setdefault(ev["id"], []).append(ev["args"])
+        assert lanes
+        by_id = {job.id: job for job in obs.report.jobs}
+        for jid, segs in lanes.items():
+            segs.sort(key=lambda a: a["t0"])
+            for a, b in zip(segs, segs[1:]):
+                assert a["t1"] == b["t0"]
+            job = by_id[int(jid)]
+            assert segs[0]["t0"] == job.submit_s
+            assert segs[-1]["t1"] == job.finish_s
+            assert segs[-1]["t1"] - segs[0]["t0"] == job.latency_s
+
+    def test_solve_jobs_carry_data_plane_spans(self):
+        obs, obj = self.export()
+        spans = [e for e in obj["traceEvents"]
+                 if e["ph"] == "X" and e.get("cat") == "span"]
+        executed_solves = [
+            j for j in obs.report.jobs
+            if str(j.state) == "done" and j.spec.kind is JobKind.SOLVE
+            and any("t_dispatch" in d and not d.get("crashed")
+                    for d in j.attempts_detail)
+        ]
+        if executed_solves:  # job-id correlation down to launch charges
+            assert spans
+            assert any("launches" in s["args"] for s in spans)
+            jobs_with_spans = {s["args"]["job"] for s in spans}
+            assert jobs_with_spans <= {j.id for j in executed_solves}
+            attempts = {
+                e["args"]["job"]: e for e in obj["traceEvents"]
+                if e["ph"] == "X" and e.get("cat") == "attempt"
+                and not e["args"]["crashed"]
+            }
+            for s in spans:  # nested inside the owning attempt slice
+                owner = attempts[s["args"]["job"]]
+                assert s["ts"] >= owner["ts"] - 1e-6
+                assert s["ts"] + s["dur"] <= owner["ts"] + owner["dur"] + 1e-6
+
+
+# ---------------------------------------------------------------------------
+# SLOs
+# ---------------------------------------------------------------------------
+
+class TestSLO:
+    def observed_report(self):
+        obs = ObsRecorder()
+        run_serve_bench(SMALL, obs=obs)
+        return obs.report
+
+    def test_spec_json_round_trip(self):
+        spec = SLOSpec.from_json((
+            '{"name": "s", "alert_burn_rate": 2.0, "window_frac": 0.25,'
+            ' "objectives": [{"name": "o", "kind": "latency",'
+            ' "target": 0.9, "threshold_ms": 1.0}]}'
+        ))
+        assert SLOSpec.from_json(spec.to_json()) == spec
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            SLObjective("x", "throughput", 0.9)
+        with pytest.raises(ValueError, match="target"):
+            SLObjective("x", "availability", 0.0)
+        with pytest.raises(ValueError, match="threshold_ms"):
+            SLObjective("x", "latency", 0.9)
+        with pytest.raises(ValueError, match="no objectives"):
+            SLOSpec("empty", ())
+
+    def test_loose_spec_passes_and_tight_spec_fails(self):
+        """Both directions of the obs-slo gate, on the same run."""
+        report = self.observed_report()
+        loose = SLOSpec("loose", (
+            SLObjective("lat", "latency", 0.5, threshold_ms=1e6),
+            SLObjective("avail", "availability", 0.01),
+        ))
+        tight = SLOSpec("tight", (
+            SLObjective("lat", "latency", 0.999, threshold_ms=1e-9),
+        ))
+        ok = evaluate_slo(loose, report)
+        assert ok.ok and all(r.bad <= r.allowed_bad for r in ok.results)
+        bad = evaluate_slo(tight, report)
+        assert not bad.ok
+        r = bad.results[0]
+        assert r.budget_consumed > 1.0
+        assert any(a["type"] == "exhausted" for a in r.alerts)
+
+    def test_evaluate_accepts_report_dict(self):
+        report = self.observed_report()
+        spec = SLOSpec("d", (SLObjective("a", "availability", 0.01),))
+        assert evaluate_slo(spec, report.to_dict()).ok == \
+            evaluate_slo(spec, report).ok
+
+    def test_burn_alert_precedes_exhaustion(self):
+        def art(i, t, state, lat):
+            return {"state": state, "finish_s": t, "latency_s": lat}
+        # 20 done jobs, the last 6 slow: budget (10%) exhausted at #3
+        jobs = [art(i, 0.01 * i, "done", 0.0001) for i in range(14)]
+        jobs += [art(14 + i, 0.14 + 0.001 * i, "done", 9.9) for i in range(6)]
+        report = {"makespan_s": 0.15, "jobs": jobs}
+        spec = SLOSpec("b", (
+            SLObjective("lat", "latency", 0.9, threshold_ms=1.0),
+        ))
+        res = evaluate_slo(spec, report).results[0]
+        assert not res.ok and res.bad == 6
+        assert res.allowed_bad == pytest.approx(2.0)
+        kinds = [a["type"] for a in res.alerts]
+        assert "burn" in kinds and kinds[-1] == "exhausted"
+        burn_t = next(a["t"] for a in res.alerts if a["type"] == "burn")
+        exhausted_t = next(
+            a["t"] for a in res.alerts if a["type"] == "exhausted"
+        )
+        assert burn_t <= exhausted_t
+
+    def test_committed_spec_passes_on_its_ci_scenario(self):
+        """SLO_serve.json is calibrated for the default zipf-clean
+        scenario the ``obs-slo`` CI job runs — the gate must exit 0."""
+        from pathlib import Path
+
+        from repro.cli import main
+
+        spec_path = Path(__file__).resolve().parent.parent / "SLO_serve.json"
+        spec = SLOSpec.from_json(spec_path.read_text())
+        assert spec.name == "serve-default"
+        assert main(["obs", "slo", "--spec", str(spec_path)]) == 0
+
+
+# ---------------------------------------------------------------------------
+# trace JSONL schema v3
+# ---------------------------------------------------------------------------
+
+class TestSchemaV3:
+    def sample_trace(self):
+        trace = Trace(meta={"scenario": "t"})
+        trace.samples.append(SampleRecord("queue_depth", "gauge", 0.5, 3.0))
+        trace.samples.append(SampleRecord("metric:done", "counter", 1.0, 7.0))
+        trace.timelines.append(TimelineRecord(
+            job_id=4, tenant="t0", workload="g0:solve", state="done",
+            submit_s=0.0, finish_s=1.5,
+            segments=(("admission", 0.0, 0.25), ("queued", 0.25, 1.0),
+                      ("execute", 1.0, 1.5)),
+        ))
+        return trace
+
+    def test_round_trip(self):
+        trace = self.sample_trace()
+        back = Trace.from_jsonl_str(trace.to_jsonl_str())
+        assert back.schema == SCHEMA_VERSION == 3
+        assert back.samples == trace.samples
+        assert back.timelines == trace.timelines
+
+    def test_recorder_to_trace_round_trips(self):
+        obs = ObsRecorder()
+        run_serve_bench(SMALL, obs=obs)
+        trace = obs.to_trace(Trace(meta={"scenario": "obs-test"}))
+        assert len(trace.samples) == len(obs.registry.samples)
+        assert len(trace.timelines) == len(obs.timelines)
+        back = Trace.from_jsonl_str(trace.to_jsonl_str())
+        assert back.samples == trace.samples
+        assert back.timelines == trace.timelines
+
+    def test_v2_reader_acceptance(self):
+        """A v2 file (spans/launches, no obs lines) still loads."""
+        text = "\n".join([
+            '{"type": "meta", "schema": 2, "meta": {}}',
+            '{"type": "span", "id": 0, "parent": null, "depth": 0,'
+            ' "name": "outer", "t0": 0.0, "t1": 1.0, "attrs": {}}',
+            '{"type": "launch", "seq": 0, "kind": "launch",'
+            ' "path": ["outer"], "span": 0, "kernel_launches": 1}',
+        ])
+        back = Trace.from_jsonl_str(text)
+        assert back.schema == 2
+        assert len(back.spans) == 1 and len(back.launches) == 1
+        assert back.samples == [] and back.timelines == []
+
+    def test_newer_schema_rejected(self):
+        with pytest.raises(ValueError, match="newer than the supported"):
+            Trace.from_jsonl_str('{"type": "meta", "schema": 4, "meta": {}}')
+
+    def test_unknown_line_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown record type"):
+            Trace.from_jsonl_str('{"type": "sampl", "series": "x"}')
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+class TestObsCli:
+    ARGS = ["--jobs", "10", "--graphs", "2", "--workers", "2", "--queue", "4"]
+
+    def test_report_smoke(self, capsys, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "obs.json"
+        assert main(["obs", "report", *self.ARGS, "--json", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert "series" in doc and "timelines" in doc
+        assert "phase decomposition" in capsys.readouterr().out
+
+    def test_export_smoke(self, tmp_path):
+        from repro.cli import main
+
+        trace_json = tmp_path / "trace.json"
+        trace_jsonl = tmp_path / "trace.jsonl"
+        assert main([
+            "obs", "export", *self.ARGS,
+            "--out", str(trace_json), "--jsonl", str(trace_jsonl),
+        ]) == 0
+        obj = json.loads(trace_json.read_text())
+        assert obj["traceEvents"]
+        back = Trace.from_jsonl(trace_jsonl)
+        assert back.schema == 3 and back.samples and back.timelines
+
+    def test_slo_gate_both_directions(self, tmp_path):
+        from repro.cli import main
+
+        loose = tmp_path / "loose.json"
+        loose.write_text(SLOSpec("loose", (
+            SLObjective("avail", "availability", 0.01),
+        )).to_json())
+        tight = tmp_path / "tight.json"
+        tight.write_text(SLOSpec("tight", (
+            SLObjective("lat", "latency", 0.999, threshold_ms=1e-9),
+        )).to_json())
+        assert main(["obs", "slo", *self.ARGS, "--spec", str(loose)]) == 0
+        assert main(["obs", "slo", *self.ARGS, "--spec", str(tight)]) == 1

@@ -302,7 +302,7 @@ class TestSchemaAndDiff:
         trace = traced_run(scc_ladder(8))
         head = json.loads(dumps_jsonl(trace).splitlines()[0])
         assert head["type"] == "meta"
-        assert head["schema"] == SCHEMA_VERSION == 2
+        assert head["schema"] == SCHEMA_VERSION == 3
 
     def test_launch_records_round_trip(self):
         trace = traced_run(scc_ladder(8))

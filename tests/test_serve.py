@@ -261,6 +261,38 @@ def test_prometheus_exposition_format():
     assert to_prometheus(svc.metrics) == text
 
 
+def test_gauge_help_mirrors_counter_help():
+    from repro.serve.metrics import (
+        COUNTER_HELP,
+        GAUGE_HELP,
+        ServiceMetrics,
+    )
+
+    svc = SccService(workers=1, queue_capacity=2)
+    svc.register_graph("g0", cycle_graph(8))
+    svc.submit(JobSpec("t0", JobKind.SOLVE, "g0"))
+    svc.run()
+    text = svc.to_prometheus()
+    # every emitted gauge has a curated HELP line, same contract as
+    # counters — nothing falls through to the generic text
+    for name, help_text in GAUGE_HELP.items():
+        if f"repro_serve_{name} " in text:
+            assert f"# HELP repro_serve_{name} {help_text}" in text
+    assert "# HELP repro_serve_queue_peak_depth" in text
+    assert "# TYPE repro_serve_queue_peak_depth gauge" in text
+    assert not set(GAUGE_HELP) & set(COUNTER_HELP)
+
+    # unknown names fall back to the generic line instead of dropping
+    m = ServiceMetrics()
+    m.gauge("bespoke_depth", 3.5)
+    m.incr("bespoke_events")
+    custom = to_prometheus(m)
+    assert "# HELP repro_serve_bespoke_depth service gauge bespoke_depth" \
+        in custom
+    assert ("# HELP repro_serve_bespoke_events_total"
+            " service counter bespoke_events") in custom
+
+
 # ---------------------------------------------------------------------------
 # end to end: the control plane
 # ---------------------------------------------------------------------------
